@@ -1,0 +1,70 @@
+// End-to-end benchmarks (experiment B-E2E): wall-clock cost of a full
+// consensus decision on the discrete-event substrate for each algorithm,
+// across n and m, plus the threaded runtime.
+#include <benchmark/benchmark.h>
+
+#include "core/runner.h"
+#include "runtime/threaded_runner.h"
+
+namespace hyco {
+namespace {
+
+void run_one(benchmark::State& state, Algorithm alg, ProcId n, ClusterId m) {
+  std::uint64_t seed = 1;
+  std::uint64_t decided = 0;
+  for (auto _ : state) {
+    RunConfig cfg(ClusterLayout::even(n, m));
+    cfg.alg = alg;
+    cfg.inputs = split_inputs(n);
+    cfg.seed = seed++;
+    const auto r = run_consensus(cfg);
+    decided += r.all_correct_decided ? 1 : 0;
+    benchmark::DoNotOptimize(r.end_time);
+  }
+  state.counters["decided_frac"] =
+      static_cast<double>(decided) / static_cast<double>(state.iterations());
+}
+
+void BM_HybridLocalCoinDecision(benchmark::State& state) {
+  run_one(state, Algorithm::HybridLocalCoin,
+          static_cast<ProcId>(state.range(0)),
+          static_cast<ClusterId>(state.range(1)));
+}
+BENCHMARK(BM_HybridLocalCoinDecision)
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->Args({32, 4})
+    ->Args({64, 8});
+
+void BM_HybridCommonCoinDecision(benchmark::State& state) {
+  run_one(state, Algorithm::HybridCommonCoin,
+          static_cast<ProcId>(state.range(0)),
+          static_cast<ClusterId>(state.range(1)));
+}
+BENCHMARK(BM_HybridCommonCoinDecision)
+    ->Args({8, 2})
+    ->Args({32, 4})
+    ->Args({64, 8})
+    ->Args({128, 8});
+
+void BM_BenOrDecision(benchmark::State& state) {
+  run_one(state, Algorithm::BenOr, static_cast<ProcId>(state.range(0)),
+          static_cast<ClusterId>(state.range(0)));
+}
+BENCHMARK(BM_BenOrDecision)->Arg(5)->Arg(9);
+
+void BM_ThreadedCommonCoin(benchmark::State& state) {
+  const auto n = static_cast<ProcId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ThreadRunConfig cfg(ClusterLayout::even(n, 2));
+    cfg.alg = ThreadAlgorithm::CommonCoin;
+    cfg.seed = seed++;
+    const auto r = run_threaded(cfg);
+    benchmark::DoNotOptimize(r.decided_value);
+  }
+}
+BENCHMARK(BM_ThreadedCommonCoin)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,83 @@
+// Microbenchmarks of the shared-memory substrate (experiment B-SHM):
+// consensus-object proposals for the three constructions, and the lazy
+// CONS_x[r, ph] lookup path of ClusterMemory.
+#include <benchmark/benchmark.h>
+
+#include "runtime/atomic_memory.h"
+#include "shm/cluster_memory.h"
+#include "shm/consensus_object.h"
+
+namespace hyco {
+namespace {
+
+void BM_CasConsensusPropose(benchmark::State& state) {
+  ShmOpCounts counts;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    CasConsensus obj(&counts);
+    benchmark::DoNotOptimize(
+        obj.propose(0, (i++ % 2) ? Estimate::One : Estimate::Zero));
+  }
+}
+BENCHMARK(BM_CasConsensusPropose);
+
+void BM_CasConsensusLosingPropose(benchmark::State& state) {
+  ShmOpCounts counts;
+  CasConsensus obj(&counts);
+  obj.propose(0, Estimate::One);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.propose(1, Estimate::Zero));
+  }
+}
+BENCHMARK(BM_CasConsensusLosingPropose);
+
+void BM_LlScConsensusPropose(benchmark::State& state) {
+  ShmOpCounts counts;
+  for (auto _ : state) {
+    LlScConsensus obj(8, &counts);
+    benchmark::DoNotOptimize(obj.propose(0, Estimate::One));
+  }
+}
+BENCHMARK(BM_LlScConsensusPropose);
+
+void BM_AtomicConsensusPropose(benchmark::State& state) {
+  for (auto _ : state) {
+    AtomicConsensus obj;
+    benchmark::DoNotOptimize(obj.propose(0, Estimate::One));
+  }
+}
+BENCHMARK(BM_AtomicConsensusPropose);
+
+void BM_AtomicConsensusContended(benchmark::State& state) {
+  static AtomicConsensus obj;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obj.propose(static_cast<ProcId>(state.thread_index()), Estimate::One));
+  }
+}
+BENCHMARK(BM_AtomicConsensusContended)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_ClusterMemoryLookupHit(benchmark::State& state) {
+  ClusterMemory mem(0, 8);
+  mem.cons(1, Phase::One).propose(0, Estimate::One);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&mem.cons(1, Phase::One));
+  }
+}
+BENCHMARK(BM_ClusterMemoryLookupHit);
+
+void BM_ClusterMemoryGrowth(benchmark::State& state) {
+  // Cost of materializing fresh CONS objects round after round.
+  for (auto _ : state) {
+    ClusterMemory mem(0, 8);
+    for (Round r = 1; r <= state.range(0); ++r) {
+      benchmark::DoNotOptimize(mem.cons(r, Phase::One).propose(0, Estimate::One));
+      benchmark::DoNotOptimize(mem.cons(r, Phase::Two).propose(0, Estimate::Bot));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ClusterMemoryGrowth)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,71 @@
+// Microbenchmarks of the simulation substrate (experiment B-SIM): raw event
+// throughput of the discrete-event engine and message throughput of the
+// simulated network.
+#include <benchmark/benchmark.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hyco {
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    const std::int64_t total = state.range(0);
+    std::int64_t fired = 0;
+    std::function<void()> tick = [&] {
+      if (++fired < total) sim.schedule_in(1, tick);
+    };
+    sim.schedule_in(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(10'000)->Arg(100'000);
+
+void BM_SimulatorFanOut(benchmark::State& state) {
+  // Heap behavior under broadcast-like bursts: schedule k events at once.
+  for (auto _ : state) {
+    Simulator sim(2);
+    std::int64_t sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_in(i % 17, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorFanOut)->Arg(10'000)->Arg(100'000);
+
+void BM_NetworkBroadcastDelivery(benchmark::State& state) {
+  const auto n = static_cast<ProcId>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(3);
+    ConstantDelay delay(10);
+    CrashTracker tracker(static_cast<std::size_t>(n));
+    SimNetwork net(sim, delay, tracker, n);
+    std::int64_t delivered = 0;
+    net.set_deliver([&](ProcId, ProcId, const Message&) { ++delivered; });
+    for (int b = 0; b < 10; ++b) {
+      net.broadcast(b % n, Message::phase_msg(1, Phase::One, Estimate::One));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * n);
+}
+BENCHMARK(BM_NetworkBroadcastDelivery)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(0, 1000));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+}  // namespace hyco

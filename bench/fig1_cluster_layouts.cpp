@@ -1,0 +1,81 @@
+// FIG1 — reproduction of Figure 1: two cluster-based decompositions of
+// n = 7 processes into m = 3 clusters. Prints both layouts, then runs both
+// hybrid algorithms on each over many seeds, reporting termination rate,
+// expected rounds, and message counts. Usage: fig1_cluster_layouts
+// [--runs=N] [--csv=true]
+#include <iostream>
+
+#include "core/runner.h"
+#include "util/csv.h"
+#include "util/options.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace hyco;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int runs = static_cast<int>(opts.get_int("runs", 400));
+  const bool csv = opts.get_bool("csv", false);
+
+  std::cout << "FIG1: cluster-based decompositions of n=7 into m=3 "
+               "(Raynal & Cao, Figure 1)\n\n";
+  const struct {
+    const char* name;
+    ClusterLayout layout;
+  } layouts[] = {
+      {"fig1-left  (sizes 2,3,2)", ClusterLayout::fig1_left()},
+      {"fig1-right (sizes 1,4,2)", ClusterLayout::fig1_right()},
+  };
+
+  Table shape("Figure 1 layouts");
+  shape.set_columns({"layout", "clusters (0-based)", "majority cluster?"});
+  for (const auto& l : layouts) {
+    shape.add_row_values(l.name, l.layout.to_string(),
+                         l.layout.has_majority_cluster() ? "yes" : "no");
+  }
+  shape.print(std::cout);
+
+  Table results("Consensus on the Figure 1 layouts (split inputs)");
+  results.set_columns({"layout", "algorithm", "runs", "terminated",
+                       "safety violations", "mean rounds", "p95 rounds",
+                       "mean msgs"});
+  CsvWriter csv_out(std::cout);
+  if (csv) {
+    csv_out.header({"layout", "algorithm", "seed", "rounds", "msgs"});
+  }
+
+  for (const auto& l : layouts) {
+    for (const Algorithm alg :
+         {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
+      Summary rounds, msgs;
+      int terminated = 0, violations = 0;
+      for (int i = 0; i < runs; ++i) {
+        RunConfig cfg(l.layout);
+        cfg.alg = alg;
+        cfg.inputs = split_inputs(7);
+        cfg.seed = mix64(0xF161, static_cast<std::uint64_t>(i));
+        const auto r = run_consensus(cfg);
+        terminated += r.all_correct_decided ? 1 : 0;
+        violations += r.safe() ? 0 : 1;
+        rounds.add(static_cast<double>(r.max_decision_round));
+        msgs.add(static_cast<double>(r.net.unicasts_sent));
+        if (csv) {
+          csv_out.row_values(l.name, to_cstring(alg), i,
+                             r.max_decision_round, r.net.unicasts_sent);
+        }
+      }
+      results.add_row_values(l.name, to_cstring(alg), runs, terminated,
+                             violations, fixed(rounds.mean()),
+                             fixed(rounds.percentile(95)),
+                             fixed(msgs.mean(), 0));
+    }
+  }
+  if (!csv) results.print(std::cout);
+
+  std::cout << "Expected shape: both decompositions solve consensus on every"
+               " run with zero safety violations;\nthe right layout's"
+               " majority cluster makes it the fault-tolerance showcase"
+               " (see table_fault_tolerance).\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// T-ADV — adversarial-scheduler and imperfect-coin ablation:
+//   * a value-split delay adversary (delays 1-carrying messages) against
+//     Algorithm 2 vs Algorithm 3 — randomization defeats it, but round
+//     counts degrade gracefully;
+//   * an ε-biased common coin against Algorithm 3 — the adversary's ability
+//     to pick coin bits slows (never corrupts) decisions.
+// Usage: table_adversary [--runs=N]
+#include <iostream>
+#include <memory>
+
+#include "core/runner.h"
+#include "util/options.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace hyco;
+
+namespace {
+
+std::function<std::unique_ptr<DelayModel>()> split_adversary(SimTime factor) {
+  return [factor] {
+    return std::make_unique<AdversarialDelay>(
+        [factor](ProcId, ProcId, const Message& m, SimTime, Rng& rng) {
+          const SimTime base = rng.uniform(10, 50);
+          return m.est == Estimate::One ? base * factor : base;
+        });
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int runs = static_cast<int>(opts.get_int("runs", 200));
+
+  std::cout << "T-ADV: adversarial scheduling and imperfect coins (n=7,"
+               " fig1-left, split inputs, " << runs << " seeds)\n\n";
+
+  Table t("value-split delay adversary (messages carrying 1 delayed x"
+          " factor)");
+  t.set_columns({"delay factor", "algorithm", "terminated", "violations",
+                 "mean rounds", "p95 rounds"});
+  for (const SimTime factor : {1, 10, 100}) {
+    for (const Algorithm alg :
+         {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
+      Summary rounds;
+      int terminated = 0, violations = 0;
+      for (int i = 0; i < runs; ++i) {
+        RunConfig cfg(ClusterLayout::fig1_left());
+        cfg.alg = alg;
+        cfg.inputs = split_inputs(7);
+        cfg.seed = mix64(0xAD, static_cast<std::uint64_t>(i));
+        cfg.delay_factory = split_adversary(factor);
+        const auto r = run_consensus(cfg);
+        terminated += r.all_correct_decided ? 1 : 0;
+        violations += r.safe() ? 0 : 1;
+        if (r.all_correct_decided) {
+          rounds.add(static_cast<double>(r.max_decision_round));
+        }
+      }
+      t.add_row_values(factor, to_cstring(alg),
+                       std::to_string(terminated) + "/" + std::to_string(runs),
+                       violations, fixed(rounds.mean()),
+                       fixed(rounds.percentile(95)));
+    }
+  }
+  t.print(std::cout);
+
+  Table b("ε-biased common coin (adversary substitutes bit 0 with"
+          " probability ε)");
+  b.set_columns({"epsilon", "terminated", "violations", "mean rounds",
+                 "p95 rounds"});
+  for (const double eps : {0.0, 0.1, 0.25, 0.5, 0.9}) {
+    Summary rounds;
+    int terminated = 0, violations = 0;
+    for (int i = 0; i < runs; ++i) {
+      RunConfig cfg(ClusterLayout::fig1_left());
+      cfg.alg = Algorithm::HybridCommonCoin;
+      cfg.inputs = split_inputs(7);
+      cfg.seed = mix64(0xAE, static_cast<std::uint64_t>(i));
+      cfg.coin_epsilon = eps;
+      cfg.adversary_bit = 0;
+      const auto r = run_consensus(cfg);
+      terminated += r.all_correct_decided ? 1 : 0;
+      violations += r.safe() ? 0 : 1;
+      if (r.all_correct_decided) {
+        rounds.add(static_cast<double>(r.max_decision_round));
+      }
+    }
+    b.add_row_values(fixed(eps, 2),
+                     std::to_string(terminated) + "/" + std::to_string(runs),
+                     violations, fixed(rounds.mean()),
+                     fixed(rounds.percentile(95)));
+  }
+  b.print(std::cout);
+
+  std::cout << "Expected shape: termination stays 100% with 0 violations in"
+               " every cell (indulgence + randomization);\nround counts rise"
+               " with the delay factor and with ε — the adversary can slow,"
+               " never corrupt.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "baseline/ben_or.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+BenOrProcess::BenOrProcess(ProcId self, ProcId n, INetwork& net,
+                           std::uint64_t coin_seed, Round max_rounds)
+    : self_(self), n_(n), net_(net), coin_(coin_seed),
+      max_rounds_(max_rounds) {
+  HYCO_CHECK_MSG(self >= 0 && self < n, "bad process id " << self);
+  HYCO_CHECK_MSG(max_rounds >= 1, "max_rounds must be >= 1");
+}
+
+BenOrProcess::Tally& BenOrProcess::tally(Round r, Phase ph) {
+  const auto key = std::make_pair(r, static_cast<int>(ph));
+  auto it = tallies_.find(key);
+  if (it == tallies_.end()) it = tallies_.emplace(key, Tally(n_)).first;
+  return it->second;
+}
+
+void BenOrProcess::start(Estimate proposal) {
+  HYCO_CHECK_MSG(!started_, "start() called twice");
+  HYCO_CHECK_MSG(is_binary(proposal), "proposals must be binary");
+  started_ = true;
+  est1_ = proposal;
+  enter_round();
+  progress();
+}
+
+void BenOrProcess::enter_round() {
+  if (round_ >= max_rounds_) {
+    parked_ = true;
+    return;
+  }
+  ++round_;
+  ++stats_.rounds_entered;
+  phase_ = Phase::One;
+  net_.broadcast(self_, Message::phase_msg(round_, Phase::One, est1_));
+}
+
+void BenOrProcess::on_message(ProcId from, const Message& m) {
+  if (decided()) return;
+  if (m.kind == MsgKind::Decide) {
+    decide(m.est);
+    return;
+  }
+  Tally& t = tally(m.round, m.phase);
+  const auto idx = static_cast<std::size_t>(from);
+  if (t.senders.test(idx)) return;  // defensive: count each sender once
+  t.senders.set(idx);
+  ++t.counts[estimate_index(m.est)];
+  ++stats_.phase_msgs_handled;
+  progress();
+}
+
+void BenOrProcess::progress() {
+  while (!decided() && !parked_) {
+    const Tally& t = tally(round_, phase_);
+    if (!majority(t.distinct())) return;  // wait for > n/2 senders
+    if (phase_ == Phase::One) {
+      complete_phase1();
+    } else {
+      complete_phase2();
+    }
+  }
+}
+
+void BenOrProcess::complete_phase1() {
+  const Tally& t = tally(round_, Phase::One);
+  est2_ = Estimate::Bot;
+  for (const Estimate v : {Estimate::Zero, Estimate::One}) {
+    if (majority(t.counts[estimate_index(v)])) {
+      est2_ = v;
+      break;
+    }
+  }
+  phase_ = Phase::Two;
+  net_.broadcast(self_, Message::phase_msg(round_, Phase::Two, est2_));
+}
+
+void BenOrProcess::complete_phase2() {
+  const Tally& t = tally(round_, Phase::Two);
+  const bool has0 = t.counts[estimate_index(Estimate::Zero)] > 0;
+  const bool has1 = t.counts[estimate_index(Estimate::One)] > 0;
+  const bool has_bot = t.counts[estimate_index(Estimate::Bot)] > 0;
+  // Two distinct phase-2 values are impossible (each comes from a majority
+  // of phase-1 senders, and majorities intersect); guard anyway so a bug
+  // here can never decide unsafely.
+  HYCO_CHECK_MSG(!(has0 && has1),
+                 "Ben-Or saw both 0 and 1 in phase 2 of round " << round_);
+  const Estimate v = has0 ? Estimate::Zero
+                          : (has1 ? Estimate::One : Estimate::Bot);
+
+  if (is_binary(v) && !has_bot) {
+    decide(v);
+  } else if (is_binary(v) && has_bot) {
+    est1_ = v;
+    enter_round();
+  } else {
+    ++stats_.coin_flips;
+    est1_ = estimate_from_bit(coin_.flip_counted());
+    enter_round();
+  }
+}
+
+void BenOrProcess::decide(Estimate v) {
+  if (decided()) return;
+  HYCO_CHECK_MSG(is_binary(v), "cannot decide ⊥");
+  net_.broadcast(self_, Message::decide_msg(v));
+  decision_ = v;
+  decision_round_ = round_;
+}
+
+}  // namespace hyco

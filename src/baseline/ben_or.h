@@ -1,0 +1,91 @@
+// Pure message-passing Ben-Or randomized binary consensus (PODC 1983) —
+// the baseline the paper extends.
+//
+// This is an INDEPENDENT implementation (no cluster machinery, plain
+// counting of distinct senders), as the paper describes for the m = n
+// degenerate case of Algorithm 2: "the communication pattern can be
+// simplified by replacing the sets supporters_i[a], supporters_i[b] by a
+// simple counting of each value received during a phase". The test suite
+// cross-validates hybrid(m = n) against this implementation; the T-FT
+// experiment uses it to show that pure message passing cannot survive a
+// majority of crashes while the hybrid model can.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "coin/coin.h"
+#include "core/consensus_process.h"
+#include "core/types.h"
+#include "net/network.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// One Ben-Or process. Tolerates f < n/2 crashes; blocks otherwise
+/// (expected, and exercised by the fault-tolerance experiment).
+class BenOrProcess final : public IConsensusProcess {
+ public:
+  BenOrProcess(ProcId self, ProcId n, INetwork& net, std::uint64_t coin_seed,
+               Round max_rounds);
+
+  void start(Estimate proposal) override;
+  void on_message(ProcId from, const Message& m) override;
+
+  [[nodiscard]] bool decided() const override {
+    return decision_.has_value();
+  }
+  [[nodiscard]] std::optional<Estimate> decision() const override {
+    return decision_;
+  }
+  [[nodiscard]] Round decision_round() const override {
+    return decision_round_;
+  }
+  [[nodiscard]] Round current_round() const override { return round_; }
+  [[nodiscard]] bool parked() const override { return parked_; }
+  [[nodiscard]] const ProcessStats& stats() const override { return stats_; }
+
+  [[nodiscard]] Estimate est1() const { return est1_; }
+
+ private:
+  /// Tally of one (round, phase): which senders were heard, per-value counts.
+  struct Tally {
+    explicit Tally(ProcId n) : senders(static_cast<std::size_t>(n)) {}
+    DynamicBitset senders;
+    std::array<ProcId, 3> counts{0, 0, 0};
+    [[nodiscard]] ProcId distinct() const {
+      return static_cast<ProcId>(senders.count());
+    }
+  };
+
+  Tally& tally(Round r, Phase ph);
+  void enter_round();
+  void progress();
+  void complete_phase1();
+  void complete_phase2();
+  void decide(Estimate v);
+  bool majority(ProcId k) const { return 2 * k > n_; }
+
+  ProcId self_;
+  ProcId n_;
+  INetwork& net_;
+  LocalCoin coin_;
+  Round max_rounds_;
+
+  Round round_ = 0;
+  Phase phase_ = Phase::One;
+  Estimate est1_ = Estimate::Bot;
+  Estimate est2_ = Estimate::Bot;
+  bool started_ = false;
+  bool parked_ = false;
+  std::optional<Estimate> decision_;
+  Round decision_round_ = 0;
+  ProcessStats stats_;
+
+  std::map<std::pair<Round, int>, Tally> tallies_;
+};
+
+}  // namespace hyco

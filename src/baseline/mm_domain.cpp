@@ -1,0 +1,72 @@
+#include "baseline/mm_domain.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+MmDomain::MmDomain(ProcId n,
+                   const std::vector<std::pair<ProcId, ProcId>>& edges)
+    : n_(n), adj_(static_cast<std::size_t>(n)) {
+  HYCO_CHECK_MSG(n >= 1, "domain needs at least one process");
+  for (const auto& [a, b] : edges) {
+    HYCO_CHECK_MSG(a >= 0 && a < n && b >= 0 && b < n,
+                   "edge (" << a << ',' << b << ") out of range");
+    HYCO_CHECK_MSG(a != b, "self-loop at " << a);
+    HYCO_CHECK_MSG(!adjacent(a, b), "duplicate edge (" << a << ',' << b << ')');
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nb : adj_) std::sort(nb.begin(), nb.end());
+}
+
+MmDomain MmDomain::fig2() {
+  // 1-based paper edges {12, 23, 34, 35, 45} -> 0-based.
+  return MmDomain(5, {{0, 1}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+}
+
+ProcId MmDomain::degree(ProcId i) const {
+  return static_cast<ProcId>(neighbors(i).size());
+}
+
+const std::vector<ProcId>& MmDomain::neighbors(ProcId i) const {
+  HYCO_CHECK_MSG(i >= 0 && i < n_, "process " << i << " out of range");
+  return adj_[static_cast<std::size_t>(i)];
+}
+
+std::vector<ProcId> MmDomain::domain_of(ProcId i) const {
+  std::vector<ProcId> s = neighbors(i);
+  s.push_back(i);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+DynamicBitset MmDomain::domain_set(ProcId i) const {
+  DynamicBitset set(static_cast<std::size_t>(n_));
+  for (const ProcId p : domain_of(i)) set.set(static_cast<std::size_t>(p));
+  return set;
+}
+
+bool MmDomain::adjacent(ProcId i, ProcId j) const {
+  const auto& nb = neighbors(i);
+  return std::find(nb.begin(), nb.end(), j) != nb.end();
+}
+
+std::string MmDomain::to_string() const {
+  std::ostringstream os;
+  for (ProcId i = 0; i < n_; ++i) {
+    if (i) os << ' ';
+    os << 'S' << i << "={";
+    const auto s = domain_of(i);
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      if (k) os << ',';
+      os << s[k];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace hyco

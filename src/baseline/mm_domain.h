@@ -1,0 +1,58 @@
+// The m&m ("messages and memories") shared-memory domain of Aguilera et al.
+// (PODC 2018), as summarized in Section III-C and the appendix of the paper.
+//
+// In the uniform m&m model the memories are defined by an undirected graph
+// G = (V, E): S_i = {p_i} ∪ neighbors(p_i), and there is one "p_i-centered"
+// memory per process, shared by exactly the processes of S_i. Contrast with
+// the paper's cluster model: m&m has n memories and a process touches
+// α_i + 1 of them per phase (α_i = its degree), while the hybrid model has
+// m memories and a process touches exactly 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// Uniform m&m shared-memory domain built from an undirected graph.
+class MmDomain {
+ public:
+  /// `n` vertices, `edges` as unordered pairs. Self-loops and duplicate
+  /// edges are rejected.
+  MmDomain(ProcId n, const std::vector<std::pair<ProcId, ProcId>>& edges);
+
+  /// The 5-process example of the paper's Figure 2:
+  /// edges {p1p2, p2p3, p3p4, p3p5, p4p5} (1-based), giving
+  /// S1={p1,p2}, S2={p1,p2,p3}, S3={p2,p3,p4,p5}, S4={p3,p4,p5},
+  /// S5={p3,p4,p5}. 0-based internally.
+  static MmDomain fig2();
+
+  [[nodiscard]] ProcId n() const { return n_; }
+
+  /// Degree α_i of process i in G.
+  [[nodiscard]] ProcId degree(ProcId i) const;
+
+  /// Neighbors of i, ascending.
+  [[nodiscard]] const std::vector<ProcId>& neighbors(ProcId i) const;
+
+  /// S_i = {i} ∪ N(i): the processes sharing p_i's memory.
+  [[nodiscard]] std::vector<ProcId> domain_of(ProcId i) const;
+
+  /// S_i as a bitset.
+  [[nodiscard]] DynamicBitset domain_set(ProcId i) const;
+
+  /// True iff (i, j) ∈ E.
+  [[nodiscard]] bool adjacent(ProcId i, ProcId j) const;
+
+  /// "S0={0,1} S1={0,1,2} ..." — matches the appendix's presentation.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ProcId n_;
+  std::vector<std::vector<ProcId>> adj_;
+};
+
+}  // namespace hyco

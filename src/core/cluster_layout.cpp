@@ -1,0 +1,139 @@
+#include "core/cluster_layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+ClusterLayout::ClusterLayout(std::vector<std::vector<ProcId>> clusters)
+    : clusters_(std::move(clusters)) {
+  HYCO_CHECK_MSG(!clusters_.empty(), "layout needs at least one cluster");
+  ProcId count = 0;
+  for (auto& c : clusters_) {
+    HYCO_CHECK_MSG(!c.empty(), "clusters must be non-empty");
+    std::sort(c.begin(), c.end());
+    count += static_cast<ProcId>(c.size());
+  }
+  n_ = count;
+  cluster_of_.assign(static_cast<std::size_t>(n_), -1);
+  for (ClusterId x = 0; x < m(); ++x) {
+    for (const ProcId p : clusters_[static_cast<std::size_t>(x)]) {
+      HYCO_CHECK_MSG(p >= 0 && p < n_, "process id " << p << " out of range");
+      HYCO_CHECK_MSG(cluster_of_[static_cast<std::size_t>(p)] == -1,
+                     "process " << p << " appears in two clusters");
+      cluster_of_[static_cast<std::size_t>(p)] = x;
+    }
+  }
+  // Partition: every id in [0, n) covered exactly once (pigeonhole: n ids,
+  // n slots, no duplicates — already guaranteed by the two checks above).
+  member_sets_.reserve(clusters_.size());
+  for (const auto& c : clusters_) {
+    DynamicBitset set(static_cast<std::size_t>(n_));
+    for (const ProcId p : c) set.set(static_cast<std::size_t>(p));
+    member_sets_.push_back(std::move(set));
+  }
+}
+
+ClusterLayout ClusterLayout::singletons(ProcId n) {
+  HYCO_CHECK_MSG(n >= 1, "need at least one process");
+  std::vector<std::vector<ProcId>> cs;
+  cs.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) cs.push_back({p});
+  return ClusterLayout(std::move(cs));
+}
+
+ClusterLayout ClusterLayout::single(ProcId n) {
+  HYCO_CHECK_MSG(n >= 1, "need at least one process");
+  std::vector<ProcId> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  return ClusterLayout({std::move(all)});
+}
+
+ClusterLayout ClusterLayout::from_sizes(const std::vector<ProcId>& sizes) {
+  std::vector<std::vector<ProcId>> cs;
+  cs.reserve(sizes.size());
+  ProcId next = 0;
+  for (const ProcId s : sizes) {
+    HYCO_CHECK_MSG(s >= 1, "cluster sizes must be positive");
+    std::vector<ProcId> c(static_cast<std::size_t>(s));
+    std::iota(c.begin(), c.end(), next);
+    next += s;
+    cs.push_back(std::move(c));
+  }
+  return ClusterLayout(std::move(cs));
+}
+
+ClusterLayout ClusterLayout::even(ProcId n, ClusterId m) {
+  HYCO_CHECK_MSG(m >= 1 && m <= n, "need 1 <= m <= n (got m=" << m
+                                                              << ", n=" << n << ")");
+  std::vector<ProcId> sizes(static_cast<std::size_t>(m),
+                            n / static_cast<ProcId>(m));
+  for (ClusterId i = 0; i < n % m; ++i) ++sizes[static_cast<std::size_t>(i)];
+  return from_sizes(sizes);
+}
+
+ClusterLayout ClusterLayout::fig1_left() { return from_sizes({2, 3, 2}); }
+
+ClusterLayout ClusterLayout::fig1_right() { return from_sizes({1, 4, 2}); }
+
+ClusterId ClusterLayout::cluster_of(ProcId p) const {
+  HYCO_CHECK_MSG(p >= 0 && p < n_, "cluster_of(" << p << ") out of range");
+  return cluster_of_[static_cast<std::size_t>(p)];
+}
+
+const std::vector<ProcId>& ClusterLayout::members(ClusterId x) const {
+  HYCO_CHECK_MSG(x >= 0 && x < m(), "cluster " << x << " out of range");
+  return clusters_[static_cast<std::size_t>(x)];
+}
+
+ProcId ClusterLayout::cluster_size(ClusterId x) const {
+  return static_cast<ProcId>(members(x).size());
+}
+
+const DynamicBitset& ClusterLayout::member_set(ClusterId x) const {
+  HYCO_CHECK_MSG(x >= 0 && x < m(), "cluster " << x << " out of range");
+  return member_sets_[static_cast<std::size_t>(x)];
+}
+
+bool ClusterLayout::has_majority_cluster() const {
+  for (ClusterId x = 0; x < m(); ++x) {
+    if (2 * cluster_size(x) > n_) return true;
+  }
+  return false;
+}
+
+ProcId ClusterLayout::live_coverage(const DynamicBitset& live) const {
+  HYCO_CHECK_MSG(live.size() == static_cast<std::size_t>(n_),
+                 "live set universe mismatch");
+  ProcId covered = 0;
+  for (ClusterId x = 0; x < m(); ++x) {
+    if (member_sets_[static_cast<std::size_t>(x)].intersects(live)) {
+      covered += cluster_size(x);
+    }
+  }
+  return covered;
+}
+
+bool ClusterLayout::covering_set_alive(const DynamicBitset& live) const {
+  return 2 * live_coverage(live) > n_;
+}
+
+std::string ClusterLayout::to_string() const {
+  std::ostringstream os;
+  for (ClusterId x = 0; x < m(); ++x) {
+    if (x) os << ',';
+    os << '{';
+    const auto& c = members(x);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i) os << ',';
+      os << c[i];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace hyco

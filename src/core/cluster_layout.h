@@ -1,0 +1,85 @@
+// Cluster-based partition of the process set (Section II-A).
+//
+// The n processes are partitioned into m non-empty clusters P[0..m-1]; every
+// process knows m and the composition of each cluster, and cluster(i)
+// returns the cluster of p_i. The two extreme configurations are the
+// classical models: m == 1 is pure shared memory, m == n is pure message
+// passing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// Immutable, validated partition of {0, ..., n-1} into m clusters.
+class ClusterLayout {
+ public:
+  /// Builds a layout from explicit member lists. Throws ContractViolation if
+  /// the lists are not a partition of a contiguous 0-based process range or
+  /// any cluster is empty.
+  explicit ClusterLayout(std::vector<std::vector<ProcId>> clusters);
+
+  /// m == n: one process per cluster — the pure message-passing model.
+  static ClusterLayout singletons(ProcId n);
+
+  /// m == 1: all processes in one cluster — the pure shared-memory model.
+  static ClusterLayout single(ProcId n);
+
+  /// Contiguous clusters with the given sizes (must sum to n > 0).
+  static ClusterLayout from_sizes(const std::vector<ProcId>& sizes);
+
+  /// m near-equal contiguous clusters over n processes (n >= m >= 1).
+  static ClusterLayout even(ProcId n, ClusterId m);
+
+  /// The left decomposition of the paper's Figure 1: n = 7, m = 3 with
+  /// sizes {2, 3, 2}. (The figure does not label its left split; the sizes
+  /// here are the conventional reading and are documented in DESIGN.md.)
+  static ClusterLayout fig1_left();
+
+  /// The right decomposition of Figure 1: n = 7, m = 3 with P[1] = {p1},
+  /// P[2] = {p2..p5} (a majority cluster, cited in the paper's conclusion),
+  /// P[3] = {p6, p7}. 0-based: {0}, {1,2,3,4}, {5,6}.
+  static ClusterLayout fig1_right();
+
+  [[nodiscard]] ProcId n() const { return n_; }
+  [[nodiscard]] ClusterId m() const {
+    return static_cast<ClusterId>(clusters_.size());
+  }
+
+  /// The paper's cluster(i): the cluster id of process p.
+  [[nodiscard]] ClusterId cluster_of(ProcId p) const;
+
+  /// Members of cluster x, ascending.
+  [[nodiscard]] const std::vector<ProcId>& members(ClusterId x) const;
+
+  [[nodiscard]] ProcId cluster_size(ClusterId x) const;
+
+  /// Members of cluster x as a bitset over processes.
+  [[nodiscard]] const DynamicBitset& member_set(ClusterId x) const;
+
+  /// True iff some cluster alone contains a majority (> n/2) of processes.
+  [[nodiscard]] bool has_majority_cluster() const;
+
+  /// Total size of all clusters that contain at least one live process —
+  /// the "one for all" coverage: a cluster with any survivor counts whole.
+  [[nodiscard]] ProcId live_coverage(const DynamicBitset& live) const;
+
+  /// True iff the live set keeps >= 1 process in a set of clusters whose
+  /// total size exceeds n/2 — the paper's termination condition.
+  [[nodiscard]] bool covering_set_alive(const DynamicBitset& live) const;
+
+  /// "{0,1},{2,3,4},{5,6}" — for logs and table labels.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ProcId n_ = 0;
+  std::vector<std::vector<ProcId>> clusters_;
+  std::vector<ClusterId> cluster_of_;
+  std::vector<DynamicBitset> member_sets_;
+};
+
+}  // namespace hyco

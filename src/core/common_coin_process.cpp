@@ -1,0 +1,68 @@
+#include "core/common_coin_process.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+CommonCoinProcess::CommonCoinProcess(ProcId self, const ClusterLayout& layout,
+                                     INetwork& net, ClusterMemory& memory,
+                                     ICommonCoin& coin,
+                                     InvariantChecker* checker,
+                                     Round max_rounds)
+    : ProcessBase(self, layout, net, checker, max_rounds),
+      memory_(memory),
+      coin_(coin) {
+  HYCO_CHECK_MSG(memory.cluster() == layout.cluster_of(self),
+                 "p" << self << " wired to MEM_" << memory.cluster()
+                     << " but belongs to P[" << layout.cluster_of(self)
+                     << ']');
+}
+
+void CommonCoinProcess::enter_round() {
+  if (round_ == 0) est_ = proposal_;  // line 1: est ← v_i
+  if (maybe_park()) return;
+  ++round_;
+  ++stats_.rounds_entered;
+  HYCO_CHECK_MSG(is_binary(est_), "entering round with est=⊥ on p" << self_);
+  // Line 4: locally agree on est inside the cluster (single-phase array).
+  ++stats_.cons_invocations;
+  est_ = memory_.cons(round_).propose(self_, est_);
+  if (checker_ != nullptr) checker_->on_est1(self_, round_, est_);
+  // Line 5: exchange among all clusters; the simplified pattern uses
+  // (a, b) = (0, 1), i.e. Phase::One semantics.
+  begin_exchange(round_, Phase::One, est_);
+}
+
+void CommonCoinProcess::on_exchange_progress() {
+  while (!decided() && !parked() && exch_.active() && exch_.satisfied()) {
+    complete_round();
+  }
+}
+
+void CommonCoinProcess::complete_round() {
+  // Line 6: the round's common bit (same for every process).
+  ++stats_.coin_flips;
+  const int s = coin_.bit(round_);
+
+  // Line 7: is some estimate supported by a majority (cluster closure)?
+  Estimate v = Estimate::Bot;
+  for (const Estimate cand : {Estimate::Zero, Estimate::One}) {
+    if (2 * exch_.support(cand) > layout_.n()) {
+      v = cand;
+      break;
+    }
+  }
+
+  if (is_binary(v)) {
+    est_ = v;  // line 8
+    if (estimate_to_bit(v) == s) {
+      decide(v);  // line 9: broadcast DECIDE(v); return v
+      return;
+    }
+  } else {
+    est_ = estimate_from_bit(s);  // line 10
+  }
+  enter_round();
+}
+
+}  // namespace hyco

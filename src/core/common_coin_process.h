@@ -1,0 +1,47 @@
+// Algorithm 3 — common-coin binary consensus for the hybrid communication
+// model (the paper's extension of the crash-failure version of the
+// Friedman–Mostéfaoui–Raynal Byzantine consensus, per Raynal 2018).
+//
+// Per round r (a single phase):
+//   est ← CONS_x[r].propose(est)            (cluster-local agree, line 4)
+//   msg_exchange(r, est)                     (Alg. 1 with (a,b) = (0,1))
+//   s  ← common_coin()                       (the round's common bit, line 6)
+//   if some v has |supporters[v]| > n/2:     (lines 7-9)
+//       est ← v;  if s == v: broadcast DECIDE(v); return v
+//   else est ← s                             (line 10)
+//
+// Expected termination: once all live processes hold the same estimate v,
+// each further round decides with probability 1/2 (coin matches v), so the
+// expected number of additional rounds is 2, independent of n — the claim
+// measured by experiment T-ROUNDS.
+#pragma once
+
+#include "coin/coin.h"
+#include "core/process_base.h"
+#include "shm/cluster_memory.h"
+
+namespace hyco {
+
+/// One process of Algorithm 3.
+class CommonCoinProcess final : public ProcessBase {
+ public:
+  /// `coin` is shared by all processes of the run (it is the common coin).
+  CommonCoinProcess(ProcId self, const ClusterLayout& layout, INetwork& net,
+                    ClusterMemory& memory, ICommonCoin& coin,
+                    InvariantChecker* checker, Round max_rounds);
+
+  [[nodiscard]] Estimate est() const { return est_; }
+
+ protected:
+  void enter_round() override;
+  void on_exchange_progress() override;
+
+ private:
+  void complete_round();
+
+  ClusterMemory& memory_;
+  ICommonCoin& coin_;
+  Estimate est_ = Estimate::Bot;
+};
+
+}  // namespace hyco

@@ -1,0 +1,42 @@
+// Uniform surface of every binary-consensus process implementation (the two
+// hybrid algorithms, the pure message-passing Ben-Or baseline, and the m&m
+// comparator), so the simulation runner can drive them interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/types.h"
+#include "net/message.h"
+
+namespace hyco {
+
+/// Per-process instrumentation shared by all algorithm implementations.
+struct ProcessStats {
+  std::uint64_t cons_invocations = 0;   ///< consensus-object proposals
+  std::uint64_t coin_flips = 0;         ///< local or common coin consultations
+  std::uint64_t phase_msgs_handled = 0; ///< PHASE messages credited
+  Round rounds_entered = 0;
+};
+
+/// Event-driven binary consensus participant.
+class IConsensusProcess {
+ public:
+  virtual ~IConsensusProcess() = default;
+
+  /// The paper's propose(v): records the proposal and enters round 1.
+  virtual void start(Estimate proposal) = 0;
+
+  /// Delivery hook for every message addressed to this process.
+  virtual void on_message(ProcId from, const Message& m) = 0;
+
+  [[nodiscard]] virtual bool decided() const = 0;
+  [[nodiscard]] virtual std::optional<Estimate> decision() const = 0;
+  [[nodiscard]] virtual Round decision_round() const = 0;
+  [[nodiscard]] virtual Round current_round() const = 0;
+  /// True once the process hit its max-round cap and stopped advancing.
+  [[nodiscard]] virtual bool parked() const = 0;
+  [[nodiscard]] virtual const ProcessStats& stats() const = 0;
+};
+
+}  // namespace hyco

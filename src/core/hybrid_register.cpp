@@ -1,0 +1,134 @@
+#include "core/hybrid_register.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+RegisterProcess::RegisterProcess(ProcId self, const ClusterLayout& layout,
+                                 INetwork& net,
+                                 ClusterRegState& cluster_state)
+    : self_(self),
+      layout_(layout),
+      net_(net),
+      cluster_state_(cluster_state),
+      // Disjoint op-id spaces per process so concurrent ops never collide.
+      next_op_id_(self) {}
+
+bool RegisterProcess::coverage_met(const DynamicBitset& clusters) const {
+  ProcId covered = 0;
+  for (const auto x : clusters.to_indices()) {
+    covered += layout_.cluster_size(static_cast<ClusterId>(x));
+  }
+  return 2 * covered > layout_.n();
+}
+
+void RegisterProcess::write(std::uint64_t v, OpCallback done) {
+  HYCO_CHECK_MSG(!op_.has_value(), "operation already in flight on p" << self_);
+  PendingOp op{OpKind::Write, Stage::Query, next_op_id_, v, {},
+               DynamicBitset(static_cast<std::size_t>(layout_.m())),
+               std::move(done)};
+  next_op_id_ += 2 * layout_.n();
+  op_ = std::move(op);
+  begin_stage();
+}
+
+void RegisterProcess::read(OpCallback done) {
+  HYCO_CHECK_MSG(!op_.has_value(), "operation already in flight on p" << self_);
+  PendingOp op{OpKind::Read, Stage::Query, next_op_id_, 0, {},
+               DynamicBitset(static_cast<std::size_t>(layout_.m())),
+               std::move(done)};
+  next_op_id_ += 2 * layout_.n();
+  op_ = std::move(op);
+  begin_stage();
+}
+
+void RegisterProcess::begin_stage() {
+  PendingOp& op = *op_;
+  op.clusters_heard.clear_all();
+  if (op.stage == Stage::Query) {
+    Message q;
+    q.kind = MsgKind::RegQuery;
+    q.instance = op.id;
+    net_.broadcast(self_, q);
+  } else {
+    Message s;
+    s.kind = MsgKind::RegStore;
+    s.instance = op.id;
+    s.round = static_cast<Round>(op.best.ts.seq);
+    s.origin = op.best.ts.writer;
+    s.value = op.best.value;
+    net_.broadcast(self_, s);
+  }
+}
+
+void RegisterProcess::on_message(ProcId from, const Message& m) {
+  switch (m.kind) {
+    case MsgKind::RegQuery: {
+      // Serve on behalf of the whole cluster: answer with the CLUSTER's
+      // latest record (one for all).
+      const RegRecord& rec = cluster_state_.latest();
+      Message ack;
+      ack.kind = MsgKind::RegAck;
+      ack.instance = m.instance;
+      ack.round = static_cast<Round>(rec.ts.seq);
+      ack.origin = rec.ts.writer;
+      ack.value = rec.value;
+      net_.send(self_, from, ack);
+      return;
+    }
+    case MsgKind::RegStore: {
+      // Install into the cluster's shared record, then ack.
+      cluster_state_.update_if_newer(
+          RegTimestamp{m.round, m.origin}, m.value);
+      Message ack;
+      ack.kind = MsgKind::RegAck;
+      ack.instance = m.instance;
+      ack.round = m.round;
+      ack.origin = m.origin;
+      ack.value = m.value;
+      net_.send(self_, from, ack);
+      return;
+    }
+    case MsgKind::RegAck:
+      handle_ack(from, m);
+      return;
+    default:
+      return;  // consensus traffic on a shared network: not ours
+  }
+}
+
+void RegisterProcess::handle_ack(ProcId from, const Message& m) {
+  if (!op_.has_value() || m.instance != op_->id) return;  // stale ack
+  PendingOp& op = *op_;
+
+  if (op.stage == Stage::Query) {
+    const RegTimestamp ts{m.round, m.origin};
+    if (op.best.ts < ts) op.best = RegRecord{ts, m.value};
+  }
+  op.clusters_heard.set(
+      static_cast<std::size_t>(layout_.cluster_of(from)));
+  if (!coverage_met(op.clusters_heard)) return;
+
+  if (op.stage == Stage::Query) {
+    // Query stage complete: fix the record to store, then store it.
+    if (op.kind == OpKind::Write) {
+      op.best = RegRecord{RegTimestamp{op.best.ts.seq + 1, self_},
+                          op.write_value};
+    }
+    // Reads write back the max record they saw (new-old inversion guard).
+    op.stage = Stage::Store;
+    op.id += 1;  // sub-id for the second stage; op ids advance by 2n per
+                 // operation, so +0/+1 stage ids never collide across ops
+    begin_stage();
+    return;
+  }
+
+  // Store stage complete: the operation is linearized.
+  const RegRecord result = op.best;
+  OpCallback done = std::move(op.done);
+  ++completed_;
+  op_.reset();
+  if (done) done(self_, result.value, result.ts);
+}
+
+}  // namespace hyco

@@ -1,0 +1,131 @@
+// A multi-writer multi-reader atomic register emulated over the hybrid
+// communication model — the "one for all" idea applied to registers (the
+// problem studied for this model in Imbs & Raynal 2013, the paper's
+// reference [16], and suggested by the paper's conclusion as a direction:
+// other distributed computing problems on the same substrate).
+//
+// Construction (ABD-style, with cluster-closure quorums):
+//  * each CLUSTER keeps one shared (timestamp, value) record — any member
+//    that serves a query reads/updates the record in its cluster's shared
+//    memory, so a single live member answers for the whole cluster;
+//  * a quorum is any set of clusters covering > n/2 processes with one
+//    live responder each. Two covering sets always share a cluster
+//    (clusters partition the processes), and the shared record makes the
+//    intersection effective even if the exact member that served the first
+//    operation has crashed since — one for all, all for one;
+//  * write(v): query round (collect cluster-latest timestamps, coverage
+//    > n/2), pick ts = (max_seq + 1, writer), then store round (coverage
+//    > n/2); read(): query round picks the max (ts, v), then writes it
+//    back before returning (the classic "readers must write" rule).
+//
+// Liveness condition is the same as consensus: a covering set of clusters
+// with >= 1 live process each. Unlike consensus, no randomization is
+// needed — registers are emulatable deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/types.h"
+#include "net/network.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// Logical write timestamp: totally ordered, unique per (seq, writer).
+struct RegTimestamp {
+  std::int64_t seq = 0;
+  ProcId writer = -1;
+
+  friend bool operator<(const RegTimestamp& a, const RegTimestamp& b) {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.writer < b.writer;
+  }
+  bool operator==(const RegTimestamp&) const = default;
+};
+
+/// The (ts, value) record one cluster keeps in its shared memory.
+struct RegRecord {
+  RegTimestamp ts;
+  std::uint64_t value = 0;
+};
+
+/// Shared per-cluster register state. In the discrete-event simulator every
+/// access runs inside one atomic event, modeling the cluster's atomic
+/// shared memory.
+class ClusterRegState {
+ public:
+  /// Installs (ts, v) if newer than the current record.
+  void update_if_newer(const RegTimestamp& ts, std::uint64_t v) {
+    if (latest_.ts < ts) latest_ = RegRecord{ts, v};
+  }
+  [[nodiscard]] const RegRecord& latest() const { return latest_; }
+
+ private:
+  RegRecord latest_;  // initial value: ts (0,-1), value 0
+};
+
+/// One process of the register emulation: issues client operations
+/// (write/read) and serves queries/stores for everyone else.
+class RegisterProcess {
+ public:
+  /// Called when an operation completes. For reads, `value` is the result;
+  /// for writes it echoes the written value. `ts` is the operation's
+  /// linearization timestamp.
+  using OpCallback =
+      std::function<void(ProcId self, std::uint64_t value, RegTimestamp ts)>;
+
+  /// `cluster_state` must be the shared record of this process's cluster.
+  RegisterProcess(ProcId self, const ClusterLayout& layout, INetwork& net,
+                  ClusterRegState& cluster_state);
+
+  RegisterProcess(const RegisterProcess&) = delete;
+  RegisterProcess& operator=(const RegisterProcess&) = delete;
+
+  /// Starts a write of `v`; `done` fires when the write is linearized.
+  /// At most one operation may be in flight per process.
+  void write(std::uint64_t v, OpCallback done);
+
+  /// Starts a read; `done` fires with the read value.
+  void read(OpCallback done);
+
+  /// Runtime delivery hook.
+  void on_message(ProcId from, const Message& m);
+
+  [[nodiscard]] bool op_in_flight() const { return op_.has_value(); }
+
+  /// Operations completed by this process (for harness bookkeeping).
+  [[nodiscard]] std::uint64_t ops_completed() const { return completed_; }
+
+ private:
+  enum class OpKind { Write, Read };
+  enum class Stage { Query, Store };
+
+  struct PendingOp {
+    OpKind kind;
+    Stage stage = Stage::Query;
+    InstanceId id = 0;
+    std::uint64_t write_value = 0;  // writes
+    RegRecord best;                 // max record seen in the query stage
+    DynamicBitset clusters_heard;   // cluster closure of acks
+    OpCallback done;
+  };
+
+  void begin_stage();
+  [[nodiscard]] bool coverage_met(const DynamicBitset& clusters) const;
+  void handle_ack(ProcId from, const Message& m);
+
+  ProcId self_;
+  const ClusterLayout& layout_;
+  INetwork& net_;
+  ClusterRegState& cluster_state_;
+  InstanceId next_op_id_;
+  std::optional<PendingOp> op_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace hyco

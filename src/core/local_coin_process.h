@@ -1,0 +1,54 @@
+// Algorithm 2 — local-coin binary consensus for the hybrid communication
+// model (the paper's extension of Ben-Or's 1983 randomized consensus).
+//
+// Per round r (two phases):
+//   Phase 1: est1 ← CONS_x[r,1].propose(est1)        (cluster-local agree)
+//            msg_exchange(r, 1, est1)                (all-to-all, Alg. 1)
+//            est2 ← v if |supporters[v]| > n/2 else ⊥
+//   Phase 2: est2 ← CONS_x[r,2].propose(est2)
+//            msg_exchange(r, 2, est2)
+//            rec = values received:
+//              {v}    → broadcast DECIDE(v); return v
+//              {v,⊥}  → est1 ← v
+//              {⊥}    → est1 ← local_coin()
+//
+// With singleton clusters the CONS objects are trivial and this is exactly
+// Ben-Or's algorithm (Section III-B of the paper; cross-validated against
+// the independent baseline in src/baseline/ben_or.h by the test suite).
+#pragma once
+
+#include "coin/coin.h"
+#include "core/process_base.h"
+#include "shm/cluster_memory.h"
+
+namespace hyco {
+
+/// One process of Algorithm 2. Event-driven: the runner feeds messages via
+/// on_message(); cluster-local consensus is a synchronous wait-free call
+/// into this process's ClusterMemory.
+class LocalCoinProcess final : public ProcessBase {
+ public:
+  /// `memory` must be the MEM_x of this process's cluster; `coin_seed` must
+  /// be unique per process (independence of local coins).
+  LocalCoinProcess(ProcId self, const ClusterLayout& layout, INetwork& net,
+                   ClusterMemory& memory, std::uint64_t coin_seed,
+                   InvariantChecker* checker, Round max_rounds);
+
+  /// Current estimate (est1) — exposed for tests and debugging.
+  [[nodiscard]] Estimate est1() const { return est1_; }
+
+ protected:
+  void enter_round() override;
+  void on_exchange_progress() override;
+
+ private:
+  void complete_phase1();
+  void complete_phase2();
+
+  ClusterMemory& memory_;
+  LocalCoin coin_;
+  Estimate est1_ = Estimate::Bot;
+  Estimate est2_ = Estimate::Bot;
+};
+
+}  // namespace hyco

@@ -1,0 +1,179 @@
+#include "core/multivalued.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace hyco {
+
+ClusterMemory& MemoryPool::get(InstanceId instance, ClusterId cluster) {
+  const auto key = std::make_pair(instance, cluster);
+  auto it = memories_.find(key);
+  if (it == memories_.end()) {
+    it = memories_
+             .emplace(key,
+                      std::make_unique<ClusterMemory>(cluster, n_, impl_))
+             .first;
+  }
+  return *it->second;
+}
+
+ShmOpCounts MemoryPool::total() const {
+  ShmOpCounts t;
+  for (const auto& [key, mem] : memories_) t += mem->counts();
+  return t;
+}
+
+std::uint64_t MemoryPool::objects_created() const {
+  std::uint64_t t = 0;
+  for (const auto& [key, mem] : memories_) t += mem->objects_created();
+  return t;
+}
+
+MultiValuedProcess::MultiValuedProcess(ProcId self,
+                                       const ClusterLayout& layout,
+                                       INetwork& net, MemoryPool& pool,
+                                       ICommonCoin& coin, int width,
+                                       Round max_rounds_per_bit,
+                                       InstanceId instance_base)
+    : self_(self),
+      layout_(layout),
+      net_(net),
+      pool_(pool),
+      coin_(coin),
+      width_(width),
+      max_rounds_per_bit_(max_rounds_per_bit),
+      instance_base_(instance_base),
+      base_net_(net, instance_base),
+      urb_seen_(static_cast<std::size_t>(layout.n())) {
+  HYCO_CHECK_MSG(width >= 1 && width <= 64, "width must be in [1, 64]");
+  HYCO_CHECK_MSG(instance_base >= 0, "instance base must be non-negative");
+}
+
+MultiValuedProcess::~MultiValuedProcess() = default;
+
+bool MultiValuedProcess::matches_prefix(std::uint64_t v) const {
+  if (bit_ == 0) return true;
+  return (v >> (width_ - bit_)) == prefix_;
+}
+
+std::optional<std::uint64_t> MultiValuedProcess::min_matching_candidate()
+    const {
+  for (const std::uint64_t v : candidates_) {  // std::set: ascending
+    if (matches_prefix(v)) return v;
+  }
+  return std::nullopt;
+}
+
+void MultiValuedProcess::start(std::uint64_t proposal) {
+  HYCO_CHECK_MSG(!started_, "start() called twice on p" << self_);
+  HYCO_CHECK_MSG(width_ == 64 || proposal < (std::uint64_t{1} << width_),
+                 "proposal " << proposal << " does not fit in " << width_
+                             << " bits");
+  started_ = true;
+  proposal_ = proposal;
+  // Step 1: URB our own value. Our own delivery happens when the broadcast
+  // loops back; seed the candidate set immediately so bit 0 can start.
+  candidates_.insert(proposal);
+  urb_seen_.set(static_cast<std::size_t>(self_));
+  base_net_.broadcast(self_, Message::value_msg(self_, proposal));
+  maybe_start_bit();
+}
+
+void MultiValuedProcess::urb_deliver(ProcId origin, std::uint64_t value) {
+  const auto idx = static_cast<std::size_t>(origin);
+  if (urb_seen_.test(idx)) return;
+  urb_seen_.set(idx);
+  // Relay before use: this is what makes the broadcast uniform-reliable —
+  // if any process delivers, every correct process eventually does.
+  base_net_.broadcast(self_, Message::value_msg(origin, value));
+  candidates_.insert(value);
+  if (!decided() && embedded_ == nullptr) maybe_start_bit();
+}
+
+void MultiValuedProcess::maybe_start_bit() {
+  if (decided() || !started_ || bit_ >= width_ || embedded_ != nullptr) {
+    return;
+  }
+  const auto cand = min_matching_candidate();
+  if (!cand.has_value()) return;  // wait for URB to deliver a matching value
+
+  const InstanceId inst = instance_base_ + 1 + bit_;
+  inst_net_ = std::make_unique<InstanceNetwork>(net_, inst);
+  embedded_ = std::make_unique<CommonCoinProcess>(
+      self_, layout_, *inst_net_,
+      pool_.get(inst, layout_.cluster_of(self_)), coin_,
+      /*checker=*/nullptr, max_rounds_per_bit_);
+  const int b = static_cast<int>((*cand >> (width_ - 1 - bit_)) & 1U);
+  embedded_->start(estimate_from_bit(b));
+  // Replay any messages that arrived before this instance existed (the
+  // backlog is keyed by bit index).
+  const auto it = backlog_.find(bit_);
+  if (it != backlog_.end()) {
+    for (const auto& [from, m] : it->second) {
+      embedded_->on_message(from, m);
+      if (embedded_ == nullptr || decided()) return;  // advanced inside poll
+    }
+    if (embedded_ != nullptr) poll_embedded();
+  }
+  poll_embedded();
+}
+
+void MultiValuedProcess::poll_embedded() {
+  // Advance over as many decided bits as possible (several instances may
+  // complete back-to-back out of the backlog).
+  while (!decided() && embedded_ != nullptr && embedded_->decided()) {
+    const int b = estimate_to_bit(*embedded_->decision());
+    prefix_ = (prefix_ << 1) | static_cast<std::uint64_t>(b);
+    ++bit_;
+    embedded_.reset();
+    inst_net_.reset();
+    if (bit_ == width_) {
+      decide_multi(prefix_);
+      return;
+    }
+    maybe_start_bit();  // may immediately complete from backlog again
+  }
+}
+
+void MultiValuedProcess::decide_multi(std::uint64_t value) {
+  if (decided()) return;
+  HYCO_DEBUG("p" << self_ << " multi-decides " << value);
+  base_net_.broadcast(self_, Message::multi_decide_msg(value));
+  decision_ = value;
+}
+
+void MultiValuedProcess::on_message(ProcId from, const Message& m) {
+  switch (m.kind) {
+    case MsgKind::Value:
+      if (m.instance != instance_base_) return;  // another multiplexed run's
+      // URB relaying must continue even after deciding, so that slow
+      // processes still converge on their candidate sets.
+      urb_deliver(m.origin, m.value);
+      return;
+    case MsgKind::MultiDecide:
+      if (m.instance != instance_base_) return;
+      if (!decided()) decide_multi(m.value);
+      return;
+    case MsgKind::Phase:
+    case MsgKind::Decide:
+      break;
+    default:
+      return;  // register traffic etc. — not ours
+  }
+  if (decided()) return;
+
+  // Binary traffic of bit index (instance - base - 1).
+  const InstanceId rel = m.instance - instance_base_ - 1;
+  if (rel < 0 || rel >= width_) return;  // not ours (other multiplexed runs)
+  if (rel < bit_) return;                // already decided that bit
+  if (rel > bit_ || embedded_ == nullptr) {
+    backlog_[rel].emplace_back(from, m);
+    // A DECIDE for the current bit may arrive before we can start it (no
+    // matching candidate yet): it is replayed in maybe_start_bit().
+    return;
+  }
+  embedded_->on_message(from, m);
+  poll_embedded();
+}
+
+}  // namespace hyco

@@ -1,0 +1,82 @@
+#include "core/process_base.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace hyco {
+
+ProcessBase::ProcessBase(ProcId self, const ClusterLayout& layout,
+                         INetwork& net, InvariantChecker* checker,
+                         Round max_rounds)
+    : self_(self),
+      layout_(layout),
+      net_(net),
+      checker_(checker),
+      max_rounds_(max_rounds),
+      exch_(layout, net, self) {
+  HYCO_CHECK_MSG(self >= 0 && self < layout.n(), "bad process id " << self);
+  HYCO_CHECK_MSG(max_rounds >= 1, "max_rounds must be >= 1");
+}
+
+void ProcessBase::start(Estimate proposal) {
+  HYCO_CHECK_MSG(!started_, "start() called twice on p" << self_);
+  HYCO_CHECK_MSG(is_binary(proposal), "proposals must be 0 or 1");
+  started_ = true;
+  proposal_ = proposal;
+  round_ = 0;
+  enter_round();
+  // Early messages may already satisfy the first wait (e.g. n == 1).
+  on_exchange_progress();
+}
+
+void ProcessBase::on_message(ProcId from, const Message& m) {
+  if (decided()) return;  // a decided process has returned from propose()
+
+  if (m.kind == MsgKind::Decide) {
+    // Algorithm 2 line 17 / Algorithm 3 line 13: forward, then return.
+    decide(m.est);
+    return;
+  }
+
+  // PHASE message: remember it (we may not have reached (r, ph) yet), and
+  // feed it to the active exchange if it matches.
+  backlog_[{m.round, static_cast<int>(m.phase)}].emplace_back(from, m.est);
+  if (!parked_ && started_ && exch_.active() && m.round == exch_.round() &&
+      m.phase == exch_.phase()) {
+    ++stats_.phase_msgs_handled;
+    exch_.credit(from, m.est);
+    on_exchange_progress();
+  }
+}
+
+void ProcessBase::begin_exchange(Round r, Phase ph, Estimate est) {
+  exch_.begin(r, ph, est);
+  const auto it = backlog_.find({r, static_cast<int>(ph)});
+  if (it != backlog_.end()) {
+    for (const auto& [from, v] : it->second) {
+      ++stats_.phase_msgs_handled;
+      exch_.credit(from, v);
+    }
+  }
+}
+
+void ProcessBase::decide(Estimate v) {
+  if (decided()) return;
+  HYCO_CHECK_MSG(is_binary(v), "cannot decide ⊥");
+  if (checker_ != nullptr) checker_->on_decide(self_, round_, v);
+  HYCO_DEBUG("p" << self_ << " decides " << v << " at round " << round_);
+  net_.broadcast(self_, Message::decide_msg(v));
+  decision_ = v;
+  decision_round_ = round_;
+}
+
+bool ProcessBase::maybe_park() {
+  if (round_ >= max_rounds_) {
+    parked_ = true;
+    HYCO_DEBUG("p" << self_ << " parked at round cap " << max_rounds_);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hyco

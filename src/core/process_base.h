@@ -1,0 +1,97 @@
+// Common plumbing of the round-based consensus processes: message routing,
+// buffering of early messages (asynchrony lets senders run ahead), DECIDE
+// gossip, decision bookkeeping, and a max-round parking brake used by
+// experiment harnesses (randomized termination is probability-1, not
+// bounded).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/consensus_process.h"
+#include "core/invariant_checker.h"
+#include "core/msg_exchange.h"
+#include "core/types.h"
+#include "net/network.h"
+
+namespace hyco {
+
+/// Event-driven skeleton of a round-based binary consensus process for the
+/// hybrid model. Concrete algorithms (Algorithms 2 and 3) implement
+/// enter_round() and on_exchange_progress().
+class ProcessBase : public IConsensusProcess {
+ public:
+  /// `checker` may be nullptr (no invariant recording). `max_rounds` parks
+  /// the process (stops advancing, still accepts DECIDE) when exceeded.
+  ProcessBase(ProcId self, const ClusterLayout& layout, INetwork& net,
+              InvariantChecker* checker, Round max_rounds);
+
+  ProcessBase(const ProcessBase&) = delete;
+  ProcessBase& operator=(const ProcessBase&) = delete;
+
+  /// The paper's propose(v): records the proposal and enters round 1.
+  void start(Estimate proposal) override;
+
+  /// Runtime delivery hook for every message addressed to this process.
+  void on_message(ProcId from, const Message& m) override;
+
+  [[nodiscard]] bool decided() const override {
+    return decision_.has_value();
+  }
+  [[nodiscard]] std::optional<Estimate> decision() const override {
+    return decision_;
+  }
+  [[nodiscard]] Round decision_round() const override {
+    return decision_round_;
+  }
+  [[nodiscard]] Round current_round() const override { return round_; }
+  [[nodiscard]] bool parked() const override { return parked_; }
+  [[nodiscard]] const ProcessStats& stats() const override { return stats_; }
+  [[nodiscard]] ProcId id() const { return self_; }
+
+ protected:
+  /// Advances to the next round: run the round's first cluster consensus,
+  /// begin the exchange. Implementations must honor the max-round brake via
+  /// maybe_park().
+  virtual void enter_round() = 0;
+
+  /// Called whenever the active exchange may have progressed (a message was
+  /// credited, or a new exchange just began with a non-empty backlog).
+  /// Implementations loop while the wait predicate holds.
+  virtual void on_exchange_progress() = 0;
+
+  /// Starts msg_exchange(r, ph, est) and replays buffered messages for
+  /// (r, ph).
+  void begin_exchange(Round r, Phase ph, Estimate est);
+
+  /// Decides v: notifies the checker, broadcasts DECIDE(v) (lines 12/17 of
+  /// Algorithm 2), and marks this process decided.
+  void decide(Estimate v);
+
+  /// Returns true (and parks) if the next round would exceed max_rounds.
+  bool maybe_park();
+
+  ProcId self_;
+  const ClusterLayout& layout_;
+  INetwork& net_;
+  InvariantChecker* checker_;
+  Round max_rounds_;
+  MsgExchange exch_;
+  Round round_ = 0;
+  Estimate proposal_ = Estimate::Bot;  ///< the value passed to start()
+  ProcessStats stats_;
+
+ private:
+  using BacklogKey = std::pair<Round, int>;
+  std::map<BacklogKey, std::vector<std::pair<ProcId, Estimate>>> backlog_;
+  std::optional<Estimate> decision_;
+  Round decision_round_ = 0;
+  bool parked_ = false;
+  bool started_ = false;
+};
+
+}  // namespace hyco

@@ -1,0 +1,215 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "baseline/ben_or.h"
+#include "coin/coin.h"
+#include "core/common_coin_process.h"
+#include "core/invariant_checker.h"
+#include "core/local_coin_process.h"
+#include "shm/cluster_memory.h"
+#include "sim/trace.h"
+#include "util/assert.h"
+
+namespace hyco {
+
+const char* to_cstring(Algorithm a) {
+  switch (a) {
+    case Algorithm::HybridLocalCoin: return "hybrid-LC";
+    case Algorithm::HybridCommonCoin: return "hybrid-CC";
+    case Algorithm::BenOr: return "ben-or";
+  }
+  return "?";
+}
+
+std::vector<Estimate> split_inputs(ProcId n) {
+  std::vector<Estimate> in(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    in[static_cast<std::size_t>(p)] = estimate_from_bit(p % 2);
+  }
+  return in;
+}
+
+std::vector<Estimate> uniform_inputs(ProcId n, Estimate v) {
+  HYCO_CHECK(is_binary(v));
+  return std::vector<Estimate>(static_cast<std::size_t>(n), v);
+}
+
+RunResult run_consensus(const RunConfig& cfg) {
+  const ProcId n = cfg.layout.n();
+  const std::vector<Estimate> inputs =
+      cfg.inputs.empty() ? split_inputs(n) : cfg.inputs;
+  HYCO_CHECK_MSG(inputs.size() == static_cast<std::size_t>(n),
+                 "inputs size " << inputs.size() << " != n " << n);
+
+  Simulator sim(cfg.seed);
+  CrashPlan plan = cfg.crashes;
+  if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
+  HYCO_CHECK_MSG(plan.specs.size() == static_cast<std::size_t>(n),
+                 "crash plan size mismatch");
+  CrashTracker tracker(static_cast<std::size_t>(n));
+
+  std::unique_ptr<DelayModel> delays =
+      cfg.delay_factory ? cfg.delay_factory() : make_delay_model(cfg.delays);
+
+  Trace trace;
+  trace.enable(cfg.enable_trace);
+  SimNetwork net(sim, *delays, tracker, n, &plan, &trace);
+
+  InvariantChecker checker(cfg.layout);
+  checker.set_inputs(inputs);
+
+  // Cluster memories (hybrid algorithms only touch their own cluster's).
+  std::vector<std::unique_ptr<ClusterMemory>> memories;
+  if (cfg.alg != Algorithm::BenOr) {
+    memories.reserve(static_cast<std::size_t>(cfg.layout.m()));
+    for (ClusterId x = 0; x < cfg.layout.m(); ++x) {
+      memories.push_back(
+          std::make_unique<ClusterMemory>(x, n, cfg.shm_impl));
+    }
+  }
+
+  // The common coin (Algorithm 3). BiasedCommonCoin models an imperfect
+  // coin for the T-ADV ablation.
+  std::unique_ptr<ICommonCoin> common_coin;
+  if (cfg.alg == Algorithm::HybridCommonCoin) {
+    const std::uint64_t coin_seed = mix64(cfg.seed, 0xC01C01);
+    if (cfg.coin_epsilon > 0.0) {
+      common_coin = std::make_unique<BiasedCommonCoin>(
+          coin_seed, cfg.coin_epsilon,
+          [bit = cfg.adversary_bit](Round) { return bit; });
+    } else {
+      common_coin = std::make_unique<CommonCoin>(coin_seed);
+    }
+  }
+
+  std::vector<std::unique_ptr<IConsensusProcess>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    const std::uint64_t coin_seed = mix64(cfg.seed, 0x10CA1 + static_cast<std::uint64_t>(p));
+    switch (cfg.alg) {
+      case Algorithm::HybridLocalCoin: {
+        auto& mem = *memories[static_cast<std::size_t>(
+            cfg.layout.cluster_of(p))];
+        procs.push_back(std::make_unique<LocalCoinProcess>(
+            p, cfg.layout, net, mem, coin_seed, &checker, cfg.max_rounds));
+        break;
+      }
+      case Algorithm::HybridCommonCoin: {
+        auto& mem = *memories[static_cast<std::size_t>(
+            cfg.layout.cluster_of(p))];
+        procs.push_back(std::make_unique<CommonCoinProcess>(
+            p, cfg.layout, net, mem, *common_coin, &checker,
+            cfg.max_rounds));
+        break;
+      }
+      case Algorithm::BenOr:
+        procs.push_back(std::make_unique<BenOrProcess>(
+            p, n, net, coin_seed, cfg.max_rounds));
+        break;
+    }
+  }
+
+  RunResult result;
+  result.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+  result.decision_rounds.assign(static_cast<std::size_t>(n), 0);
+
+  // Deliveries run through here; newly-made decisions are timestamped.
+  net.set_deliver([&](ProcId to, ProcId from, const Message& m) {
+    auto& proc = *procs[static_cast<std::size_t>(to)];
+    const bool was_decided = proc.decided();
+    proc.on_message(from, m);
+    if (!was_decided && proc.decided()) {
+      result.last_decision_time = sim.now();
+    }
+  });
+
+  // Scripted AtTime crashes.
+  for (ProcId p = 0; p < n; ++p) {
+    const CrashSpec& spec = plan.specs[static_cast<std::size_t>(p)];
+    if (spec.kind == CrashSpec::Kind::AtTime) {
+      if (spec.time <= 0) {
+        tracker.crash(p, 0);  // initially dead
+      } else {
+        sim.schedule_at(spec.time, [&tracker, p, t = spec.time] {
+          tracker.crash(p, t);
+        });
+      }
+    }
+  }
+
+  // Every live process invokes propose(v_p) at its own start time.
+  Rng start_rng(mix64(cfg.seed, 0x57A7));
+  for (ProcId p = 0; p < n; ++p) {
+    const SimTime at =
+        cfg.start_jitter > 0 ? start_rng.uniform(0, cfg.start_jitter) : 0;
+    sim.schedule_at(at, [&, p] {
+      if (tracker.is_crashed(p)) return;
+      procs[static_cast<std::size_t>(p)]->start(
+          inputs[static_cast<std::size_t>(p)]);
+    });
+  }
+
+  result.stop = sim.run(cfg.max_events);
+  result.end_time = sim.now();
+  result.events = sim.events_executed();
+  result.crashed = tracker.crashed_count();
+
+  // Harvest per-process outcomes.
+  bool all_correct_decided = true;
+  for (ProcId p = 0; p < n; ++p) {
+    const auto& proc = *procs[static_cast<std::size_t>(p)];
+    const auto idx = static_cast<std::size_t>(p);
+    result.proc_stats.push_back(proc.stats());
+    result.max_round = std::max(result.max_round, proc.current_round());
+    if (proc.decided()) {
+      result.decisions[idx] = proc.decision();
+      result.decision_rounds[idx] = proc.decision_round();
+      result.max_decision_round =
+          std::max(result.max_decision_round, proc.decision_round());
+      if (!result.decided_value.has_value()) {
+        result.decided_value = proc.decision();
+      } else if (*result.decided_value != *proc.decision()) {
+        result.agreement_ok = false;
+        std::ostringstream os;
+        os << "AGREEMENT violated: p" << p << " decided " << *proc.decision()
+           << " vs earlier " << *result.decided_value;
+        result.violations.push_back(os.str());
+      }
+    } else if (!tracker.is_crashed(p)) {
+      all_correct_decided = false;
+    }
+  }
+  result.all_correct_decided = all_correct_decided;
+
+  if (result.decided_value.has_value()) {
+    const bool proposed = std::find(inputs.begin(), inputs.end(),
+                                    *result.decided_value) != inputs.end();
+    if (!proposed) {
+      result.validity_ok = false;
+      result.violations.push_back("VALIDITY violated: decided value "
+                                  "was never proposed");
+    }
+  }
+
+  if (!checker.ok()) {
+    result.invariants_ok = false;
+    for (const auto& v : checker.violations()) result.violations.push_back(v);
+  }
+
+  for (const auto& mem : memories) {
+    result.shm += mem->counts();
+    result.consensus_objects += mem->objects_created();
+  }
+  result.net = net.stats();
+
+  if (cfg.enable_trace) {
+    std::ostringstream os;
+    trace.dump(os);
+    result.trace_dump = os.str();
+  }
+  return result;
+}
+
+}  // namespace hyco

@@ -1,0 +1,120 @@
+// One-call simulation driver: builds the simulator, network, cluster
+// memories, coins and processes for a configuration, runs to quiescence (or
+// a limit), and returns decisions plus full instrumentation. Every test,
+// example, and experiment harness goes through run_consensus().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/consensus_process.h"
+#include "core/types.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "shm/consensus_object.h"
+#include "shm/op_counts.h"
+#include "sim/crash.h"
+#include "sim/simulator.h"
+
+namespace hyco {
+
+/// Which consensus algorithm a run executes.
+enum class Algorithm {
+  HybridLocalCoin,   ///< the paper's Algorithm 2
+  HybridCommonCoin,  ///< the paper's Algorithm 3
+  BenOr,             ///< pure message-passing baseline (uses layout.n() only)
+};
+
+const char* to_cstring(Algorithm a);
+
+/// Plain-data description of one simulation run.
+struct RunConfig {
+  explicit RunConfig(ClusterLayout l) : layout(std::move(l)) {}
+
+  ClusterLayout layout;
+  Algorithm alg = Algorithm::HybridLocalCoin;
+
+  /// Proposals, one per process (binary). Empty = all processes propose 0/1
+  /// alternating by index (a split input).
+  std::vector<Estimate> inputs;
+
+  std::uint64_t seed = 1;
+  DelayConfig delays = DelayConfig::uniform(50, 150);
+
+  /// Optional override: build a custom delay model (e.g. adversarial); when
+  /// set, `delays` is ignored.
+  std::function<std::unique_ptr<DelayModel>()> delay_factory;
+
+  CrashPlan crashes;  ///< empty specs = nobody crashes
+
+  Round max_rounds = 5000;          ///< parking brake for unlucky coin runs
+  std::uint64_t max_events = 200'000'000;
+  ConsensusImpl shm_impl = ConsensusImpl::Cas;
+
+  /// Processes invoke propose() at an independent random time in
+  /// [0, start_jitter] — asynchronous processes run at their own speed.
+  /// Without jitter the lowest-index member of every cluster always wins
+  /// the round-1 cluster consensus (a determinism artifact).
+  SimTime start_jitter = 50;
+
+  /// Common-coin imperfection (Algorithm 3 only): probability that a round's
+  /// coin is adversary-chosen. 0 = perfect coin.
+  double coin_epsilon = 0.0;
+  /// The bit the adversary substitutes when the coin is corrupted.
+  int adversary_bit = 0;
+
+  bool enable_trace = false;
+};
+
+/// Everything observable about a finished run.
+struct RunResult {
+  std::vector<std::optional<Estimate>> decisions;  ///< per process
+  std::vector<Round> decision_rounds;              ///< 0 if undecided
+  std::vector<ProcessStats> proc_stats;
+
+  std::optional<Estimate> decided_value;  ///< first decision, if any
+  bool all_correct_decided = false;  ///< every never-crashed process decided
+  bool agreement_ok = true;
+  bool validity_ok = true;
+  bool invariants_ok = true;  ///< WA1/WA2/cluster-consistency (hybrid runs)
+  std::vector<std::string> violations;
+
+  Round max_round = 0;                        ///< deepest round entered
+  Round max_decision_round = 0;               ///< deepest deciding round
+  SimTime last_decision_time = kSimTimeNever;
+  SimTime end_time = 0;
+  NetStats net;
+  ShmOpCounts shm;                  ///< summed over all memories
+  std::uint64_t consensus_objects = 0;  ///< objects materialized
+  std::uint64_t events = 0;
+  StopReason stop = StopReason::Quiescent;
+  std::size_t crashed = 0;
+  std::string trace_dump;  ///< populated when cfg.enable_trace
+
+  /// all_correct_decided && agreement && validity && invariants.
+  [[nodiscard]] bool success() const {
+    return all_correct_decided && agreement_ok && validity_ok &&
+           invariants_ok;
+  }
+  /// agreement && validity && invariants (termination not required —
+  /// indulgence means safety must hold even when runs cannot finish).
+  [[nodiscard]] bool safe() const {
+    return agreement_ok && validity_ok && invariants_ok;
+  }
+};
+
+/// Builds and runs one simulation.
+RunResult run_consensus(const RunConfig& cfg);
+
+/// Helper: split input vector (process i proposes i % 2).
+std::vector<Estimate> split_inputs(ProcId n);
+
+/// Helper: every process proposes `v`.
+std::vector<Estimate> uniform_inputs(ProcId n, Estimate v);
+
+}  // namespace hyco

@@ -1,0 +1,97 @@
+// Total-order broadcast (the consensus application par excellence — state
+// machine replication) built on REPEATED multivalued consensus over the
+// hybrid model: slot s of the log is decided by the s-th multivalued
+// instance, all multiplexed over one network via disjoint instance-id
+// blocks. A third answer to the paper's closing question about "other
+// distributed computing problems" on the hybrid communication model.
+//
+// Protocol:
+//  * submit(payload): gossip the payload (TOBSUBMIT, relayed once by every
+//    receiver — uniform-reliable), add it to the local pending set;
+//  * while the pending set is non-empty, run the next slot's multivalued
+//    consensus proposing the smallest pending payload; processes with
+//    nothing pending join in with a NOOP proposal as soon as they see slot
+//    traffic (so the one-for-all quorum machinery always has its
+//    participants);
+//  * a decided payload is appended to the log (NOOPs are skipped) and
+//    removed from pending everywhere.
+//
+// Guarantees (inherited from consensus agreement per slot): all processes
+// deliver the same log prefix, every payload submitted by a correct
+// process is eventually delivered, and fault tolerance is again the
+// paper's covering-cluster-set condition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "coin/coin.h"
+#include "core/cluster_layout.h"
+#include "core/multivalued.h"
+#include "net/network.h"
+
+namespace hyco {
+
+/// One process of the total-order broadcast.
+class TobProcess {
+ public:
+  /// Payload value 0 is reserved as the NOOP filler.
+  static constexpr std::uint64_t kNoop = 0;
+
+  TobProcess(ProcId self, const ClusterLayout& layout, INetwork& net,
+             MemoryPool& pool, ICommonCoin& coin, Round max_rounds_per_bit);
+
+  TobProcess(const TobProcess&) = delete;
+  TobProcess& operator=(const TobProcess&) = delete;
+
+  /// Submits a payload for total-order delivery (must be nonzero and
+  /// unique across the run). May be called at any time, repeatedly.
+  void submit(std::uint64_t payload);
+
+  void on_message(ProcId from, const Message& m);
+
+  /// The totally ordered log delivered so far.
+  [[nodiscard]] const std::vector<std::uint64_t>& delivered() const {
+    return log_;
+  }
+  /// Payloads known but not yet delivered here.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] int current_slot() const { return slot_; }
+
+ private:
+  /// Instances reserved per slot: 1 (VALUE/MULTIDECIDE) + 64 bit instances.
+  static constexpr InstanceId kSlotStride = 65;
+  static constexpr int kWidth = 64;
+
+  [[nodiscard]] InstanceId slot_base(int slot) const {
+    return static_cast<InstanceId>(slot) * kSlotStride;
+  }
+  [[nodiscard]] int slot_of_instance(InstanceId inst) const {
+    return static_cast<int>(inst / kSlotStride);
+  }
+
+  void gossip(ProcId origin, std::uint64_t payload);
+  void maybe_start_slot(bool saw_traffic);
+  void poll_slot();
+
+  ProcId self_;
+  const ClusterLayout& layout_;
+  INetwork& net_;
+  MemoryPool& pool_;
+  ICommonCoin& coin_;
+  Round max_rounds_per_bit_;
+
+  std::set<std::uint64_t> known_;      ///< every payload ever gossiped
+  std::set<std::uint64_t> pending_;    ///< known but not delivered
+  std::set<std::uint64_t> delivered_set_;
+  std::vector<std::uint64_t> log_;
+
+  int slot_ = 0;
+  std::unique_ptr<MultiValuedProcess> current_;
+  std::map<int, std::vector<std::pair<ProcId, Message>>> slot_backlog_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,101 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+SimNetwork::SimNetwork(Simulator& sim, DelayModel& delays,
+                       CrashTracker& crashes, ProcId n, const CrashPlan* plan,
+                       Trace* trace)
+    : sim_(sim),
+      delays_(delays),
+      crashes_(crashes),
+      n_(n),
+      plan_(plan),
+      trace_(trace),
+      broadcast_counts_(static_cast<std::size_t>(n), 0) {
+  HYCO_CHECK_MSG(n > 0, "network needs at least one process");
+  if (plan_ != nullptr) {
+    HYCO_CHECK_MSG(plan_->specs.size() == static_cast<std::size_t>(n),
+                   "crash plan size mismatch");
+  }
+}
+
+void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
+  const SimTime d = delays_.delay(from, to, m, sim_.now(), sim_.rng());
+  ++stats_.unicasts_sent;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), TraceKind::Send, from,
+                   m.to_string() + " -> p" + std::to_string(to));
+  }
+  sim_.schedule_in(d, [this, from, to, m] {
+    if (crashes_.is_crashed(to)) {
+      ++stats_.dropped_receiver_crashed;
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceKind::Drop, to,
+                       "receiver crashed; " + m.to_string());
+      }
+      return;
+    }
+    ++stats_.delivered;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), TraceKind::Deliver, to,
+                     m.to_string() + " from p" + std::to_string(from));
+    }
+    HYCO_CHECK_MSG(static_cast<bool>(deliver_), "network deliver fn not set");
+    deliver_(to, from, m);
+  });
+}
+
+void SimNetwork::send(ProcId from, ProcId to, const Message& m) {
+  HYCO_CHECK_MSG(from >= 0 && from < n_ && to >= 0 && to < n_,
+                 "send with out-of-range process id");
+  if (crashes_.is_crashed(from)) {
+    ++stats_.dropped_sender_crashed;
+    return;
+  }
+  schedule_delivery(from, to, m);
+}
+
+void SimNetwork::broadcast(ProcId from, const Message& m) {
+  HYCO_CHECK_MSG(from >= 0 && from < n_, "broadcast from unknown process");
+  if (crashes_.is_crashed(from)) {
+    ++stats_.dropped_sender_crashed;
+    return;
+  }
+  ++stats_.broadcasts;
+  const auto idx = static_cast<std::size_t>(from);
+  const std::int32_t my_broadcast = broadcast_counts_[idx]++;
+
+  // Scripted mid-broadcast crash: deliver to a random subset, then halt.
+  if (plan_ != nullptr) {
+    const CrashSpec& spec = plan_->specs[idx];
+    if (spec.kind == CrashSpec::Kind::OnBroadcast &&
+        spec.broadcast_index == my_broadcast) {
+      std::vector<ProcId> order(static_cast<std::size_t>(n_));
+      std::iota(order.begin(), order.end(), 0);
+      sim_.rng().shuffle(order);
+      const auto k = static_cast<std::size_t>(
+          std::clamp<std::int32_t>(spec.deliver_count, 0, n_));
+      for (std::size_t i = 0; i < k; ++i) {
+        schedule_delivery(from, order[i], m);
+      }
+      crashes_.crash(from, sim_.now());
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceKind::Crash, from,
+                       "mid-broadcast, delivered to " + std::to_string(k) +
+                           " of " + std::to_string(n_));
+      }
+      return;
+    }
+  }
+
+  for (ProcId to = 0; to < n_; ++to) {
+    schedule_delivery(from, to, m);
+  }
+}
+
+}  // namespace hyco

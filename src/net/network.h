@@ -1,0 +1,85 @@
+// Point-to-point network abstraction (Section II-A of the paper) and its
+// discrete-event implementation.
+//
+// Channels are reliable (no corruption, duplication, or loss) but
+// asynchronous (arbitrary finite transit). broadcast(m) is the paper's
+// macro-operation "for each j in {1..n} do send(m) to p_j" — it is NOT
+// reliable: a sender crashing mid-broadcast reaches an arbitrary subset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+#include "net/delay_model.h"
+#include "net/message.h"
+#include "sim/crash.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace hyco {
+
+/// Transport counters, aggregated per run.
+struct NetStats {
+  std::uint64_t unicasts_sent = 0;      ///< individual send() deliveries scheduled
+  std::uint64_t broadcasts = 0;         ///< broadcast() invocations
+  std::uint64_t delivered = 0;          ///< messages handed to a live receiver
+  std::uint64_t dropped_sender_crashed = 0;
+  std::uint64_t dropped_receiver_crashed = 0;
+};
+
+/// Abstract message-passing system shared by algorithms and substrates.
+class INetwork {
+ public:
+  virtual ~INetwork() = default;
+
+  /// Sends m from `from` to `to` over the reliable asynchronous channel.
+  virtual void send(ProcId from, ProcId to, const Message& m) = 0;
+
+  /// The paper's broadcast macro: sends m to every process (including the
+  /// sender itself). Unreliable under sender crash.
+  virtual void broadcast(ProcId from, const Message& m) = 0;
+
+  /// Number of processes n.
+  [[nodiscard]] virtual ProcId n() const = 0;
+};
+
+/// Discrete-event network: delays from a DelayModel, crash semantics from a
+/// CrashTracker + CrashPlan (for scripted mid-broadcast crashes).
+class SimNetwork final : public INetwork {
+ public:
+  /// Called for each delivery to a live process.
+  using DeliverFn = std::function<void(ProcId to, ProcId from, const Message&)>;
+
+  /// All references must outlive the network. `plan` may be nullptr (no
+  /// scripted broadcast crashes).
+  SimNetwork(Simulator& sim, DelayModel& delays, CrashTracker& crashes,
+             ProcId n, const CrashPlan* plan = nullptr,
+             Trace* trace = nullptr);
+
+  /// Must be called before any traffic flows (the runner wires processes in
+  /// after constructing the network).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  void send(ProcId from, ProcId to, const Message& m) override;
+  void broadcast(ProcId from, const Message& m) override;
+  [[nodiscard]] ProcId n() const override { return n_; }
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+ private:
+  void schedule_delivery(ProcId from, ProcId to, const Message& m);
+
+  Simulator& sim_;
+  DelayModel& delays_;
+  CrashTracker& crashes_;
+  ProcId n_;
+  const CrashPlan* plan_;
+  Trace* trace_;
+  DeliverFn deliver_;
+  std::vector<std::int32_t> broadcast_counts_;
+  NetStats stats_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,87 @@
+// Lock-free cluster memory for the threaded runtime: consensus objects built
+// directly on std::atomic compare_exchange — the real-hardware counterpart
+// of the simulator's CasConsensus. This is where the paper's assumption
+// "MEM_x is enriched with compare&swap" meets actual silicon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/types.h"
+#include "shm/consensus_object.h"
+
+namespace hyco {
+
+/// Wait-free one-shot consensus on std::atomic<int8_t>. The empty state (-1)
+/// is distinct from ⊥ (Estimate::Bot == 2), which is a proposable value.
+class AtomicConsensus final : public IConsensusObject {
+ public:
+  AtomicConsensus() : state_(kEmpty) {}
+
+  Estimate propose(ProcId /*proposer*/, Estimate v) override {
+    proposals_.fetch_add(1, std::memory_order_relaxed);
+    std::int8_t expected = kEmpty;
+    state_.compare_exchange_strong(expected,
+                                   static_cast<std::int8_t>(v),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+    // Either our CAS installed v, or `expected` now holds the winner.
+    const std::int8_t w = state_.load(std::memory_order_acquire);
+    return static_cast<Estimate>(w);
+  }
+
+  [[nodiscard]] std::optional<Estimate> decided() const override {
+    const std::int8_t w = state_.load(std::memory_order_acquire);
+    if (w == kEmpty) return std::nullopt;
+    return static_cast<Estimate>(w);
+  }
+
+  [[nodiscard]] std::uint64_t proposals() const {
+    return proposals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int8_t kEmpty = -1;
+  std::atomic<std::int8_t> state_;
+  std::atomic<std::uint64_t> proposals_{0};
+};
+
+/// Thread-safe MEM_x: lazily materializes CONS_x[r, ph] objects. The lookup
+/// map is mutex-protected; the consensus objects themselves are lock-free.
+class ThreadClusterMemory {
+ public:
+  explicit ThreadClusterMemory(ClusterId cluster) : cluster_(cluster) {}
+
+  ThreadClusterMemory(const ThreadClusterMemory&) = delete;
+  ThreadClusterMemory& operator=(const ThreadClusterMemory&) = delete;
+
+  AtomicConsensus& cons(Round r, Phase ph) {
+    const auto key = std::make_pair(r, static_cast<int>(ph));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      it = objects_.emplace(key, std::make_unique<AtomicConsensus>()).first;
+    }
+    return *it->second;
+  }
+
+  AtomicConsensus& cons(Round r) { return cons(r, Phase::One); }
+
+  [[nodiscard]] ClusterId cluster() const { return cluster_; }
+
+  [[nodiscard]] std::uint64_t objects_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return objects_.size();
+  }
+
+ private:
+  ClusterId cluster_;
+  mutable std::mutex mu_;
+  std::map<std::pair<Round, int>, std::unique_ptr<AtomicConsensus>> objects_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,227 @@
+#include "runtime/blocking_process.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+BlockingProcessBase::BlockingProcessBase(ProcId self,
+                                         const ClusterLayout& layout,
+                                         ThreadNetwork& net,
+                                         ThreadClusterMemory& memory,
+                                         ThreadCrashSpec crash,
+                                         Round max_rounds,
+                                         std::uint64_t rng_seed)
+    : self_(self),
+      layout_(layout),
+      net_(net),
+      memory_(memory),
+      crash_(crash),
+      max_rounds_(max_rounds),
+      rng_(rng_seed) {
+  HYCO_CHECK_MSG(memory.cluster() == layout.cluster_of(self),
+                 "p" << self << " wired to the wrong cluster memory");
+}
+
+BlockingProcessBase::Supporters& BlockingProcessBase::supporters(Round r,
+                                                                 Phase ph) {
+  const auto key = std::make_pair(r, static_cast<int>(ph));
+  auto it = tally_.find(key);
+  if (it == tally_.end()) {
+    Supporters s;
+    for (auto& c : s.clusters) {
+      c = DynamicBitset(static_cast<std::size_t>(layout_.m()));
+    }
+    it = tally_.emplace(key, std::move(s)).first;
+  }
+  return it->second;
+}
+
+const BlockingProcessBase::Supporters* BlockingProcessBase::find_supporters(
+    Round r, Phase ph) const {
+  const auto it = tally_.find(std::make_pair(r, static_cast<int>(ph)));
+  return it == tally_.end() ? nullptr : &it->second;
+}
+
+void BlockingProcessBase::credit(ProcId from, const Message& m) {
+  Supporters& s = supporters(m.round, m.phase);
+  const ClusterId x = layout_.cluster_of(from);
+  s.clusters[estimate_index(m.est)].set(static_cast<std::size_t>(x));
+}
+
+bool BlockingProcessBase::satisfied(Round r, Phase ph) const {
+  const Supporters* s = find_supporters(r, ph);
+  if (s == nullptr) return false;
+  DynamicBitset u = s->clusters[0] | s->clusters[1];
+  if (ph == Phase::Two) u |= s->clusters[2];
+  ProcId covered = 0;
+  for (const auto x : u.to_indices()) {
+    covered += layout_.cluster_size(static_cast<ClusterId>(x));
+  }
+  return 2 * covered > layout_.n();
+}
+
+ProcId BlockingProcessBase::support(Round r, Phase ph, Estimate v) const {
+  const Supporters* s = find_supporters(r, ph);
+  if (s == nullptr) return 0;
+  ProcId covered = 0;
+  for (const auto x : s->clusters[estimate_index(v)].to_indices()) {
+    covered += layout_.cluster_size(static_cast<ClusterId>(x));
+  }
+  return covered;
+}
+
+std::vector<Estimate> BlockingProcessBase::values_received(Round r,
+                                                           Phase ph) const {
+  std::vector<Estimate> vals;
+  const Supporters* s = find_supporters(r, ph);
+  if (s == nullptr) return vals;
+  for (const Estimate e : kAllEstimates) {
+    if (s->clusters[estimate_index(e)].any()) vals.push_back(e);
+  }
+  return vals;
+}
+
+bool BlockingProcessBase::msg_exchange(Round r, Phase ph, Estimate est) {
+  net_.broadcast(self_, Message::phase_msg(r, ph, est));
+  Mailbox& mb = net_.mailbox(self_);
+  while (!satisfied(r, ph)) {
+    Envelope e;
+    if (mb.pop(e) == Mailbox::PopResult::Closed) {
+      outcome_.shutdown = true;
+      return false;
+    }
+    if (e.msg.kind == MsgKind::Decide) {
+      gossip_decide(e.msg.est);
+      return false;
+    }
+    credit(e.from, e.msg);
+  }
+  return true;
+}
+
+bool BlockingProcessBase::scripted_crash(Round r, Phase ph, Estimate est) {
+  if (crash_.at_round != r) return false;
+  if (crash_.partial >= 0) {
+    // Die mid-broadcast: serve a random subset of the destinations first.
+    std::vector<ProcId> order(static_cast<std::size_t>(layout_.n()));
+    std::iota(order.begin(), order.end(), 0);
+    rng_.shuffle(order);
+    order.resize(static_cast<std::size_t>(
+        std::min<ProcId>(crash_.partial, layout_.n())));
+    net_.broadcast_subset(self_, Message::phase_msg(r, ph, est), order);
+  }
+  net_.mark_crashed(self_);
+  outcome_.crashed = true;
+  return true;
+}
+
+void BlockingProcessBase::gossip_decide(Estimate v) {
+  net_.broadcast(self_, Message::decide_msg(v));
+  outcome_.decision = v;
+}
+
+BlockingLocalCoin::BlockingLocalCoin(ProcId self, const ClusterLayout& layout,
+                                     ThreadNetwork& net,
+                                     ThreadClusterMemory& memory,
+                                     ThreadCrashSpec crash, Round max_rounds,
+                                     std::uint64_t coin_seed)
+    : BlockingProcessBase(self, layout, net, memory, crash, max_rounds,
+                          coin_seed) {}
+
+BlockingOutcome BlockingLocalCoin::propose(Estimate v) {
+  HYCO_CHECK_MSG(is_binary(v), "proposals must be binary");
+  Estimate est1 = v;
+  for (Round r = 1; r <= max_rounds_; ++r) {
+    outcome_.rounds = r;
+
+    // Phase 1 (lines 4-7). The scripted crash fires AFTER the cluster
+    // consensus: a crashing process may die mid-broadcast, but it can only
+    // ever broadcast the value its cluster agreed on (otherwise it would be
+    // Byzantine, not crash-faulty).
+    est1 = memory_.cons(r, Phase::One).propose(self_, est1);
+    if (scripted_crash(r, Phase::One, est1)) return outcome_;
+    if (!msg_exchange(r, Phase::One, est1)) return outcome_;
+    Estimate est2 = Estimate::Bot;
+    for (const Estimate cand : {Estimate::Zero, Estimate::One}) {
+      if (2 * support(r, Phase::One, cand) > layout_.n()) {
+        est2 = cand;
+        break;
+      }
+    }
+
+    // Phase 2 (lines 8-15).
+    est2 = memory_.cons(r, Phase::Two).propose(self_, est2);
+    if (!msg_exchange(r, Phase::Two, est2)) return outcome_;
+    const auto rec = values_received(r, Phase::Two);
+    const bool has_bot =
+        std::find(rec.begin(), rec.end(), Estimate::Bot) != rec.end();
+    Estimate seen = Estimate::Bot;
+    for (const Estimate e : rec) {
+      if (is_binary(e)) {
+        seen = e;
+        break;
+      }
+    }
+    if (is_binary(seen) && !has_bot) {
+      gossip_decide(seen);  // line 12
+      return outcome_;
+    }
+    if (is_binary(seen)) {
+      est1 = seen;  // line 13
+    } else {
+      est1 = estimate_from_bit(rng_.coin());  // line 14: local_coin()
+    }
+  }
+  outcome_.capped = true;
+  return outcome_;
+}
+
+BlockingCommonCoin::BlockingCommonCoin(ProcId self,
+                                       const ClusterLayout& layout,
+                                       ThreadNetwork& net,
+                                       ThreadClusterMemory& memory,
+                                       ICommonCoin& coin,
+                                       ThreadCrashSpec crash,
+                                       Round max_rounds,
+                                       std::uint64_t rng_seed)
+    : BlockingProcessBase(self, layout, net, memory, crash, max_rounds,
+                          rng_seed),
+      coin_(coin) {}
+
+BlockingOutcome BlockingCommonCoin::propose(Estimate v) {
+  HYCO_CHECK_MSG(is_binary(v), "proposals must be binary");
+  Estimate est = v;
+  for (Round r = 1; r <= max_rounds_; ++r) {
+    outcome_.rounds = r;
+
+    est = memory_.cons(r).propose(self_, est);         // line 4
+    // Crash only after the cluster consensus (see BlockingLocalCoin note).
+    if (scripted_crash(r, Phase::One, est)) return outcome_;
+    if (!msg_exchange(r, Phase::One, est)) return outcome_;
+    const int s = coin_.bit(r);                        // line 6
+
+    Estimate supported = Estimate::Bot;                // line 7
+    for (const Estimate cand : {Estimate::Zero, Estimate::One}) {
+      if (2 * support(r, Phase::One, cand) > layout_.n()) {
+        supported = cand;
+        break;
+      }
+    }
+    if (is_binary(supported)) {
+      est = supported;                                 // line 8
+      if (estimate_to_bit(supported) == s) {
+        gossip_decide(supported);                      // line 9
+        return outcome_;
+      }
+    } else {
+      est = estimate_from_bit(s);                      // line 10
+    }
+  }
+  outcome_.capped = true;
+  return outcome_;
+}
+
+}  // namespace hyco

@@ -1,0 +1,115 @@
+// Blocking (thread-per-process) implementations of Algorithms 2 and 3 that
+// mirror the paper's pseudocode line by line: propose() runs in the calling
+// thread, msg_exchange really blocks on the mailbox, and cluster consensus
+// is a lock-free std::atomic CAS. This is the "manual concurrency plumbing"
+// substrate; the discrete-event versions in src/core are the reproducible
+// experiment substrate.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "coin/coin.h"
+#include "core/cluster_layout.h"
+#include "core/types.h"
+#include "runtime/atomic_memory.h"
+#include "runtime/thread_network.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// Scripted cooperative crash for threaded runs.
+struct ThreadCrashSpec {
+  Round at_round = -1;       ///< crash when entering this round (-1 = never)
+  std::int32_t partial = -1; ///< if >= 0: before dying, deliver the round's
+                             ///< first broadcast to only `partial` peers
+};
+
+/// Outcome of a blocking propose() call.
+struct BlockingOutcome {
+  std::optional<Estimate> decision;  ///< nullopt: crashed / capped / shutdown
+  Round rounds = 0;
+  bool crashed = false;   ///< scripted crash fired
+  bool capped = false;    ///< hit max_rounds
+  bool shutdown = false;  ///< mailbox closed by the runner
+};
+
+/// Shared plumbing of the two blocking algorithms: supporter bookkeeping
+/// with cluster closure, the blocking msg_exchange wait, DECIDE handling.
+class BlockingProcessBase {
+ public:
+  BlockingProcessBase(ProcId self, const ClusterLayout& layout,
+                      ThreadNetwork& net, ThreadClusterMemory& memory,
+                      ThreadCrashSpec crash, Round max_rounds,
+                      std::uint64_t rng_seed);
+  virtual ~BlockingProcessBase() = default;
+
+ protected:
+  /// The paper's msg_exchange(r, ph, est): broadcast, then block until the
+  /// credited clusters cover a majority. Returns false when the wait must
+  /// abort (DECIDE received — outcome_.decision set — or shutdown).
+  bool msg_exchange(Round r, Phase ph, Estimate est);
+
+  /// |supporters[v]| under cluster closure for (r, ph).
+  [[nodiscard]] ProcId support(Round r, Phase ph, Estimate v) const;
+
+  /// Distinct values with non-empty supporters for (r, ph).
+  [[nodiscard]] std::vector<Estimate> values_received(Round r, Phase ph) const;
+
+  /// True if the scripted crash fires at round r; performs the partial
+  /// broadcast side effect and marks the process crashed.
+  bool scripted_crash(Round r, Phase ph, Estimate est);
+
+  void gossip_decide(Estimate v);
+
+  ProcId self_;
+  const ClusterLayout& layout_;
+  ThreadNetwork& net_;
+  ThreadClusterMemory& memory_;
+  ThreadCrashSpec crash_;
+  Round max_rounds_;
+  Rng rng_;
+  BlockingOutcome outcome_;
+
+ private:
+  struct Supporters {
+    std::array<DynamicBitset, 3> clusters;
+  };
+  Supporters& supporters(Round r, Phase ph);
+  [[nodiscard]] const Supporters* find_supporters(Round r, Phase ph) const;
+  [[nodiscard]] bool satisfied(Round r, Phase ph) const;
+  void credit(ProcId from, const Message& m);
+
+  std::map<std::pair<Round, int>, Supporters> tally_;
+};
+
+/// Algorithm 2, blocking form.
+class BlockingLocalCoin final : public BlockingProcessBase {
+ public:
+  BlockingLocalCoin(ProcId self, const ClusterLayout& layout,
+                    ThreadNetwork& net, ThreadClusterMemory& memory,
+                    ThreadCrashSpec crash, Round max_rounds,
+                    std::uint64_t coin_seed);
+
+  /// Runs to decision (or crash/cap/shutdown) in the calling thread.
+  BlockingOutcome propose(Estimate v);
+};
+
+/// Algorithm 3, blocking form.
+class BlockingCommonCoin final : public BlockingProcessBase {
+ public:
+  BlockingCommonCoin(ProcId self, const ClusterLayout& layout,
+                     ThreadNetwork& net, ThreadClusterMemory& memory,
+                     ICommonCoin& coin, ThreadCrashSpec crash,
+                     Round max_rounds, std::uint64_t rng_seed);
+
+  BlockingOutcome propose(Estimate v);
+
+ private:
+  ICommonCoin& coin_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,45 @@
+#include "runtime/thread_network.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+ThreadNetwork::ThreadNetwork(ProcId n) : n_(n), crashed_(static_cast<std::size_t>(n)) {
+  HYCO_CHECK_MSG(n > 0, "network needs at least one process");
+  mailboxes_.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  for (auto& c : crashed_) c.store(false, std::memory_order_relaxed);
+}
+
+void ThreadNetwork::send(ProcId from, ProcId to, const Message& m) {
+  HYCO_CHECK_MSG(from >= 0 && from < n_ && to >= 0 && to < n_,
+                 "send with out-of-range process id");
+  if (is_crashed(from)) return;
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  mailboxes_[static_cast<std::size_t>(to)]->push(Envelope{from, m});
+}
+
+void ThreadNetwork::broadcast(ProcId from, const Message& m) {
+  for (ProcId to = 0; to < n_; ++to) send(from, to, m);
+}
+
+void ThreadNetwork::broadcast_subset(ProcId from, const Message& m,
+                                     const std::vector<ProcId>& dests) {
+  for (const ProcId to : dests) send(from, to, m);
+}
+
+void ThreadNetwork::mark_crashed(ProcId p) {
+  crashed_[static_cast<std::size_t>(p)].store(true, std::memory_order_release);
+}
+
+bool ThreadNetwork::is_crashed(ProcId p) const {
+  return crashed_[static_cast<std::size_t>(p)].load(std::memory_order_acquire);
+}
+
+void ThreadNetwork::close_all() {
+  for (auto& mb : mailboxes_) mb->close();
+}
+
+}  // namespace hyco

@@ -1,0 +1,53 @@
+// Message passing between real threads: one mailbox per process, crash
+// flags, and the (unreliable-under-crash) broadcast macro. Implements the
+// same INetwork interface as the simulator network, so shared components
+// (e.g. MsgExchange) would work on either substrate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "net/network.h"
+#include "runtime/mailbox.h"
+
+namespace hyco {
+
+/// Thread-safe n-process network over mailboxes.
+class ThreadNetwork final : public INetwork {
+ public:
+  explicit ThreadNetwork(ProcId n);
+
+  void send(ProcId from, ProcId to, const Message& m) override;
+  void broadcast(ProcId from, const Message& m) override;
+  [[nodiscard]] ProcId n() const override { return n_; }
+
+  /// Partial broadcast used by scripted mid-broadcast crashes: delivers only
+  /// to `dests`, then the caller marks itself crashed.
+  void broadcast_subset(ProcId from, const Message& m,
+                        const std::vector<ProcId>& dests);
+
+  /// Marks p crashed: its future sends are suppressed (it should also stop
+  /// running; the blocking processes check this cooperatively).
+  void mark_crashed(ProcId p);
+  [[nodiscard]] bool is_crashed(ProcId p) const;
+
+  Mailbox& mailbox(ProcId p) { return *mailboxes_[static_cast<std::size_t>(p)]; }
+
+  /// Closes every mailbox (shutdown path of the threaded runner).
+  void close_all();
+
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ProcId n_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::atomic<bool>> crashed_;
+  std::atomic<std::uint64_t> sent_{0};
+};
+
+}  // namespace hyco

@@ -1,0 +1,103 @@
+#include "runtime/threaded_runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/runner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+ThreadRunResult run_threaded(const ThreadRunConfig& cfg) {
+  const ProcId n = cfg.layout.n();
+  const std::vector<Estimate> inputs =
+      cfg.inputs.empty() ? split_inputs(n) : cfg.inputs;
+  HYCO_CHECK_MSG(inputs.size() == static_cast<std::size_t>(n),
+                 "inputs size mismatch");
+  std::vector<ThreadCrashSpec> crashes = cfg.crashes;
+  if (crashes.empty()) crashes.assign(static_cast<std::size_t>(n), {});
+  HYCO_CHECK_MSG(crashes.size() == static_cast<std::size_t>(n),
+                 "crash spec size mismatch");
+
+  ThreadNetwork net(n);
+  std::vector<std::unique_ptr<ThreadClusterMemory>> memories;
+  memories.reserve(static_cast<std::size_t>(cfg.layout.m()));
+  for (ClusterId x = 0; x < cfg.layout.m(); ++x) {
+    memories.push_back(std::make_unique<ThreadClusterMemory>(x));
+  }
+  CommonCoin coin(mix64(cfg.seed, 0xC01C01));
+
+  ThreadRunResult result;
+  result.outcomes.assign(static_cast<std::size_t>(n), {});
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  ProcId done_count = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      const auto idx = static_cast<std::size_t>(p);
+      auto& mem = *memories[static_cast<std::size_t>(
+          cfg.layout.cluster_of(p))];
+      const std::uint64_t s = mix64(cfg.seed, 0x7EAD + static_cast<std::uint64_t>(p));
+      BlockingOutcome out;
+      if (cfg.alg == ThreadAlgorithm::LocalCoin) {
+        BlockingLocalCoin proc(p, cfg.layout, net, mem, crashes[idx],
+                               cfg.max_rounds, s);
+        out = proc.propose(inputs[idx]);
+      } else {
+        BlockingCommonCoin proc(p, cfg.layout, net, mem, coin, crashes[idx],
+                                cfg.max_rounds, s);
+        out = proc.propose(inputs[idx]);
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        result.outcomes[idx] = out;
+        ++done_count;
+      }
+      done_cv.notify_one();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    const bool finished = done_cv.wait_for(
+        lock, cfg.deadline, [&] { return done_count == n; });
+    result.deadline_hit = !finished;
+  }
+  // Unblock any stragglers (timeout path) and let everyone exit.
+  net.close_all();
+  for (auto& t : threads) t.join();
+
+  // Harvest.
+  bool all_correct_decided = true;
+  for (ProcId p = 0; p < n; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    const BlockingOutcome& out = result.outcomes[idx];
+    result.max_decision_round = std::max(result.max_decision_round, out.rounds);
+    if (out.decision.has_value()) {
+      if (!result.decided_value.has_value()) {
+        result.decided_value = out.decision;
+      } else if (*result.decided_value != *out.decision) {
+        result.agreement_ok = false;
+      }
+    } else if (crashes[idx].at_round < 0) {
+      all_correct_decided = false;  // correct process failed to decide
+    }
+  }
+  result.all_correct_decided = all_correct_decided;
+  if (result.decided_value.has_value()) {
+    result.validity_ok = std::find(inputs.begin(), inputs.end(),
+                                   *result.decided_value) != inputs.end();
+  }
+  result.messages_sent = net.messages_sent();
+  return result;
+}
+
+}  // namespace hyco

@@ -1,0 +1,54 @@
+// Thread-per-process runner for the blocking algorithm variants: spawns one
+// thread per process, waits for all live processes to finish (with a
+// wall-clock deadline), then shuts the network down and joins.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/types.h"
+#include "runtime/blocking_process.h"
+
+namespace hyco {
+
+/// Which blocking algorithm to run.
+enum class ThreadAlgorithm { LocalCoin, CommonCoin };
+
+/// Description of one threaded run.
+struct ThreadRunConfig {
+  explicit ThreadRunConfig(ClusterLayout l) : layout(std::move(l)) {}
+
+  ClusterLayout layout;
+  ThreadAlgorithm alg = ThreadAlgorithm::CommonCoin;
+  std::vector<Estimate> inputs;  ///< empty = split inputs
+  std::uint64_t seed = 1;
+  Round max_rounds = 2000;
+  std::vector<ThreadCrashSpec> crashes;  ///< empty = nobody crashes
+  std::chrono::milliseconds deadline{10'000};
+};
+
+/// Aggregated outcome of a threaded run.
+struct ThreadRunResult {
+  std::vector<BlockingOutcome> outcomes;  ///< per process
+  std::optional<Estimate> decided_value;
+  bool all_correct_decided = false;  ///< every non-crash-scripted process
+  bool agreement_ok = true;
+  bool validity_ok = true;
+  bool deadline_hit = false;
+  Round max_decision_round = 0;
+  std::uint64_t messages_sent = 0;
+
+  [[nodiscard]] bool success() const {
+    return all_correct_decided && agreement_ok && validity_ok &&
+           !deadline_hit;
+  }
+};
+
+/// Runs one threaded consensus instance.
+ThreadRunResult run_threaded(const ThreadRunConfig& cfg);
+
+}  // namespace hyco

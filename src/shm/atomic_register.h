@@ -1,0 +1,39 @@
+// Multi-writer multi-reader atomic register (the base objects of each
+// cluster memory MEM_x, Section II-A). In the discrete-event simulator each
+// operation executes inside one atomic event, so linearizability holds by
+// construction; the class exists to model the memory interface faithfully
+// and to count operations.
+#pragma once
+
+#include <optional>
+
+#include "shm/op_counts.h"
+
+namespace hyco {
+
+/// MWMR atomic register holding an optional value (empty = never written).
+template <typename T>
+class AtomicRegister {
+ public:
+  /// `counts` may be nullptr; otherwise reads/writes are tallied there.
+  explicit AtomicRegister(ShmOpCounts* counts = nullptr) : counts_(counts) {}
+
+  [[nodiscard]] std::optional<T> read() const {
+    if (counts_ != nullptr) ++counts_->reads;
+    return value_;
+  }
+
+  void write(T v) {
+    if (counts_ != nullptr) ++counts_->writes;
+    value_ = std::move(v);
+  }
+
+  /// True iff the register was ever written.
+  [[nodiscard]] bool written() const { return value_.has_value(); }
+
+ private:
+  std::optional<T> value_;
+  ShmOpCounts* counts_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,45 @@
+// Compare&swap cell — the consensus-number-infinite synchronization
+// primitive the paper assumes each cluster memory provides (Section II-A,
+// "Memory operations").
+#pragma once
+
+#include <optional>
+
+#include "shm/op_counts.h"
+
+namespace hyco {
+
+/// A register supporting read, write, and compare&swap, initialized empty.
+/// In the simulator each call runs inside one atomic event; the threaded
+/// runtime uses AtomicConsensus (std::atomic) instead.
+template <typename T>
+class CasCell {
+ public:
+  explicit CasCell(ShmOpCounts* counts = nullptr) : counts_(counts) {}
+
+  [[nodiscard]] std::optional<T> read() const {
+    if (counts_ != nullptr) ++counts_->reads;
+    return value_;
+  }
+
+  void write(std::optional<T> v) {
+    if (counts_ != nullptr) ++counts_->writes;
+    value_ = std::move(v);
+  }
+
+  /// Atomically: if current == expected, set to desired and return true.
+  bool compare_and_swap(const std::optional<T>& expected,
+                        const std::optional<T>& desired) {
+    if (counts_ != nullptr) ++counts_->cas_attempts;
+    if (value_ != expected) return false;
+    value_ = desired;
+    if (counts_ != nullptr) ++counts_->cas_successes;
+    return true;
+  }
+
+ private:
+  std::optional<T> value_;
+  ShmOpCounts* counts_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,19 @@
+#include "shm/cluster_memory.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+IConsensusObject& ClusterMemory::cons(Round r, Phase ph) {
+  HYCO_CHECK_MSG(r >= 1, "round numbers start at 1, got " << r);
+  const auto key = std::make_pair(r, static_cast<int>(ph));
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    it = objects_
+             .emplace(key, make_consensus_object(impl_, n_, &counts_))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace hyco

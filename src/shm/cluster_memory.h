@@ -1,0 +1,52 @@
+// The shared memory MEM_x of one cluster P[x] (Section II-A / III-B).
+//
+// MEM_x is composed of arrays of consensus objects indexed by round and
+// phase: CONS_x[r, 1] and CONS_x[r, 2] for Algorithm 2, and CONS_x[r] for
+// Algorithm 3 (accessed here as phase One). Objects are materialized lazily,
+// since the number of rounds is unbounded a priori.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/types.h"
+#include "shm/consensus_object.h"
+#include "shm/op_counts.h"
+
+namespace hyco {
+
+/// Lazily-grown array of cluster-local consensus objects plus instrumentation.
+/// Only the processes of cluster x may touch their MEM_x; the runner enforces
+/// this wiring, and the object records which memory it is for diagnostics.
+class ClusterMemory {
+ public:
+  explicit ClusterMemory(ClusterId cluster, ProcId n,
+                         ConsensusImpl impl = ConsensusImpl::Cas)
+      : cluster_(cluster), n_(n), impl_(impl) {}
+
+  ClusterMemory(const ClusterMemory&) = delete;
+  ClusterMemory& operator=(const ClusterMemory&) = delete;
+
+  /// CONS_x[r, ph]; created on first touch.
+  IConsensusObject& cons(Round r, Phase ph);
+
+  /// CONS_x[r] — Algorithm 3's single-phase array.
+  IConsensusObject& cons(Round r) { return cons(r, Phase::One); }
+
+  [[nodiscard]] ClusterId cluster() const { return cluster_; }
+  [[nodiscard]] const ShmOpCounts& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t objects_created() const {
+    return objects_.size();
+  }
+
+ private:
+  ClusterId cluster_;
+  ProcId n_;
+  ConsensusImpl impl_;
+  ShmOpCounts counts_;
+  std::map<std::pair<Round, int>, std::unique_ptr<IConsensusObject>> objects_;
+};
+
+}  // namespace hyco

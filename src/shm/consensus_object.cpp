@@ -1,0 +1,40 @@
+#include "shm/consensus_object.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+Estimate CasConsensus::propose(ProcId /*proposer*/, Estimate v) {
+  if (counts_ != nullptr) ++counts_->consensus_proposals;
+  cell_.compare_and_swap(std::nullopt, v);
+  const auto winner = cell_.read();
+  HYCO_CHECK(winner.has_value());  // our own CAS guarantees non-empty
+  return *winner;
+}
+
+Estimate LlScConsensus::propose(ProcId proposer, Estimate v) {
+  if (counts_ != nullptr) ++counts_->consensus_proposals;
+  // LL; if still empty, attempt SC. On SC failure some other proposal won
+  // in between, which is exactly what consensus needs.
+  const auto seen = cell_.load_linked(proposer);
+  if (!seen.has_value()) {
+    cell_.store_conditional(proposer, v);
+  }
+  const auto winner = cell_.read();
+  HYCO_CHECK(winner.has_value());
+  return *winner;
+}
+
+std::unique_ptr<IConsensusObject> make_consensus_object(ConsensusImpl impl,
+                                                        ProcId n,
+                                                        ShmOpCounts* counts) {
+  switch (impl) {
+    case ConsensusImpl::Cas:
+      return std::make_unique<CasConsensus>(counts);
+    case ConsensusImpl::LlSc:
+      return std::make_unique<LlScConsensus>(n, counts);
+  }
+  return nullptr;
+}
+
+}  // namespace hyco

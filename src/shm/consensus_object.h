@@ -1,0 +1,80 @@
+// Cluster-local deterministic consensus objects (the CONS_x[r, ph] of
+// Algorithms 2 and 3).
+//
+// Because each cluster memory is enriched with a consensus-number-infinite
+// primitive, wait-free deterministic consensus is solvable inside a cluster
+// for any number of crashes (Herlihy 1991). Two constructions are provided:
+//  * CasConsensus  — propose = CAS(empty -> v); read the winner.
+//  * LlScConsensus — propose = LL; if empty SC(v); read the winner.
+// Both are wait-free and linearizable; in the discrete-event simulator every
+// propose() runs inside one atomic event, and in the threaded runtime the
+// AtomicConsensus variant (src/runtime) runs on std::atomic.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/types.h"
+#include "shm/cas_cell.h"
+#include "shm/llsc_cell.h"
+#include "shm/op_counts.h"
+
+namespace hyco {
+
+/// One-shot binary consensus object over the estimate domain {0, 1, ⊥}.
+/// Note: ⊥ (Estimate::Bot) is a legitimate *proposable* value — Algorithm 2
+/// proposes ⊥ to CONS_x[r,2] when no value reached a majority — so the
+/// object's "undecided" state is distinct from ⊥.
+class IConsensusObject {
+ public:
+  virtual ~IConsensusObject() = default;
+
+  /// Proposes v on behalf of `proposer`; returns the object's decided value
+  /// (the first proposal to win). Wait-free: always returns.
+  virtual Estimate propose(ProcId proposer, Estimate v) = 0;
+
+  /// The decided value, if any proposal has been made yet.
+  [[nodiscard]] virtual std::optional<Estimate> decided() const = 0;
+};
+
+/// Consensus from compare&swap.
+class CasConsensus final : public IConsensusObject {
+ public:
+  explicit CasConsensus(ShmOpCounts* counts = nullptr)
+      : counts_(counts), cell_(counts) {}
+
+  Estimate propose(ProcId proposer, Estimate v) override;
+  [[nodiscard]] std::optional<Estimate> decided() const override {
+    return cell_.read();
+  }
+
+ private:
+  ShmOpCounts* counts_;
+  CasCell<Estimate> cell_;
+};
+
+/// Consensus from load-linked / store-conditional.
+class LlScConsensus final : public IConsensusObject {
+ public:
+  LlScConsensus(ProcId n, ShmOpCounts* counts = nullptr)
+      : counts_(counts), cell_(n, counts) {}
+
+  Estimate propose(ProcId proposer, Estimate v) override;
+  [[nodiscard]] std::optional<Estimate> decided() const override {
+    return cell_.read();
+  }
+
+ private:
+  ShmOpCounts* counts_;
+  LlScCell<Estimate> cell_;
+};
+
+/// Which primitive a memory builds its consensus objects from.
+enum class ConsensusImpl { Cas, LlSc };
+
+/// Factory for a fresh one-shot consensus object.
+std::unique_ptr<IConsensusObject> make_consensus_object(ConsensusImpl impl,
+                                                        ProcId n,
+                                                        ShmOpCounts* counts);
+
+}  // namespace hyco

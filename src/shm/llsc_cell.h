@@ -1,0 +1,58 @@
+// Load-linked / store-conditional cell — the other consensus-number-infinite
+// primitive named by the paper (Section I). Provided as an alternative
+// foundation for the cluster consensus objects; the ablation bench compares
+// CAS- and LL/SC-based memories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "shm/op_counts.h"
+#include "util/assert.h"
+
+namespace hyco {
+
+/// LL/SC cell for up to `n` processes. load_linked(p) records a link for p;
+/// store_conditional(p, v) succeeds iff no write happened since p's link.
+template <typename T>
+class LlScCell {
+ public:
+  explicit LlScCell(ProcId n, ShmOpCounts* counts = nullptr)
+      : links_(static_cast<std::size_t>(n), kNoLink), counts_(counts) {}
+
+  std::optional<T> load_linked(ProcId p) {
+    if (counts_ != nullptr) ++counts_->ll_ops;
+    links_.at(static_cast<std::size_t>(p)) = version_;
+    return value_;
+  }
+
+  bool store_conditional(ProcId p, std::optional<T> v) {
+    if (counts_ != nullptr) ++counts_->sc_attempts;
+    auto& link = links_.at(static_cast<std::size_t>(p));
+    if (link != version_) {
+      link = kNoLink;
+      return false;
+    }
+    value_ = std::move(v);
+    ++version_;
+    link = kNoLink;
+    if (counts_ != nullptr) ++counts_->sc_successes;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> read() const {
+    if (counts_ != nullptr) ++counts_->reads;
+    return value_;
+  }
+
+ private:
+  static constexpr std::int64_t kNoLink = -1;
+  std::optional<T> value_;
+  std::int64_t version_ = 0;
+  std::vector<std::int64_t> links_;
+  ShmOpCounts* counts_;
+};
+
+}  // namespace hyco

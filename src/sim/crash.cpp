@@ -1,0 +1,22 @@
+#include "sim/crash.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+void CrashTracker::crash(ProcId p, SimTime at) {
+  const auto idx = static_cast<std::size_t>(p);
+  HYCO_CHECK_MSG(idx < crashed_.size(), "crash of unknown process " << p);
+  if (crashed_.test(idx)) return;  // crashing twice is a no-op
+  crashed_.set(idx);
+  crash_time_[idx] = at;
+}
+
+DynamicBitset CrashTracker::correct() const {
+  DynamicBitset live(crashed_.size());
+  live.set_all();
+  live -= crashed_;
+  return live;
+}
+
+}  // namespace hyco

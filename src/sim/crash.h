@@ -1,0 +1,90 @@
+// Crash-failure modeling.
+//
+// The paper's failure model: a crash is a premature halt; a process that
+// crashes executes no more steps. The broadcast macro-operation is NOT
+// reliable — if the sender crashes while executing it, an arbitrary subset
+// of processes receives the message. CrashSpec expresses both flavors:
+// crash at a virtual time (between steps) and crash during the k-th
+// broadcast with only a prefix of destinations served.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+/// Per-process crash instruction.
+struct CrashSpec {
+  enum class Kind : std::uint8_t {
+    None,         ///< never crashes
+    AtTime,       ///< halts at virtual time `time`
+    OnBroadcast,  ///< halts during its `broadcast_index`-th broadcast (0-based),
+                  ///< delivering to only `deliver_count` randomly chosen peers
+  };
+
+  Kind kind = Kind::None;
+  SimTime time = 0;
+  std::int32_t broadcast_index = 0;
+  std::int32_t deliver_count = 0;
+
+  static CrashSpec none() { return {}; }
+  static CrashSpec at_time(SimTime t) {
+    return {Kind::AtTime, t, 0, 0};
+  }
+  static CrashSpec on_broadcast(std::int32_t index, std::int32_t deliver) {
+    return {Kind::OnBroadcast, 0, index, deliver};
+  }
+};
+
+/// A full failure pattern: one CrashSpec per process.
+struct CrashPlan {
+  std::vector<CrashSpec> specs;
+
+  static CrashPlan none(std::size_t n) {
+    CrashPlan p;
+    p.specs.assign(n, CrashSpec::none());
+    return p;
+  }
+
+  [[nodiscard]] std::size_t crash_count() const {
+    std::size_t c = 0;
+    for (const auto& s : specs) c += (s.kind != CrashSpec::Kind::None);
+    return c;
+  }
+};
+
+/// Tracks which processes have crashed during a simulation, and when.
+class CrashTracker {
+ public:
+  explicit CrashTracker(std::size_t n)
+      : crashed_(n), crash_time_(n, kSimTimeNever) {}
+
+  [[nodiscard]] std::size_t n() const { return crashed_.size(); }
+
+  void crash(ProcId p, SimTime at);
+
+  [[nodiscard]] bool is_crashed(ProcId p) const {
+    return crashed_.test(static_cast<std::size_t>(p));
+  }
+
+  /// Virtual time of the crash, or kSimTimeNever.
+  [[nodiscard]] SimTime crash_time(ProcId p) const {
+    return crash_time_[static_cast<std::size_t>(p)];
+  }
+
+  /// Processes that never crashed ("correct" processes).
+  [[nodiscard]] DynamicBitset correct() const;
+
+  [[nodiscard]] std::size_t crashed_count() const { return crashed_.count(); }
+
+ private:
+  DynamicBitset crashed_;
+  std::vector<SimTime> crash_time_;
+};
+
+}  // namespace hyco

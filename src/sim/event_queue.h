@@ -1,0 +1,53 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Ordering is (time, insertion sequence): events at equal times run in the
+// order they were scheduled, which makes every simulation fully
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hyco {
+
+/// A scheduled callback.
+struct Event {
+  SimTime at = 0;
+  std::uint64_t seq = 0;  // insertion order; tie-breaker for equal times
+  std::function<void()> fn;
+};
+
+/// Min-heap of events ordered by (at, seq).
+class EventQueue {
+ public:
+  void push(SimTime at, std::function<void()> fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Event pop();
+
+  /// Total number of events ever pushed.
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hyco

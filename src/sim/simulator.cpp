@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(mix64(seed, 0x51C0DE)) {}
+
+void Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  HYCO_CHECK_MSG(delay >= 0, "negative delay " << delay);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  HYCO_CHECK_MSG(at >= now_, "schedule_at(" << at << ") is in the past (now "
+                                            << now_ << ")");
+  queue_.push(at, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+StopReason Simulator::run(std::uint64_t max_events, SimTime time_limit) {
+  halted_ = false;
+  while (!queue_.empty()) {
+    if (executed_ >= max_events) return StopReason::EventLimit;
+    if (queue_.next_time() > time_limit) return StopReason::TimeLimit;
+    step();
+    if (halted_) return StopReason::Halted;
+  }
+  return StopReason::Quiescent;
+}
+
+}  // namespace hyco

@@ -1,0 +1,69 @@
+// Deterministic discrete-event simulator.
+//
+// This is the executable stand-in for the paper's pencil-and-paper
+// asynchronous model: processes take atomic steps, message transit times are
+// arbitrary-but-finite (drawn from a pluggable delay model), and a crashed
+// process executes no further steps. Given a seed, a run is bit-for-bit
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "core/types.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+/// Why Simulator::run returned.
+enum class StopReason {
+  Quiescent,   ///< event queue drained — nothing can ever happen again
+  EventLimit,  ///< max_events executed
+  TimeLimit,   ///< virtual clock passed the deadline
+  Halted,      ///< halt() was called from inside an event
+};
+
+/// Single-threaded discrete-event engine with a virtual clock and a seeded
+/// random number generator.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute virtual time `at` (>= now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Runs until quiescence or a limit is hit.
+  StopReason run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max(),
+                 SimTime time_limit = std::numeric_limits<SimTime>::max());
+
+  /// Executes exactly one event if one is pending; returns false otherwise.
+  bool step();
+
+  /// Requests run() to stop after the current event.
+  void halt() { halted_ = true; }
+
+  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.pushed(); }
+
+  /// The simulation-wide RNG (delay draws, crash subsets, ...). Forked
+  /// streams should be used for logically independent randomness.
+  Rng& rng() { return rng_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool halted_ = false;
+  Rng rng_;
+};
+
+}  // namespace hyco

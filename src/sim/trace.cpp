@@ -1,0 +1,35 @@
+#include "sim/trace.h"
+
+#include <utility>
+
+namespace hyco {
+
+const char* to_cstring(TraceKind k) {
+  switch (k) {
+    case TraceKind::Send: return "send";
+    case TraceKind::Deliver: return "deliver";
+    case TraceKind::Drop: return "drop";
+    case TraceKind::Crash: return "crash";
+    case TraceKind::ConsPropose: return "cons";
+    case TraceKind::PhaseStart: return "phase";
+    case TraceKind::Decide: return "decide";
+    case TraceKind::Note: return "note";
+  }
+  return "?";
+}
+
+void Trace::record(SimTime at, TraceKind kind, ProcId proc,
+                   std::string detail) {
+  if (!enabled_) return;
+  if (records_.size() >= capacity_) records_.pop_front();
+  records_.push_back(TraceRecord{at, kind, proc, std::move(detail)});
+}
+
+void Trace::dump(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << r.at << "ns\t" << to_cstring(r.kind) << "\tp" << r.proc << '\t'
+       << r.detail << '\n';
+  }
+}
+
+}  // namespace hyco

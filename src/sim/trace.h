@@ -1,0 +1,64 @@
+// Optional execution tracing: a bounded ring of timestamped records that the
+// runner can dump when a run misbehaves (safety violation, unexpected
+// timeout). Tracing costs nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "core/types.h"
+
+namespace hyco {
+
+/// Categories of traced happenings.
+enum class TraceKind : std::uint8_t {
+  Send,
+  Deliver,
+  Drop,
+  Crash,
+  ConsPropose,
+  PhaseStart,
+  Decide,
+  Note,
+};
+
+const char* to_cstring(TraceKind k);
+
+/// One trace record.
+struct TraceRecord {
+  SimTime at = 0;
+  TraceKind kind = TraceKind::Note;
+  ProcId proc = -1;
+  std::string detail;
+};
+
+/// Bounded in-memory trace. Disabled by default.
+class Trace {
+ public:
+  /// `capacity` bounds memory; older records are discarded first.
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(SimTime at, TraceKind kind, ProcId proc, std::string detail);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+
+  /// Human-readable dump, one record per line.
+  void dump(std::ostream& os) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,48 @@
+// Lightweight runtime contract checking.
+//
+// HYCO_CHECK throws hyco::ContractViolation (derived from std::logic_error)
+// instead of aborting, so that tests can assert on violated preconditions and
+// long-running experiment harnesses can report, skip, and continue.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hyco {
+
+/// Thrown when a HYCO_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace hyco
+
+/// Check a precondition/invariant; throws hyco::ContractViolation on failure.
+#define HYCO_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) ::hyco::detail::contract_failed(#expr, __FILE__, __LINE__, \
+                                                 std::string{});             \
+  } while (0)
+
+/// Check with an explanatory message (streamed into the exception text).
+#define HYCO_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream hyco_os_;                                           \
+      hyco_os_ << msg;                                                       \
+      ::hyco::detail::contract_failed(#expr, __FILE__, __LINE__,             \
+                                      hyco_os_.str());                       \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,20 @@
+#include "util/log.h"
+
+namespace hyco {
+
+const char* Log::level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::clog << '[' << level_name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace hyco

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Logging is off (Warn) by default so simulations stay
+// quiet; examples and debugging sessions raise the level explicitly.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hyco {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+
+  static void write(LogLevel lvl, const std::string& msg);
+
+  static const char* level_name(LogLevel lvl);
+
+ private:
+  static inline LogLevel level_ = LogLevel::Warn;
+};
+
+}  // namespace hyco
+
+#define HYCO_LOG(lvl, expr)                                       \
+  do {                                                            \
+    if (::hyco::Log::enabled(lvl)) {                              \
+      std::ostringstream hyco_log_os_;                            \
+      hyco_log_os_ << expr;                                       \
+      ::hyco::Log::write(lvl, hyco_log_os_.str());                \
+    }                                                             \
+  } while (0)
+
+#define HYCO_TRACE(expr) HYCO_LOG(::hyco::LogLevel::Trace, expr)
+#define HYCO_DEBUG(expr) HYCO_LOG(::hyco::LogLevel::Debug, expr)
+#define HYCO_INFO(expr) HYCO_LOG(::hyco::LogLevel::Info, expr)
+#define HYCO_WARN(expr) HYCO_LOG(::hyco::LogLevel::Warn, expr)
+#define HYCO_ERROR(expr) HYCO_LOG(::hyco::LogLevel::Error, expr)

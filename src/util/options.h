@@ -1,0 +1,38 @@
+// Minimal command-line option parsing for bench/example binaries.
+// Accepts "--key=value" and "--flag" forms; anything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hyco {
+
+/// Parsed command-line options with typed, defaulted accessors.
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hyco

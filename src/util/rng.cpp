@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+double Rng::exponential(double mean) {
+  HYCO_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+  // Inverse-CDF sampling; 1 - u avoids log(0).
+  const double u = next_double();
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace hyco

@@ -1,0 +1,80 @@
+// Small statistics toolkit for experiment harnesses: online accumulators,
+// percentile summaries, and fixed-width histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyco {
+
+/// Online mean/variance accumulator (Welford), plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile summary over a retained sample vector.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// One-line rendering: "n=100 mean=2.31 sd=0.88 p50=2 p95=4 max=7".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket. Used for round-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// ASCII bar rendering, one bucket per line.
+  [[nodiscard]] std::string to_string(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hyco

@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+void Table::set_columns(const std::vector<std::string>& names) {
+  HYCO_CHECK_MSG(rows_.empty(), "set_columns after rows were added");
+  columns_ = names;
+}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  HYCO_CHECK_MSG(columns_.empty() || cells.size() == columns_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << columns_.size());
+  rows_.push_back(cells);
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    widths.resize(std::max(widths.size(), row.size()), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+    for (const auto w : widths) total += w;
+    return std::string(total, '-');
+  }();
+
+  out << "== " << title_ << " ==\n";
+  if (!columns_.empty()) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out << " | ";
+      out << std::left << std::setw(static_cast<int>(widths[c])) << columns_[c];
+    }
+    out << '\n' << rule << '\n';
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << " | ";
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  }
+  out << '\n';
+}
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace hyco

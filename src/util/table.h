@@ -1,0 +1,58 @@
+// ASCII table rendering for the paper-reproduction harnesses: every bench
+// binary prints its results as an aligned table with a title, mirroring how
+// the paper's claims are presented in EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hyco {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(const std::vector<std::string>& names);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience: converts each value with operator<<.
+  template <typename... Ts>
+  void add_row_values(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(stringify(vals)), ...);
+    add_row(cells);
+  }
+
+  /// Renders the full table (title, rule, header, rows).
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (no trailing
+/// locale-dependent surprises; used for table cells).
+std::string fixed(double v, int decimals = 2);
+
+}  // namespace hyco

@@ -1,0 +1,147 @@
+#include "workload/failure_patterns.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace hyco::failure_patterns {
+
+FailureScenario classify(std::string name, const ClusterLayout& layout,
+                         CrashPlan plan) {
+  const auto n = static_cast<std::size_t>(layout.n());
+  HYCO_CHECK_MSG(plan.specs.size() == n, "plan size mismatch");
+  DynamicBitset live(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (plan.specs[p].kind == CrashSpec::Kind::None) live.set(p);
+  }
+  FailureScenario s;
+  s.name = std::move(name);
+  s.crash_count = n - live.count();
+  s.hybrid_should_terminate = layout.covering_set_alive(live);
+  s.benor_should_terminate = 2 * live.count() > n;
+  s.plan = std::move(plan);
+  return s;
+}
+
+FailureScenario none(const ClusterLayout& layout) {
+  return classify("none", layout,
+                  CrashPlan::none(static_cast<std::size_t>(layout.n())));
+}
+
+FailureScenario crash_set(const ClusterLayout& layout,
+                          const std::vector<ProcId>& procs, SimTime at) {
+  CrashPlan plan = CrashPlan::none(static_cast<std::size_t>(layout.n()));
+  for (const ProcId p : procs) {
+    plan.specs.at(static_cast<std::size_t>(p)) = CrashSpec::at_time(at);
+  }
+  return classify("crash_set", layout, std::move(plan));
+}
+
+FailureScenario random_minority(const ClusterLayout& layout, Rng& rng,
+                                SimTime horizon) {
+  const ProcId n = layout.n();
+  const ProcId max_crashes = (n - 1) / 2;  // strictly fewer than n/2
+  const auto k = static_cast<ProcId>(rng.bounded(
+      static_cast<std::uint64_t>(max_crashes) + 1));
+  std::vector<ProcId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  CrashPlan plan = CrashPlan::none(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < k; ++i) {
+    const SimTime t = rng.uniform(0, horizon);
+    plan.specs[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        CrashSpec::at_time(t);
+  }
+  return classify("random_minority", layout, std::move(plan));
+}
+
+FailureScenario one_survivor_per_cluster(
+    const ClusterLayout& layout,
+    const std::vector<ClusterId>& surviving_clusters, Rng& rng,
+    SimTime horizon) {
+  CrashPlan plan = CrashPlan::none(static_cast<std::size_t>(layout.n()));
+  DynamicBitset survivor_cluster(static_cast<std::size_t>(layout.m()));
+  for (const ClusterId x : surviving_clusters) {
+    survivor_cluster.set(static_cast<std::size_t>(x));
+  }
+  for (ClusterId x = 0; x < layout.m(); ++x) {
+    const auto& members = layout.members(x);
+    if (survivor_cluster.test(static_cast<std::size_t>(x))) {
+      // keep exactly one random member alive
+      const auto keep = static_cast<std::size_t>(
+          rng.bounded(members.size()));
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i == keep) continue;
+        plan.specs[static_cast<std::size_t>(members[i])] =
+            CrashSpec::at_time(rng.uniform(0, horizon));
+      }
+    } else {
+      for (const ProcId p : members) {
+        plan.specs[static_cast<std::size_t>(p)] =
+            CrashSpec::at_time(rng.uniform(0, horizon));
+      }
+    }
+  }
+  return classify("one_survivor_per_cluster", layout, std::move(plan));
+}
+
+FailureScenario majority_crash_one_survivor(const ClusterLayout& layout,
+                                            Rng& rng, SimTime horizon) {
+  ClusterId majority = -1;
+  for (ClusterId x = 0; x < layout.m(); ++x) {
+    if (2 * layout.cluster_size(x) > layout.n()) {
+      majority = x;
+      break;
+    }
+  }
+  HYCO_CHECK_MSG(majority >= 0,
+                 "layout has no majority cluster: " << layout.to_string());
+  auto s = one_survivor_per_cluster(layout, {majority}, rng, horizon);
+  s.name = "majority_crash_one_survivor";
+  return s;
+}
+
+FailureScenario kill_covering_set(const ClusterLayout& layout, Rng& rng,
+                                  SimTime horizon) {
+  // Kill whole clusters, largest first, until live coverage <= n/2.
+  std::vector<ClusterId> by_size(static_cast<std::size_t>(layout.m()));
+  std::iota(by_size.begin(), by_size.end(), 0);
+  std::sort(by_size.begin(), by_size.end(), [&](ClusterId a, ClusterId b) {
+    return layout.cluster_size(a) > layout.cluster_size(b);
+  });
+  CrashPlan plan = CrashPlan::none(static_cast<std::size_t>(layout.n()));
+  DynamicBitset live(static_cast<std::size_t>(layout.n()));
+  live.set_all();
+  for (const ClusterId x : by_size) {
+    if (!layout.covering_set_alive(live)) break;
+    for (const ProcId p : layout.members(x)) {
+      plan.specs[static_cast<std::size_t>(p)] =
+          CrashSpec::at_time(rng.uniform(0, horizon));
+      live.reset(static_cast<std::size_t>(p));
+    }
+  }
+  HYCO_CHECK_MSG(!layout.covering_set_alive(live),
+                 "failed to kill a covering set");
+  return classify("kill_covering_set", layout, std::move(plan));
+}
+
+FailureScenario mid_broadcast(const ClusterLayout& layout, ProcId count,
+                              std::int32_t broadcast_index, Rng& rng) {
+  const ProcId n = layout.n();
+  HYCO_CHECK_MSG(count >= 0 && count <= n, "bad mid-broadcast count");
+  std::vector<ProcId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  CrashPlan plan = CrashPlan::none(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < count; ++i) {
+    // Deliver to a random strict subset of the n destinations.
+    const auto deliver = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(n)));
+    plan.specs[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        CrashSpec::on_broadcast(broadcast_index, deliver);
+  }
+  return classify("mid_broadcast", layout, std::move(plan));
+}
+
+}  // namespace hyco::failure_patterns

@@ -1,0 +1,77 @@
+// Failure-pattern generators for the fault-tolerance experiments (T-FT) and
+// the property-test sweeps. Each generator produces a CrashPlan plus the
+// paper-predicted outcome: the hybrid algorithms terminate iff a set of
+// clusters that (a) covers a majority of processes and (b) keeps at least
+// one live process each, survives (Section III-B, "Main scalability and
+// fault-tolerance property"); pure message passing terminates iff a
+// majority of processes survive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "sim/crash.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+/// A named crash plan with its predicted outcomes.
+struct FailureScenario {
+  std::string name;
+  CrashPlan plan;
+  std::size_t crash_count = 0;
+  bool hybrid_should_terminate = false;  ///< covering cluster set survives
+  bool benor_should_terminate = false;   ///< a majority of processes survives
+};
+
+namespace failure_patterns {
+
+/// Computes the predicted outcomes for `plan` under `layout` and wraps them
+/// up. Any process with a non-None spec counts as (eventually) crashed —
+/// conservative for OnBroadcast specs, which is the right direction for
+/// "should terminate" predictions.
+FailureScenario classify(std::string name, const ClusterLayout& layout,
+                         CrashPlan plan);
+
+/// Nobody crashes.
+FailureScenario none(const ClusterLayout& layout);
+
+/// The given processes crash at the given virtual time.
+FailureScenario crash_set(const ClusterLayout& layout,
+                          const std::vector<ProcId>& procs, SimTime at);
+
+/// A uniformly random set of fewer than n/2 processes crash at random times
+/// in [0, horizon].
+FailureScenario random_minority(const ClusterLayout& layout, Rng& rng,
+                                SimTime horizon);
+
+/// The paper's headline scenario: every process crashes EXCEPT one randomly
+/// chosen survivor in each cluster of `surviving_clusters`. When the chosen
+/// clusters cover a majority, the hybrid algorithms must still terminate —
+/// even though far more than n/2 processes may be down.
+FailureScenario one_survivor_per_cluster(
+    const ClusterLayout& layout, const std::vector<ClusterId>& surviving_clusters,
+    Rng& rng, SimTime horizon);
+
+/// Majority-crash variant for layouts with a majority cluster: crash all
+/// processes outside the majority cluster and all but one inside it.
+FailureScenario majority_crash_one_survivor(const ClusterLayout& layout,
+                                            Rng& rng, SimTime horizon);
+
+/// Kills whole clusters (every member) until the live coverage drops to
+/// <= n/2: the hybrid algorithms must NOT terminate, but must stay safe
+/// (indulgence).
+FailureScenario kill_covering_set(const ClusterLayout& layout, Rng& rng,
+                                  SimTime horizon);
+
+/// `count` random processes crash mid-broadcast: during their k-th
+/// broadcast, delivering to a random strict subset (the paper's "arbitrary
+/// subset" clause).
+FailureScenario mid_broadcast(const ClusterLayout& layout, ProcId count,
+                              std::int32_t broadcast_index, Rng& rng);
+
+}  // namespace failure_patterns
+
+}  // namespace hyco

@@ -1,0 +1,141 @@
+// Unit tests for DynamicBitset (util/bitset.h).
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+#include "util/bitset.h"
+
+namespace hyco {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitset, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, AssignDispatches) {
+  DynamicBitset b(10);
+  b.assign(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.assign(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(Bitset, OutOfRangeThrows) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), ContractViolation);
+  EXPECT_THROW(b.test(10), ContractViolation);
+  EXPECT_THROW(b.reset(11), ContractViolation);
+}
+
+TEST(Bitset, SetAllRespectsTail) {
+  DynamicBitset b(67);
+  b.set_all();
+  EXPECT_EQ(b.count(), 67u);
+  EXPECT_TRUE(b.all());
+  b.clear_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, SetAllExactWordBoundary) {
+  DynamicBitset b(128);
+  b.set_all();
+  EXPECT_EQ(b.count(), 128u);
+}
+
+TEST(Bitset, UnionIntersectionDifference) {
+  DynamicBitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  const auto u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.test(1) && u.test(2) && u.test(3));
+  const auto i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(2));
+  auto d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, UniverseMismatchThrows) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW(a |= b, ContractViolation);
+  EXPECT_THROW(a &= b, ContractViolation);
+  EXPECT_THROW((void)a.is_subset_of(b), ContractViolation);
+}
+
+TEST(Bitset, SubsetAndIntersects) {
+  DynamicBitset a(10), b(10);
+  a.set(1);
+  b.set(1);
+  b.set(2);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(10);
+  c.set(5);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, ToIndicesSorted) {
+  DynamicBitset b(100);
+  b.set(90);
+  b.set(5);
+  b.set(64);
+  const auto idx = b.to_indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 5u);
+  EXPECT_EQ(idx[1], 64u);
+  EXPECT_EQ(idx[2], 90u);
+}
+
+TEST(Bitset, ToStringFormat) {
+  DynamicBitset b(10);
+  EXPECT_EQ(b.to_string(), "{}");
+  b.set(0);
+  b.set(7);
+  EXPECT_EQ(b.to_string(), "{0,7}");
+}
+
+TEST(Bitset, EqualityIsValueBased) {
+  DynamicBitset a(10), b(10);
+  a.set(4);
+  b.set(4);
+  EXPECT_EQ(a, b);
+  b.set(5);
+  EXPECT_NE(a, b);
+}
+
+TEST(Bitset, EmptyUniverse) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  b.set_all();  // no-op, must not crash
+  EXPECT_EQ(b.count(), 0u);
+}
+
+}  // namespace
+}  // namespace hyco

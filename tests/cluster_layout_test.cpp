@@ -1,0 +1,115 @@
+// Unit tests for ClusterLayout (Section II-A clusters), including the two
+// Figure 1 decompositions and the one-for-all coverage predicate.
+#include <gtest/gtest.h>
+
+#include "core/cluster_layout.h"
+#include "util/assert.h"
+
+namespace hyco {
+namespace {
+
+TEST(ClusterLayout, ValidatesPartition) {
+  EXPECT_THROW(ClusterLayout({{0, 1}, {1, 2}}), ContractViolation);  // overlap
+  EXPECT_THROW(ClusterLayout({{0}, {}}), ContractViolation);        // empty
+  EXPECT_THROW(ClusterLayout({{0, 2}}), ContractViolation);  // gap (1 missing)
+  EXPECT_THROW(ClusterLayout({{0, -1}}), ContractViolation); // negative id
+  EXPECT_THROW(ClusterLayout({}), ContractViolation);        // no clusters
+}
+
+TEST(ClusterLayout, BasicAccessors) {
+  const ClusterLayout l({{0, 1}, {2, 3, 4}});
+  EXPECT_EQ(l.n(), 5);
+  EXPECT_EQ(l.m(), 2);
+  EXPECT_EQ(l.cluster_of(0), 0);
+  EXPECT_EQ(l.cluster_of(4), 1);
+  EXPECT_EQ(l.cluster_size(1), 3);
+  EXPECT_EQ(l.members(0), (std::vector<ProcId>{0, 1}));
+  EXPECT_TRUE(l.member_set(1).test(2));
+  EXPECT_FALSE(l.member_set(1).test(0));
+  EXPECT_THROW(l.cluster_of(9), ContractViolation);
+  EXPECT_THROW(l.members(5), ContractViolation);
+}
+
+TEST(ClusterLayout, MembersAreSortedEvenIfGivenUnsorted) {
+  const ClusterLayout l({{1, 0}, {4, 2, 3}});
+  EXPECT_EQ(l.members(0), (std::vector<ProcId>{0, 1}));
+  EXPECT_EQ(l.members(1), (std::vector<ProcId>{2, 3, 4}));
+}
+
+TEST(ClusterLayout, SingletonsIsPureMessagePassing) {
+  const auto l = ClusterLayout::singletons(4);
+  EXPECT_EQ(l.n(), 4);
+  EXPECT_EQ(l.m(), 4);
+  for (ProcId p = 0; p < 4; ++p) {
+    EXPECT_EQ(l.cluster_of(p), p);
+    EXPECT_EQ(l.cluster_size(p), 1);
+  }
+}
+
+TEST(ClusterLayout, SingleIsPureSharedMemory) {
+  const auto l = ClusterLayout::single(6);
+  EXPECT_EQ(l.m(), 1);
+  EXPECT_EQ(l.cluster_size(0), 6);
+  EXPECT_TRUE(l.has_majority_cluster());
+}
+
+TEST(ClusterLayout, FromSizesAndEven) {
+  const auto l = ClusterLayout::from_sizes({2, 3, 2});
+  EXPECT_EQ(l.n(), 7);
+  EXPECT_EQ(l.m(), 3);
+  EXPECT_EQ(l.members(1), (std::vector<ProcId>{2, 3, 4}));
+
+  const auto e = ClusterLayout::even(10, 3);
+  EXPECT_EQ(e.cluster_size(0), 4);
+  EXPECT_EQ(e.cluster_size(1), 3);
+  EXPECT_EQ(e.cluster_size(2), 3);
+  EXPECT_THROW(ClusterLayout::even(3, 5), ContractViolation);
+  EXPECT_THROW(ClusterLayout::from_sizes({2, 0}), ContractViolation);
+}
+
+TEST(ClusterLayout, Figure1Decompositions) {
+  // Both Figure 1 layouts: n = 7 into m = 3 clusters.
+  const auto left = ClusterLayout::fig1_left();
+  EXPECT_EQ(left.n(), 7);
+  EXPECT_EQ(left.m(), 3);
+  EXPECT_FALSE(left.has_majority_cluster());
+
+  const auto right = ClusterLayout::fig1_right();
+  EXPECT_EQ(right.n(), 7);
+  EXPECT_EQ(right.m(), 3);
+  // P[2] = {p2,p3,p4,p5} (paper 1-based) = {1,2,3,4} 0-based: a majority.
+  EXPECT_EQ(right.members(1), (std::vector<ProcId>{1, 2, 3, 4}));
+  EXPECT_TRUE(right.has_majority_cluster());
+}
+
+TEST(ClusterLayout, LiveCoverageCountsWholeClusters) {
+  const auto l = ClusterLayout::fig1_right();  // {0},{1,2,3,4},{5,6}
+  DynamicBitset live(7);
+  live.set(2);  // one survivor inside the majority cluster
+  EXPECT_EQ(l.live_coverage(live), 4);  // whole cluster counts
+  EXPECT_TRUE(l.covering_set_alive(live));  // 4 > 7/2
+
+  DynamicBitset live2(7);
+  live2.set(0);
+  live2.set(5);  // {0} + {5,6} = coverage 3, not a majority
+  EXPECT_EQ(l.live_coverage(live2), 3);
+  EXPECT_FALSE(l.covering_set_alive(live2));
+}
+
+TEST(ClusterLayout, CoverageOfAllLiveIsN) {
+  const auto l = ClusterLayout::from_sizes({2, 3, 2});
+  DynamicBitset live(7);
+  live.set_all();
+  EXPECT_EQ(l.live_coverage(live), 7);
+  DynamicBitset none(7);
+  EXPECT_EQ(l.live_coverage(none), 0);
+  EXPECT_FALSE(l.covering_set_alive(none));
+}
+
+TEST(ClusterLayout, ToStringListsClusters) {
+  const auto l = ClusterLayout::from_sizes({1, 2});
+  EXPECT_EQ(l.to_string(), "{0},{1,2}");
+}
+
+}  // namespace
+}  // namespace hyco

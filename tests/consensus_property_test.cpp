@@ -1,0 +1,162 @@
+// Property-based sweeps: for EVERY combination of algorithm, layout shape,
+// input pattern, failure pattern, and seed, a run must be safe (agreement,
+// validity, WA1, WA2, cluster consistency); and whenever the paper's
+// termination condition holds, it must also be live.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runner.h"
+#include "workload/failure_patterns.h"
+
+namespace hyco {
+namespace {
+
+ClusterLayout layout_for(int shape, ProcId n) {
+  switch (shape) {
+    case 0: return ClusterLayout::single(n);
+    case 1: return ClusterLayout::singletons(n);
+    case 2: return ClusterLayout::even(n, 2);
+    case 3: return ClusterLayout::even(n, (n >= 4 ? 4 : 2));
+    default: {
+      // skewed: one cluster of about 60%, rest singletons
+      const ProcId big = std::max<ProcId>(1, (3 * n) / 5);
+      std::vector<ProcId> sizes{big};
+      for (ProcId i = big; i < n; ++i) sizes.push_back(1);
+      return ClusterLayout::from_sizes(sizes);
+    }
+  }
+}
+
+std::vector<Estimate> inputs_for(int pattern, ProcId n, std::uint64_t seed) {
+  switch (pattern) {
+    case 0: return uniform_inputs(n, Estimate::Zero);
+    case 1: return uniform_inputs(n, Estimate::One);
+    case 2: return split_inputs(n);
+    default: {
+      Rng rng(mix64(seed, 0x1A9));
+      std::vector<Estimate> in(static_cast<std::size_t>(n));
+      for (auto& e : in) e = estimate_from_bit(rng.coin());
+      return in;
+    }
+  }
+}
+
+// (algorithm, layout shape, input pattern, n, seed)
+using Param = std::tuple<int, int, int, int, std::uint64_t>;
+
+class CrashFreeProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrashFreeProperty, SafeAndLive) {
+  const auto [alg, shape, pattern, n, seed] = GetParam();
+  RunConfig cfg(layout_for(shape, static_cast<ProcId>(n)));
+  cfg.alg = alg == 0 ? Algorithm::HybridLocalCoin
+                     : Algorithm::HybridCommonCoin;
+  cfg.inputs = inputs_for(pattern, static_cast<ProcId>(n), seed);
+  cfg.seed = mix64(seed, static_cast<std::uint64_t>(shape * 100 + pattern));
+  const auto r = run_consensus(cfg);
+  ASSERT_TRUE(r.safe()) << (r.violations.empty() ? "?" : r.violations[0]);
+  EXPECT_TRUE(r.all_correct_decided)
+      << to_cstring(cfg.alg) << " n=" << n << " layout="
+      << cfg.layout.to_string();
+  // Unanimous proposals must decide the proposed value (strong validity).
+  if (pattern == 0) EXPECT_EQ(r.decided_value, Estimate::Zero);
+  if (pattern == 1) EXPECT_EQ(r.decided_value, Estimate::One);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrashFreeProperty,
+    ::testing::Combine(::testing::Values(0, 1),       // algorithm
+                       ::testing::Values(0, 1, 2, 3, 4),  // layout shape
+                       ::testing::Values(0, 1, 2, 3),     // input pattern
+                       ::testing::Values(5, 8, 13),       // n
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+class CrashyProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrashyProperty, RandomMinorityCrashesStaySafeAndLive) {
+  const auto [alg, shape, pattern, n, seed] = GetParam();
+  const auto layout = layout_for(shape, static_cast<ProcId>(n));
+  Rng rng(mix64(seed, 0xC4A5));
+  const auto scenario = failure_patterns::random_minority(layout, rng, 500);
+
+  RunConfig cfg(layout);
+  cfg.alg = alg == 0 ? Algorithm::HybridLocalCoin
+                     : Algorithm::HybridCommonCoin;
+  cfg.inputs = inputs_for(pattern, static_cast<ProcId>(n), seed);
+  cfg.crashes = scenario.plan;
+  cfg.seed = mix64(seed, 0xEE);
+  const auto r = run_consensus(cfg);
+  ASSERT_TRUE(r.safe()) << (r.violations.empty() ? "?" : r.violations[0]);
+  // A minority of crashed processes always leaves a live covering set.
+  ASSERT_TRUE(scenario.hybrid_should_terminate);
+  EXPECT_TRUE(r.all_correct_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrashyProperty,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0, 2, 4),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(7, 12),
+                       ::testing::Values<std::uint64_t>(3, 4, 5)));
+
+class MidBroadcastProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MidBroadcastProperty, PartialBroadcastsNeverBreakSafety) {
+  // The paper's "arbitrary subset" clause is the classic trap for
+  // consensus algorithms; sweep crashes in different broadcasts.
+  const auto [alg, seed] = GetParam();
+  const auto layout = ClusterLayout::from_sizes({3, 3, 3});
+  Rng rng(mix64(seed, 0xB0));
+  const auto scenario = failure_patterns::mid_broadcast(
+      layout, /*count=*/3, /*broadcast_index=*/static_cast<std::int32_t>(seed % 4),
+      rng);
+
+  RunConfig cfg(layout);
+  cfg.alg = alg == 0 ? Algorithm::HybridLocalCoin
+                     : Algorithm::HybridCommonCoin;
+  cfg.inputs = split_inputs(9);
+  cfg.crashes = scenario.plan;
+  cfg.seed = seed;
+  const auto r = run_consensus(cfg);
+  ASSERT_TRUE(r.safe()) << (r.violations.empty() ? "?" : r.violations[0]);
+  if (scenario.hybrid_should_terminate) {
+    EXPECT_TRUE(r.all_correct_decided);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MidBroadcastProperty,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Range<std::uint64_t>(1, 16)));
+
+class DelayDistributionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(DelayDistributionProperty, TerminationUnderEveryDelayModel) {
+  const auto [alg, delay_kind, seed] = GetParam();
+  RunConfig cfg(ClusterLayout::from_sizes({2, 3, 2}));
+  cfg.alg = alg == 0 ? Algorithm::HybridLocalCoin
+                     : Algorithm::HybridCommonCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.seed = seed;
+  switch (delay_kind) {
+    case 0: cfg.delays = DelayConfig::constant_of(100); break;
+    case 1: cfg.delays = DelayConfig::uniform(1, 500); break;
+    default: cfg.delays = DelayConfig::exponential(120.0); break;
+  }
+  const auto r = run_consensus(cfg);
+  ASSERT_TRUE(r.safe());
+  EXPECT_TRUE(r.all_correct_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DelayDistributionProperty,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1, 2),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,105 @@
+// End-to-end smoke tests of the three algorithms on small systems. The
+// heavyweight property sweeps live in consensus_property_test.cpp; these
+// tests pin down the basic behaviors with specific layouts and seeds.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "workload/failure_patterns.h"
+
+namespace hyco {
+namespace {
+
+TEST(SmokeLocalCoin, AllProposeZeroDecidesZeroFast) {
+  RunConfig cfg(ClusterLayout::fig1_left());
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = uniform_inputs(7, Estimate::Zero);
+  cfg.seed = 7;
+  const RunResult r = run_consensus(cfg);
+  ASSERT_TRUE(r.success()) << (r.violations.empty() ? "timeout" : r.violations[0]);
+  EXPECT_EQ(r.decided_value, Estimate::Zero);
+  // Unanimous input: phase 1 sees only 0, phase 2 sees rec = {0} — one round.
+  EXPECT_EQ(r.max_decision_round, 1);
+}
+
+TEST(SmokeLocalCoin, SplitInputsTerminateSafely) {
+  RunConfig cfg(ClusterLayout::fig1_left());
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.seed = 3;
+  const RunResult r = run_consensus(cfg);
+  ASSERT_TRUE(r.success()) << (r.violations.empty() ? "timeout" : r.violations[0]);
+  EXPECT_TRUE(r.decided_value.has_value());
+}
+
+TEST(SmokeCommonCoin, SplitInputsTerminate) {
+  RunConfig cfg(ClusterLayout::fig1_right());
+  cfg.alg = Algorithm::HybridCommonCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.seed = 11;
+  const RunResult r = run_consensus(cfg);
+  ASSERT_TRUE(r.success()) << (r.violations.empty() ? "timeout" : r.violations[0]);
+}
+
+TEST(SmokeBenOr, SplitInputsTerminate) {
+  RunConfig cfg(ClusterLayout::singletons(5));
+  cfg.alg = Algorithm::BenOr;
+  cfg.inputs = split_inputs(5);
+  cfg.seed = 5;
+  const RunResult r = run_consensus(cfg);
+  ASSERT_TRUE(r.success());
+}
+
+TEST(SmokeSingleCluster, OneRoundWhenMIsOne) {
+  // m = 1: the cluster consensus object already decides everything; the
+  // exchange trivially covers n/2 < n, and rec = {v}.
+  RunConfig cfg(ClusterLayout::single(6));
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(6);
+  cfg.seed = 2;
+  const RunResult r = run_consensus(cfg);
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.max_decision_round, 1);
+}
+
+TEST(SmokeOneForAll, MajorityCrashWithMajorityClusterSurvivorTerminates) {
+  // fig1_right has the majority cluster P[1] = {1,2,3,4}. Crash 5 of 7
+  // processes (everything except one member of the majority cluster and...
+  // actually everything except exactly one process).
+  const auto layout = ClusterLayout::fig1_right();
+  Rng rng(99);
+  const auto scenario =
+      failure_patterns::majority_crash_one_survivor(layout, rng, 500);
+  EXPECT_TRUE(scenario.hybrid_should_terminate);
+  EXPECT_FALSE(scenario.benor_should_terminate);
+  EXPECT_EQ(scenario.crash_count, 6u);
+
+  RunConfig cfg(layout);
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.crashes = scenario.plan;
+  cfg.seed = 21;
+  const RunResult r = run_consensus(cfg);
+  EXPECT_TRUE(r.all_correct_decided) << "survivor should decide";
+  EXPECT_TRUE(r.safe());
+}
+
+TEST(SmokeIndulgence, NoCoveringSetNeverDecidesButStaysSafe) {
+  const auto layout = ClusterLayout::fig1_left();
+  Rng rng(123);
+  const auto scenario =
+      failure_patterns::kill_covering_set(layout, rng, 0);
+  EXPECT_FALSE(scenario.hybrid_should_terminate);
+
+  RunConfig cfg(layout);
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.crashes = scenario.plan;
+  cfg.seed = 22;
+  cfg.max_rounds = 50;  // quiesce fast
+  const RunResult r = run_consensus(cfg);
+  EXPECT_TRUE(r.safe());
+  EXPECT_EQ(r.stop, StopReason::Quiescent);
+}
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,112 @@
+// Cross-validation of the paper's reduction claims (Section III-B):
+//  * m = n (singleton clusters): Algorithm 2 IS Ben-Or — our independent
+//    counting-based Ben-Or must behave statistically identically;
+//  * m = 1 (one cluster): the cluster consensus object decides everything
+//    in round 1;
+//  * fewer clusters => fewer effective coins => faster expected convergence
+//    for the local-coin algorithm.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "util/stats.h"
+
+namespace hyco {
+namespace {
+
+double mean_decision_rounds(Algorithm alg, const ClusterLayout& layout,
+                            int runs, std::uint64_t seed_base) {
+  Summary rounds;
+  for (int i = 0; i < runs; ++i) {
+    RunConfig cfg(layout);
+    cfg.alg = alg;
+    cfg.inputs = split_inputs(layout.n());
+    cfg.seed = mix64(seed_base, static_cast<std::uint64_t>(i));
+    const auto r = run_consensus(cfg);
+    EXPECT_TRUE(r.success());
+    rounds.add(static_cast<double>(r.max_decision_round));
+  }
+  return rounds.mean();
+}
+
+TEST(CrossValidation, HybridWithSingletonsMatchesBenOrStatistically) {
+  const ProcId n = 6;
+  const int runs = 150;
+  const double hybrid = mean_decision_rounds(
+      Algorithm::HybridLocalCoin, ClusterLayout::singletons(n), runs, 101);
+  const double benor = mean_decision_rounds(
+      Algorithm::BenOr, ClusterLayout::singletons(n), runs, 202);
+  // Identical algorithms, independent randomness: means within 35%.
+  EXPECT_NEAR(hybrid, benor, 0.35 * std::max(hybrid, benor))
+      << "hybrid(m=n)=" << hybrid << " ben-or=" << benor;
+}
+
+TEST(CrossValidation, SingleClusterAlwaysDecidesRoundOne) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RunConfig cfg(ClusterLayout::single(9));
+    cfg.alg = Algorithm::HybridLocalCoin;
+    cfg.inputs = split_inputs(9);
+    cfg.seed = seed;
+    const auto r = run_consensus(cfg);
+    ASSERT_TRUE(r.success());
+    EXPECT_EQ(r.max_decision_round, 1) << "seed " << seed;
+  }
+}
+
+TEST(CrossValidation, FewerClustersConvergeFasterWithLocalCoins) {
+  // n = 12 split inputs: expected rounds should not increase as m shrinks
+  // (per-cluster agreement collapses divergent estimates). Compare m = 1,
+  // m = 2 vs m = 12 with generous sampling.
+  const ProcId n = 12;
+  const int runs = 120;
+  const double m1 = mean_decision_rounds(Algorithm::HybridLocalCoin,
+                                         ClusterLayout::single(n), runs, 11);
+  const double m2 = mean_decision_rounds(Algorithm::HybridLocalCoin,
+                                         ClusterLayout::even(n, 2), runs, 22);
+  const double mn = mean_decision_rounds(
+      Algorithm::HybridLocalCoin, ClusterLayout::singletons(n), runs, 33);
+  EXPECT_EQ(m1, 1.0);
+  EXPECT_LE(m2, mn * 1.10) << "m=2 should not be slower than m=n";
+  EXPECT_LT(m1, mn);
+}
+
+TEST(CrossValidation, CommonCoinRoundsFlatInN) {
+  // Algorithm 3's expected rounds are O(1): compare n = 4 vs n = 24 (same
+  // m = 4 shape). Means should be within a small constant of each other.
+  const int runs = 150;
+  const double small = mean_decision_rounds(
+      Algorithm::HybridCommonCoin, ClusterLayout::even(4, 4), runs, 44);
+  const double large = mean_decision_rounds(
+      Algorithm::HybridCommonCoin, ClusterLayout::even(24, 4), runs, 55);
+  EXPECT_LT(small, 5.0);
+  EXPECT_LT(large, 5.0);
+  EXPECT_NEAR(small, large, 1.5);
+}
+
+TEST(CrossValidation, CommonCoinBeatsLocalCoinOnSplitInputs) {
+  const ProcId n = 10;
+  const int runs = 120;
+  const auto layout = ClusterLayout::singletons(n);
+  const double lc = mean_decision_rounds(Algorithm::HybridLocalCoin, layout,
+                                         runs, 66);
+  const double cc = mean_decision_rounds(Algorithm::HybridCommonCoin, layout,
+                                         runs, 77);
+  EXPECT_LT(cc, lc + 0.5) << "common coin should not be slower";
+}
+
+TEST(CrossValidation, BothHybridAlgorithmsAgreeOnUnanimousValue) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const auto alg :
+         {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
+      RunConfig cfg(ClusterLayout::from_sizes({2, 3, 2}));
+      cfg.alg = alg;
+      cfg.inputs = uniform_inputs(7, Estimate::One);
+      cfg.seed = seed;
+      const auto r = run_consensus(cfg);
+      ASSERT_TRUE(r.success());
+      EXPECT_EQ(r.decided_value, Estimate::One);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,142 @@
+// Unit tests for the failure-pattern generators: each generator must build
+// plans matching its contract, and classify() must predict termination
+// exactly per the paper's condition (live covering cluster set for hybrid,
+// live majority for Ben-Or).
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+#include "workload/failure_patterns.h"
+
+namespace hyco {
+namespace {
+
+using namespace failure_patterns;
+
+TEST(FailurePatterns, NoneKeepsEverybody) {
+  const auto layout = ClusterLayout::from_sizes({2, 3, 2});
+  const auto s = none(layout);
+  EXPECT_EQ(s.crash_count, 0u);
+  EXPECT_TRUE(s.hybrid_should_terminate);
+  EXPECT_TRUE(s.benor_should_terminate);
+}
+
+TEST(FailurePatterns, CrashSetTargetsExactProcesses) {
+  const auto layout = ClusterLayout::from_sizes({2, 3, 2});
+  const auto s = crash_set(layout, {0, 4}, 100);
+  EXPECT_EQ(s.crash_count, 2u);
+  EXPECT_EQ(s.plan.specs[0].kind, CrashSpec::Kind::AtTime);
+  EXPECT_EQ(s.plan.specs[4].time, 100);
+  EXPECT_EQ(s.plan.specs[1].kind, CrashSpec::Kind::None);
+  EXPECT_TRUE(s.hybrid_should_terminate);   // clusters 1,2 fully... cluster 0
+                                            // keeps p1: full coverage anyway
+  EXPECT_TRUE(s.benor_should_terminate);    // 5 of 7 alive
+}
+
+TEST(FailurePatterns, RandomMinorityNeverExceedsHalf) {
+  const auto layout = ClusterLayout::even(9, 3);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = random_minority(layout, rng, 100);
+    EXPECT_LT(2 * s.crash_count, 9u);
+    EXPECT_TRUE(s.benor_should_terminate);
+    EXPECT_TRUE(s.hybrid_should_terminate);  // minority crash always leaves
+                                             // a live covering set
+  }
+}
+
+TEST(FailurePatterns, OneSurvivorPerClusterKeepsExactlyOne) {
+  const auto layout = ClusterLayout::from_sizes({2, 3, 2});
+  Rng rng(2);
+  const auto s = one_survivor_per_cluster(layout, {0, 1}, rng, 100);
+  // clusters 0 and 1 keep one live each; cluster 2 fully crashed.
+  EXPECT_EQ(s.crash_count, 7u - 2u);
+  // coverage = |P0| + |P1| = 5 > 3.5
+  EXPECT_TRUE(s.hybrid_should_terminate);
+  EXPECT_FALSE(s.benor_should_terminate);  // only 2 of 7 alive
+  // exactly one survivor inside cluster 0 and one inside cluster 1
+  int live0 = 0, live1 = 0, live2 = 0;
+  for (ProcId p = 0; p < 7; ++p) {
+    if (s.plan.specs[static_cast<std::size_t>(p)].kind !=
+        CrashSpec::Kind::None) {
+      continue;
+    }
+    const auto x = layout.cluster_of(p);
+    (x == 0 ? live0 : (x == 1 ? live1 : live2))++;
+  }
+  EXPECT_EQ(live0, 1);
+  EXPECT_EQ(live1, 1);
+  EXPECT_EQ(live2, 0);
+}
+
+TEST(FailurePatterns, MajorityCrashNeedsMajorityCluster) {
+  const auto good = ClusterLayout::fig1_right();
+  Rng rng(3);
+  const auto s = majority_crash_one_survivor(good, rng, 100);
+  EXPECT_EQ(s.crash_count, 6u);
+  EXPECT_TRUE(s.hybrid_should_terminate);
+  EXPECT_FALSE(s.benor_should_terminate);
+
+  const auto bad = ClusterLayout::from_sizes({2, 3, 2});
+  EXPECT_THROW(majority_crash_one_survivor(bad, rng, 100),
+               ContractViolation);
+}
+
+TEST(FailurePatterns, KillCoveringSetDropsCoverageBelowMajority) {
+  Rng rng(4);
+  for (const auto& sizes :
+       {std::vector<ProcId>{2, 3, 2}, std::vector<ProcId>{1, 4, 2},
+        std::vector<ProcId>{3, 3, 3, 3}}) {
+    const auto layout = ClusterLayout::from_sizes(sizes);
+    const auto s = kill_covering_set(layout, rng, 100);
+    EXPECT_FALSE(s.hybrid_should_terminate) << layout.to_string();
+  }
+}
+
+TEST(FailurePatterns, MidBroadcastMarksRequestedCount) {
+  const auto layout = ClusterLayout::from_sizes({3, 3, 3});
+  Rng rng(5);
+  const auto s = mid_broadcast(layout, 4, 2, rng);
+  EXPECT_EQ(s.crash_count, 4u);
+  int on_broadcast = 0;
+  for (const auto& spec : s.plan.specs) {
+    if (spec.kind == CrashSpec::Kind::OnBroadcast) {
+      ++on_broadcast;
+      EXPECT_EQ(spec.broadcast_index, 2);
+      EXPECT_GE(spec.deliver_count, 0);
+      EXPECT_LT(spec.deliver_count, 9);
+    }
+  }
+  EXPECT_EQ(on_broadcast, 4);
+  EXPECT_THROW(mid_broadcast(layout, 99, 0, rng), ContractViolation);
+}
+
+TEST(FailurePatterns, ClassifyChecksPlanSize) {
+  const auto layout = ClusterLayout::from_sizes({2, 2});
+  EXPECT_THROW(classify("x", layout, CrashPlan::none(3)), ContractViolation);
+}
+
+TEST(FailurePatterns, ClassifyPredictsHybridAndBenOrIndependently) {
+  // Layout {4,1,1,1}: kill the three singletons -> 3 crashes (< n/2 = 3.5,
+  // so Ben-Or fine) and coverage 4 > 3.5 (hybrid fine).
+  const auto layout = ClusterLayout::from_sizes({4, 1, 1, 1});
+  auto plan = CrashPlan::none(7);
+  for (const ProcId p : {4, 5, 6}) {
+    plan.specs[static_cast<std::size_t>(p)] = CrashSpec::at_time(0);
+  }
+  const auto s = classify("singletons-die", layout, plan);
+  EXPECT_TRUE(s.hybrid_should_terminate);
+  EXPECT_TRUE(s.benor_should_terminate);
+
+  // Kill all of the big cluster instead: 4 crashes (> n/2: Ben-Or blocked);
+  // coverage 3 <= 3.5 (hybrid blocked too).
+  auto plan2 = CrashPlan::none(7);
+  for (const ProcId p : {0, 1, 2, 3}) {
+    plan2.specs[static_cast<std::size_t>(p)] = CrashSpec::at_time(0);
+  }
+  const auto s2 = classify("big-cluster-dies", layout, plan2);
+  EXPECT_FALSE(s2.hybrid_should_terminate);
+  EXPECT_FALSE(s2.benor_should_terminate);
+}
+
+}  // namespace
+}  // namespace hyco

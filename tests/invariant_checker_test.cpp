@@ -1,0 +1,142 @@
+// Unit tests for the online invariant checker: it must catch each violation
+// class (cluster inconsistency, WA1, WA2, agreement, validity) and stay
+// silent on clean traces.
+#include <gtest/gtest.h>
+
+#include "core/invariant_checker.h"
+#include "util/assert.h"
+
+namespace hyco {
+namespace {
+
+ClusterLayout layout() { return ClusterLayout::from_sizes({2, 3, 2}); }
+
+TEST(InvariantChecker, CleanTraceIsOk) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.set_inputs(std::vector<Estimate>(7, Estimate::One));
+  for (ProcId p = 0; p < 7; ++p) c.on_est1(p, 1, Estimate::One);
+  for (ProcId p = 0; p < 7; ++p) c.on_est2(p, 1, Estimate::One);
+  for (ProcId p = 0; p < 7; ++p) c.on_rec(p, 1, {Estimate::One});
+  for (ProcId p = 0; p < 7; ++p) c.on_decide(p, 1, Estimate::One);
+  EXPECT_TRUE(c.ok()) << c.violations()[0];
+  EXPECT_EQ(c.decided_value(), Estimate::One);
+}
+
+TEST(InvariantChecker, CatchesClusterInconsistentEst1) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_est1(2, 1, Estimate::Zero);  // p2 and p3 are both in P[1]
+  c.on_est1(3, 1, Estimate::One);
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("cluster-inconsistency"),
+            std::string::npos);
+}
+
+TEST(InvariantChecker, SameClusterDifferentRoundsIsFine) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_est1(2, 1, Estimate::Zero);
+  c.on_est1(3, 2, Estimate::One);  // different round: no conflict
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesBotEst1) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_est1(0, 1, Estimate::Bot);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesWa1Violation) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_est2(0, 3, Estimate::Zero);
+  c.on_est2(2, 3, Estimate::One);  // two distinct non-⊥ est2 in one round
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("WA1"), std::string::npos);
+}
+
+TEST(InvariantChecker, BotEst2NeverTriggersWa1) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_est2(0, 3, Estimate::Zero);
+  c.on_est2(2, 3, Estimate::Bot);
+  c.on_est2(5, 3, Estimate::Zero);
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesWa2Violation) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_rec(0, 2, {Estimate::One});   // rec = {v}
+  c.on_rec(2, 2, {Estimate::Bot});   // rec = {⊥}: mutually exclusive
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("WA2"), std::string::npos);
+}
+
+TEST(InvariantChecker, Wa2OrderIndependent) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_rec(2, 2, {Estimate::Bot});
+  c.on_rec(0, 2, {Estimate::One});
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, MixedRecIsCompatibleWithBoth) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_rec(0, 2, {Estimate::One});
+  c.on_rec(1, 2, {Estimate::One, Estimate::Bot});  // {v,⊥} is fine
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesRecWithBothBinaryValues) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_rec(0, 1, {Estimate::Zero, Estimate::One});
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesEmptyRec) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_rec(0, 1, {});
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, CatchesDisagreement) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_decide(0, 1, Estimate::Zero);
+  c.on_decide(1, 2, Estimate::One);
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("AGREEMENT"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesInvalidDecision) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.set_inputs(std::vector<Estimate>(7, Estimate::Zero));
+  c.on_decide(0, 1, Estimate::One);  // 1 was never proposed
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.violations()[0].find("VALIDITY"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesBotDecision) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  c.on_decide(0, 1, Estimate::Bot);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantChecker, InputSizeValidated) {
+  const auto l = layout();
+  InvariantChecker c(l);
+  EXPECT_THROW(c.set_inputs({Estimate::One}), ContractViolation);
+  EXPECT_THROW(c.set_inputs(std::vector<Estimate>(7, Estimate::Bot)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hyco

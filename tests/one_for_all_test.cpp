@@ -1,0 +1,135 @@
+// The paper's headline theorem (Section III-B, "Main scalability and
+// fault-tolerance property"):
+//
+//   In all executions with k distinct clusters P[x1..xk] such that
+//   |P[x1]| + ... + |P[xk]| > n/2 and each keeps >= 1 live process,
+//   Algorithm 2 (and Algorithm 3) solves consensus.
+//
+// In particular consensus survives a MAJORITY of crashes whenever a majority
+// cluster keeps one process — impossible in pure message passing. These
+// tests sweep layouts, surviving-cluster choices, algorithms, and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/runner.h"
+#include "workload/failure_patterns.h"
+
+namespace hyco {
+namespace {
+
+struct LayoutCase {
+  const char* name;
+  std::vector<ProcId> sizes;
+  std::vector<ClusterId> survivors;  // clusters that keep one live process
+};
+
+std::vector<LayoutCase> covering_cases() {
+  return {
+      {"fig1_right_majority", {1, 4, 2}, {1}},
+      {"two_big_clusters", {4, 4, 1}, {0, 1}},
+      {"three_mid_clusters", {3, 3, 3}, {0, 2}},
+      {"one_huge", {9, 1, 1}, {0}},
+      {"pair_covers", {2, 3, 2, 2}, {1, 3}},  // 3 + 2 = 5 > 4.5
+  };
+}
+
+class OneForAll
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(OneForAll, SurvivingCoveringClustersForceTermination) {
+  const auto [case_idx, alg_idx, seed] = GetParam();
+  const LayoutCase lc = covering_cases()[static_cast<std::size_t>(case_idx)];
+  const auto layout = ClusterLayout::from_sizes(lc.sizes);
+
+  Rng rng(mix64(seed, 0xFA11));
+  const auto scenario = failure_patterns::one_survivor_per_cluster(
+      layout, lc.survivors, rng, 400);
+  ASSERT_TRUE(scenario.hybrid_should_terminate)
+      << lc.name << ": chosen clusters must cover a majority";
+
+  RunConfig cfg(layout);
+  cfg.alg = alg_idx == 0 ? Algorithm::HybridLocalCoin
+                         : Algorithm::HybridCommonCoin;
+  cfg.inputs = split_inputs(layout.n());
+  cfg.crashes = scenario.plan;
+  cfg.seed = seed;
+  const auto r = run_consensus(cfg);
+  EXPECT_TRUE(r.all_correct_decided)
+      << lc.name << " alg=" << to_cstring(cfg.alg) << " seed=" << seed
+      << " (crashed " << scenario.crash_count << "/" << layout.n() << ")";
+  EXPECT_TRUE(r.safe()) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OneForAll,
+    ::testing::Combine(::testing::Range(0, 5),       // layout case
+                       ::testing::Values(0, 1),      // algorithm
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+TEST(OneForAll, MajorityCrashBeatsBenOr) {
+  // The same failure pattern applied to both models: hybrid terminates,
+  // Ben-Or cannot. fig1_right, 6 of 7 crashed, survivor in P[1].
+  const auto layout = ClusterLayout::fig1_right();
+  Rng rng(2024);
+  const auto scenario =
+      failure_patterns::majority_crash_one_survivor(layout, rng, 300);
+  ASSERT_EQ(scenario.crash_count, 6u);
+
+  RunConfig hybrid(layout);
+  hybrid.alg = Algorithm::HybridCommonCoin;
+  hybrid.inputs = split_inputs(7);
+  hybrid.crashes = scenario.plan;
+  hybrid.seed = 1;
+  const auto hr = run_consensus(hybrid);
+  EXPECT_TRUE(hr.all_correct_decided);
+  EXPECT_TRUE(hr.safe());
+
+  RunConfig benor(ClusterLayout::singletons(7));
+  benor.alg = Algorithm::BenOr;
+  benor.inputs = split_inputs(7);
+  benor.crashes = scenario.plan;
+  benor.seed = 1;
+  const auto br = run_consensus(benor);
+  EXPECT_FALSE(br.all_correct_decided);
+  EXPECT_FALSE(br.decided_value.has_value());
+  EXPECT_TRUE(br.safe());
+}
+
+TEST(OneForAll, SurvivorDecidesEvenWhenAloneInWholeSystem) {
+  // Single cluster (m = 1): everyone but p0 crashes instantly. The paper's
+  // motto taken to the extreme — the lone survivor is "all" of its cluster,
+  // which covers n > n/2.
+  const auto layout = ClusterLayout::single(8);
+  RunConfig cfg(layout);
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(8);
+  cfg.crashes = CrashPlan::none(8);
+  for (ProcId p = 1; p < 8; ++p) {
+    cfg.crashes.specs[static_cast<std::size_t>(p)] = CrashSpec::at_time(0);
+  }
+  cfg.seed = 3;
+  const auto r = run_consensus(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.safe());
+}
+
+TEST(OneForAll, CrashedClusterValueStillCounts) {
+  // A cluster whose members all crash AFTER one of them broadcast still
+  // contributes its full weight through the closure: use mid-broadcast
+  // crashes that deliver to at least one live process.
+  const auto layout = ClusterLayout::fig1_right();
+  RunConfig cfg(layout);
+  cfg.alg = Algorithm::HybridLocalCoin;
+  cfg.inputs = split_inputs(7);
+  cfg.crashes = CrashPlan::none(7);
+  // p0 ({0} cluster) dies during its very first broadcast reaching 3 peers.
+  cfg.crashes.specs[0] = CrashSpec::on_broadcast(0, 3);
+  cfg.seed = 4;
+  const auto r = run_consensus(cfg);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.safe());
+}
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,154 @@
+// Unit tests for the deterministic PRNG (util/rng.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  const Rng forked = parent.fork(3);
+  Rng forked_copy = forked;
+  Rng parent2(7);
+  const Rng forked_again = parent2.fork(3);
+  Rng forked_again_copy = forked_again;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(forked_copy.next_u64(), forked_again_copy.next_u64());
+  }
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng s1 = parent.fork(1);
+  Rng s2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s1.next_u64() == s2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBothBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform(4, 4), 4);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[r.bounded(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 10 * 0.15);
+  }
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng r(17);
+  EXPECT_EQ(r.bounded(0), 0u);
+  EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, CoinIsFairIsh) {
+  Rng r(19);
+  int ones = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ones += r.coin();
+  EXPECT_NEAR(ones, trials / 2, 1000);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(23);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 30000, 1500);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(29);
+  double sum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / trials, 100.0, 2.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(31);
+  EXPECT_THROW(r.exponential(0.0), ContractViolation);
+  EXPECT_THROW(r.exponential(-1.0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(42, i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Rng, SplitmixDeterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,163 @@
+// Unit tests for the shared-memory substrate: registers, CAS and LL/SC
+// cells, the two consensus-object constructions (both must satisfy the
+// consensus spec: agreement on the first proposal, wait-freedom, and —
+// critically for Algorithm 2 — ⊥ must be proposable), and cluster memory.
+#include <gtest/gtest.h>
+
+#include "runtime/atomic_memory.h"
+#include "shm/atomic_register.h"
+#include "shm/cas_cell.h"
+#include "shm/cluster_memory.h"
+#include "shm/consensus_object.h"
+#include "shm/llsc_cell.h"
+#include "util/assert.h"
+
+namespace hyco {
+namespace {
+
+TEST(AtomicRegister, ReadsLastWrite) {
+  ShmOpCounts counts;
+  AtomicRegister<int> reg(&counts);
+  EXPECT_FALSE(reg.read().has_value());
+  reg.write(7);
+  EXPECT_EQ(reg.read(), 7);
+  reg.write(9);
+  EXPECT_EQ(reg.read(), 9);
+  EXPECT_TRUE(reg.written());
+  EXPECT_EQ(counts.writes, 2u);
+  EXPECT_EQ(counts.reads, 3u);
+}
+
+TEST(CasCell, SwapsOnlyOnExpectedMatch) {
+  ShmOpCounts counts;
+  CasCell<int> cell(&counts);
+  EXPECT_TRUE(cell.compare_and_swap(std::nullopt, 1));
+  EXPECT_FALSE(cell.compare_and_swap(std::nullopt, 2));  // already 1
+  EXPECT_EQ(cell.read(), 1);
+  EXPECT_TRUE(cell.compare_and_swap(1, 3));
+  EXPECT_EQ(cell.read(), 3);
+  EXPECT_EQ(counts.cas_attempts, 3u);
+  EXPECT_EQ(counts.cas_successes, 2u);
+}
+
+TEST(LlScCell, StoreConditionalFailsAfterInterveningWrite) {
+  ShmOpCounts counts;
+  LlScCell<int> cell(3, &counts);
+  // p0 links, p1 writes in between, p0's SC must fail.
+  EXPECT_FALSE(cell.load_linked(0).has_value());
+  (void)cell.load_linked(1);
+  EXPECT_TRUE(cell.store_conditional(1, 5));
+  EXPECT_FALSE(cell.store_conditional(0, 6));
+  EXPECT_EQ(cell.read(), 5);
+  EXPECT_EQ(counts.sc_attempts, 2u);
+  EXPECT_EQ(counts.sc_successes, 1u);
+}
+
+TEST(LlScCell, ScWithoutLinkFails) {
+  LlScCell<int> cell(2);
+  EXPECT_FALSE(cell.store_conditional(0, 1));
+}
+
+// Both consensus constructions must satisfy the same object spec.
+class ConsensusObjectContract : public ::testing::TestWithParam<ConsensusImpl> {
+ protected:
+  std::unique_ptr<IConsensusObject> make() {
+    return make_consensus_object(GetParam(), 8, &counts_);
+  }
+  ShmOpCounts counts_;
+};
+
+TEST_P(ConsensusObjectContract, FirstProposalWins) {
+  auto obj = make();
+  EXPECT_FALSE(obj->decided().has_value());
+  EXPECT_EQ(obj->propose(0, Estimate::One), Estimate::One);
+  EXPECT_EQ(obj->propose(1, Estimate::Zero), Estimate::One);
+  EXPECT_EQ(obj->propose(2, Estimate::One), Estimate::One);
+  EXPECT_EQ(obj->decided(), Estimate::One);
+  EXPECT_EQ(counts_.consensus_proposals, 3u);
+}
+
+TEST_P(ConsensusObjectContract, BotIsAProposableValue) {
+  // Algorithm 2 proposes ⊥ to CONS_x[r,2]; the object must treat ⊥ as a
+  // first-class value, not as "undecided".
+  auto obj = make();
+  EXPECT_EQ(obj->propose(0, Estimate::Bot), Estimate::Bot);
+  EXPECT_EQ(obj->propose(1, Estimate::One), Estimate::Bot);
+  EXPECT_EQ(obj->decided(), Estimate::Bot);
+}
+
+TEST_P(ConsensusObjectContract, IdempotentReProposal) {
+  auto obj = make();
+  EXPECT_EQ(obj->propose(3, Estimate::Zero), Estimate::Zero);
+  EXPECT_EQ(obj->propose(3, Estimate::Zero), Estimate::Zero);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothImpls, ConsensusObjectContract,
+                         ::testing::Values(ConsensusImpl::Cas,
+                                           ConsensusImpl::LlSc));
+
+TEST(AtomicConsensus, SameContractOnStdAtomic) {
+  AtomicConsensus obj;
+  EXPECT_FALSE(obj.decided().has_value());
+  EXPECT_EQ(obj.propose(0, Estimate::Bot), Estimate::Bot);
+  EXPECT_EQ(obj.propose(1, Estimate::One), Estimate::Bot);
+  EXPECT_EQ(obj.decided(), Estimate::Bot);
+  EXPECT_EQ(obj.proposals(), 2u);
+}
+
+TEST(ClusterMemory, LazyCreationAndStableIdentity) {
+  ClusterMemory mem(0, 4);
+  auto& a = mem.cons(1, Phase::One);
+  auto& b = mem.cons(1, Phase::One);
+  EXPECT_EQ(&a, &b);
+  auto& c = mem.cons(1, Phase::Two);
+  EXPECT_NE(&a, &c);
+  auto& d = mem.cons(2, Phase::One);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(mem.objects_created(), 3u);
+}
+
+TEST(ClusterMemory, SinglePhaseAccessorIsPhaseOne) {
+  ClusterMemory mem(1, 4);
+  auto& a = mem.cons(3);
+  auto& b = mem.cons(3, Phase::One);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ClusterMemory, RoundsStartAtOne) {
+  ClusterMemory mem(0, 4);
+  EXPECT_THROW(mem.cons(0, Phase::One), ContractViolation);
+  EXPECT_THROW(mem.cons(-3, Phase::One), ContractViolation);
+}
+
+TEST(ClusterMemory, CountsAggregateAcrossObjects) {
+  ClusterMemory mem(0, 4);
+  mem.cons(1, Phase::One).propose(0, Estimate::Zero);
+  mem.cons(1, Phase::Two).propose(0, Estimate::Bot);
+  mem.cons(2, Phase::One).propose(1, Estimate::One);
+  EXPECT_EQ(mem.counts().consensus_proposals, 3u);
+}
+
+TEST(ThreadClusterMemory, LazyAndStable) {
+  ThreadClusterMemory mem(2);
+  auto& a = mem.cons(1, Phase::One);
+  auto& b = mem.cons(1, Phase::One);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(mem.objects_created(), 1u);
+  EXPECT_EQ(mem.cluster(), 2);
+}
+
+TEST(OpCounts, Accumulate) {
+  ShmOpCounts a, b;
+  a.reads = 1;
+  a.cas_attempts = 2;
+  b.reads = 10;
+  b.consensus_proposals = 5;
+  a += b;
+  EXPECT_EQ(a.reads, 11u);
+  EXPECT_EQ(a.cas_attempts, 2u);
+  EXPECT_EQ(a.consensus_proposals, 5u);
+}
+
+}  // namespace
+}  // namespace hyco

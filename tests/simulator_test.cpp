@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event engine (sim/simulator.h, event_queue.h)
+// and crash tracking (sim/crash.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/crash.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace hyco {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), ContractViolation);
+  EXPECT_THROW(q.next_time(), ContractViolation);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim(1);
+  SimTime seen = -1;
+  sim.schedule_in(100, [&] { seen = sim.now(); });
+  EXPECT_EQ(sim.run(), StopReason::Quiescent);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, NestedSchedulingUsesCurrentTime) {
+  Simulator sim(1);
+  std::vector<SimTime> times;
+  sim.schedule_in(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10);
+  EXPECT_EQ(times[1], 15);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator sim(1);
+  sim.schedule_in(50, [&] {
+    EXPECT_THROW(sim.schedule_at(10, [] {}), ContractViolation);
+  });
+  sim.run();
+}
+
+TEST(Simulator, EventLimitStops) {
+  Simulator sim(1);
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { sim.schedule_in(1, tick); };
+  sim.schedule_in(0, tick);
+  EXPECT_EQ(sim.run(100), StopReason::EventLimit);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, TimeLimitStops) {
+  Simulator sim(1);
+  std::function<void()> tick = [&] { sim.schedule_in(10, tick); };
+  sim.schedule_in(0, tick);
+  EXPECT_EQ(sim.run(1'000'000, 500), StopReason::TimeLimit);
+  EXPECT_LE(sim.now(), 500);
+}
+
+TEST(Simulator, HaltStopsMidRun) {
+  Simulator sim(1);
+  int executed = 0;
+  sim.schedule_in(1, [&] {
+    ++executed;
+    sim.halt();
+  });
+  sim.schedule_in(2, [&] { ++executed; });
+  EXPECT_EQ(sim.run(), StopReason::Halted);
+  EXPECT_EQ(executed, 1);
+  // A fresh run() resumes the remaining events.
+  EXPECT_EQ(sim.run(), StopReason::Quiescent);
+  EXPECT_EQ(executed, 2);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_in(1, [&] { ++fired; });
+  sim.schedule_in(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RngIsSeedDeterministic) {
+  Simulator a(42), b(42), c(43);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  // Different seeds almost surely differ.
+  EXPECT_NE(a.rng().next_u64(), c.rng().next_u64());
+}
+
+TEST(CrashTracker, BasicLifecycle) {
+  CrashTracker t(5);
+  EXPECT_FALSE(t.is_crashed(2));
+  EXPECT_EQ(t.crash_time(2), kSimTimeNever);
+  t.crash(2, 100);
+  EXPECT_TRUE(t.is_crashed(2));
+  EXPECT_EQ(t.crash_time(2), 100);
+  EXPECT_EQ(t.crashed_count(), 1u);
+}
+
+TEST(CrashTracker, DoubleCrashKeepsFirstTime) {
+  CrashTracker t(3);
+  t.crash(0, 10);
+  t.crash(0, 99);
+  EXPECT_EQ(t.crash_time(0), 10);
+  EXPECT_EQ(t.crashed_count(), 1u);
+}
+
+TEST(CrashTracker, CorrectSetComplementsCrashes) {
+  CrashTracker t(4);
+  t.crash(1, 5);
+  t.crash(3, 6);
+  const auto live = t.correct();
+  EXPECT_TRUE(live.test(0));
+  EXPECT_FALSE(live.test(1));
+  EXPECT_TRUE(live.test(2));
+  EXPECT_FALSE(live.test(3));
+}
+
+TEST(CrashTracker, UnknownProcessThrows) {
+  CrashTracker t(2);
+  EXPECT_THROW(t.crash(2, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hyco

@@ -1,0 +1,105 @@
+// Unit tests for the statistics toolkit (util/stats.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace hyco {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMaxSum) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 6.0}) a.add(x);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Accumulator, SampleVariance) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Summary, PercentilesOnKnownData) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  Summary s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  s.add(7.0);
+  EXPECT_EQ(s.percentile(0), 7.0);
+  EXPECT_EQ(s.percentile(100), 7.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, PercentileRangeChecked) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), ContractViolation);
+  EXPECT_THROW(s.percentile(101), ContractViolation);
+}
+
+TEST(Summary, AddAllAndToString) {
+  Summary s;
+  s.add_all({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count(), 3u);
+  const auto str = s.to_string();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(42.0);  // clamps to bucket 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, RendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyco

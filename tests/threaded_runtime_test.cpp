@@ -1,0 +1,78 @@
+// Tests of the thread-per-process runtime: blocking Algorithms 2 and 3 over
+// real mailboxes and std::atomic cluster memories. Interleavings are
+// nondeterministic, so assertions target the algorithm guarantees
+// (agreement, validity, termination under scheduled fairness), not exact
+// round counts.
+#include <gtest/gtest.h>
+
+#include "runtime/threaded_runner.h"
+
+namespace hyco {
+namespace {
+
+TEST(ThreadedCommonCoin, UnanimousDecidesProposedValue) {
+  ThreadRunConfig cfg(ClusterLayout::from_sizes({2, 3, 2}));
+  cfg.alg = ThreadAlgorithm::CommonCoin;
+  cfg.inputs = std::vector<Estimate>(7, Estimate::One);
+  cfg.seed = 17;
+  const auto r = run_threaded(cfg);
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.decided_value, Estimate::One);
+}
+
+TEST(ThreadedCommonCoin, SplitInputsTerminate) {
+  ThreadRunConfig cfg(ClusterLayout::from_sizes({2, 3, 2}));
+  cfg.alg = ThreadAlgorithm::CommonCoin;
+  cfg.seed = 23;
+  const auto r = run_threaded(cfg);
+  ASSERT_TRUE(r.success());
+  EXPECT_TRUE(r.decided_value.has_value());
+}
+
+TEST(ThreadedLocalCoin, UnanimousDecidesFast) {
+  ThreadRunConfig cfg(ClusterLayout::from_sizes({2, 2}));
+  cfg.alg = ThreadAlgorithm::LocalCoin;
+  cfg.inputs = std::vector<Estimate>(4, Estimate::Zero);
+  cfg.seed = 31;
+  const auto r = run_threaded(cfg);
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.decided_value, Estimate::Zero);
+}
+
+TEST(ThreadedLocalCoin, SplitInputsTerminate) {
+  ThreadRunConfig cfg(ClusterLayout::from_sizes({3, 3}));
+  cfg.alg = ThreadAlgorithm::LocalCoin;
+  cfg.seed = 37;
+  const auto r = run_threaded(cfg);
+  ASSERT_TRUE(r.success());
+}
+
+TEST(ThreadedCrash, SurvivorsOfMajorityClusterDecide) {
+  // Layout {1,4,2}: cluster 1 = {1,2,3,4} is a majority cluster. Crash p0
+  // and p5, p6 plus three members of the majority cluster at round 1; the
+  // single survivor p1 (plus the one-for-all closure) must still decide.
+  ThreadRunConfig cfg(ClusterLayout::from_sizes({1, 4, 2}));
+  cfg.alg = ThreadAlgorithm::CommonCoin;
+  cfg.seed = 41;
+  cfg.crashes.assign(7, {});
+  for (const ProcId p : {0, 2, 3, 4, 5, 6}) {
+    cfg.crashes[static_cast<std::size_t>(p)].at_round = 1;
+    cfg.crashes[static_cast<std::size_t>(p)].partial = 2;
+  }
+  const auto r = run_threaded(cfg);
+  EXPECT_FALSE(r.deadline_hit);
+  EXPECT_TRUE(r.agreement_ok);
+  ASSERT_TRUE(r.outcomes[1].decision.has_value())
+      << "the majority-cluster survivor must decide";
+}
+
+TEST(ThreadedScale, ManyProcessesManyClusters) {
+  ThreadRunConfig cfg(ClusterLayout::even(16, 4));
+  cfg.alg = ThreadAlgorithm::CommonCoin;
+  cfg.seed = 53;
+  const auto r = run_threaded(cfg);
+  ASSERT_TRUE(r.success());
+}
+
+}  // namespace
+}  // namespace hyco
