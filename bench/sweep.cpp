@@ -1,0 +1,225 @@
+// sweep — run an arbitrary experiment grid from flags and emit the
+// aggregate as an ASCII table, CSV, and/or JSON. The declarative engine
+// (src/exp/) fans all (cell × seed) runs across worker threads; aggregates
+// are bit-identical at every --threads value.
+//
+// Example (reproduces the shape of T-ROUNDS' first table):
+//   sweep --alg=common_coin --n=4,8,16,32,64 --m=4 --runs=300 \
+//         --threads=8 --json=out.json
+//
+// Flags:
+//   --alg=A,B       local_coin | common_coin | ben_or      [local_coin]
+//   --n=8,16,32     process counts                         [8]
+//   --m=1,4         cluster counts (cells with m > n skip) [1]
+//   --runs=N        seeds per cell                         [40]
+//   --threads=K     workers; 0 = hardware concurrency      [0]
+//   --seed=S        base seed                              [1]
+//   --eps=0,0.25    common-coin corruption probabilities   [0]
+//   --inputs=KIND   split | all0 | all1                    [split]
+//   --delay=SPEC    uniform:LO:HI | constant:T | exp:MEAN  [uniform:50:150]
+//   --crash=C,...   none | minority | covering-dead | mid-broadcast  [none]
+//   --max-rounds=R  per-run round cap                      [5000]
+//   --json=PATH     write JSON report (- for stdout)
+//   --csv=PATH      write CSV report (- for stdout)
+//   --replay=N      re-run up to N failing seeds with tracing on
+//   --quiet         suppress the ASCII table
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/executor.h"
+#include "exp/replay.h"
+#include "exp/report.h"
+#include "util/assert.h"
+#include "util/options.h"
+#include "workload/failure_patterns.h"
+
+using namespace hyco;
+
+namespace {
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "local_coin" || name == "lc" || name == "hybrid-LC") {
+    return Algorithm::HybridLocalCoin;
+  }
+  if (name == "common_coin" || name == "cc" || name == "hybrid-CC") {
+    return Algorithm::HybridCommonCoin;
+  }
+  if (name == "ben_or" || name == "benor" || name == "ben-or") {
+    return Algorithm::BenOr;
+  }
+  HYCO_CHECK_MSG(false, "--alg: unknown algorithm \"" << name
+                        << "\" (want local_coin | common_coin | ben_or)");
+  return Algorithm::HybridLocalCoin;  // unreachable
+}
+
+InputKind parse_inputs(const std::string& name) {
+  if (name == "split") return InputKind::Split;
+  if (name == "all0" || name == "all-0") return InputKind::AllZero;
+  if (name == "all1" || name == "all-1") return InputKind::AllOne;
+  HYCO_CHECK_MSG(false, "--inputs: unknown kind \"" << name
+                        << "\" (want split | all0 | all1)");
+  return InputKind::Split;  // unreachable
+}
+
+DelayAxis parse_delay(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const auto num = [&](std::size_t i) {
+    char* end = nullptr;
+    const double v = std::strtod(parts[i].c_str(), &end);
+    HYCO_CHECK_MSG(end != parts[i].c_str() && *end == '\0',
+                   "--delay: \"" << parts[i] << "\" is not a number in \""
+                                 << spec << '"');
+    return v;
+  };
+  if (parts[0] == "uniform" && parts.size() == 3) {
+    return DelayAxis::of(spec, DelayConfig::uniform(
+                                   static_cast<SimTime>(num(1)),
+                                   static_cast<SimTime>(num(2))));
+  }
+  if (parts[0] == "constant" && parts.size() == 2) {
+    return DelayAxis::of(spec,
+                         DelayConfig::constant_of(static_cast<SimTime>(num(1))));
+  }
+  if (parts[0] == "exp" && parts.size() == 2) {
+    return DelayAxis::of(spec, DelayConfig::exponential(num(1)));
+  }
+  HYCO_CHECK_MSG(false, "--delay: malformed spec \"" << spec
+                        << "\" (want uniform:LO:HI | constant:T | exp:MEAN)");
+  return DelayAxis{};  // unreachable
+}
+
+CrashAxis parse_crash(const std::string& name, std::uint64_t base_seed) {
+  if (name == "none") return CrashAxis::none();
+  if (name == "minority") {
+    return CrashAxis::of(name, [base_seed](const ClusterLayout& l) {
+      Rng rng(mix64(base_seed, 0xC8A5));
+      return failure_patterns::random_minority(l, rng, 300).plan;
+    });
+  }
+  if (name == "covering-dead") {
+    return CrashAxis::of(name, [base_seed](const ClusterLayout& l) {
+      Rng rng(mix64(base_seed, 0xC8A6));
+      return failure_patterns::kill_covering_set(l, rng, 0).plan;
+    });
+  }
+  if (name == "mid-broadcast") {
+    return CrashAxis::of(name, [base_seed](const ClusterLayout& l) {
+      Rng rng(mix64(base_seed, 0xC8A7));
+      const ProcId count = std::max<ProcId>(1, l.n() / 4);
+      return failure_patterns::mid_broadcast(l, count, 1, rng).plan;
+    });
+  }
+  HYCO_CHECK_MSG(false,
+                 "--crash: unknown pattern \"" << name
+                     << "\" (want none | minority | covering-dead |"
+                        " mid-broadcast)");
+  return CrashAxis::none();  // unreachable
+}
+
+void write_report(const std::string& path,
+                  const std::function<void(std::ostream&)>& emit) {
+  if (path == "-") {
+    emit(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  HYCO_CHECK_MSG(out.good(), "cannot open \"" << path << "\" for writing");
+  emit(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  try {
+    ExperimentSpec spec;
+    spec.name = "sweep";
+    spec.base_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+    spec.runs_per_cell = static_cast<int>(opts.get_int("runs", 40));
+    spec.max_rounds = static_cast<Round>(opts.get_int("max-rounds", 5000));
+    spec.inputs = parse_inputs(opts.get_string("inputs", "split"));
+    spec.coin_epsilons.clear();
+    for (const double e : opts.get_double_list("eps", {0.0})) {
+      spec.coin_epsilons.push_back(e);
+    }
+
+    spec.algorithms.clear();
+    for (const auto& a : opts.get_string_list("alg", {"local_coin"})) {
+      spec.algorithms.push_back(parse_algorithm(a));
+    }
+
+    spec.delays = {parse_delay(opts.get_string("delay", "uniform:50:150"))};
+
+    spec.crashes.clear();
+    for (const auto& c : opts.get_string_list("crash", {"none"})) {
+      spec.crashes.push_back(parse_crash(c, spec.base_seed));
+    }
+
+    const auto ns = opts.get_int_list("n", {8});
+    const auto ms = opts.get_int_list("m", {1});
+    for (const auto n : ns) {
+      HYCO_CHECK_MSG(n >= 1, "--n: process count must be >= 1, got " << n);
+      for (const auto m : ms) {
+        HYCO_CHECK_MSG(m >= 1, "--m: cluster count must be >= 1, got " << m);
+        if (m > n) {
+          std::cerr << "sweep: skipping n=" << n << " m=" << m
+                    << " (more clusters than processes)\n";
+          continue;
+        }
+        spec.layouts.push_back(ClusterLayout::even(
+            static_cast<ProcId>(n), static_cast<ClusterId>(m)));
+      }
+    }
+    HYCO_CHECK_MSG(!spec.layouts.empty(), "no valid (n, m) layouts in grid");
+
+    ParallelExecutor::Options exec_opts;
+    exec_opts.threads = opts.get_int("threads", 0);
+    const ParallelExecutor exec(exec_opts);
+
+    const auto cells = spec.expand();
+    const std::size_t total =
+        cells.size() * static_cast<std::size_t>(spec.runs_per_cell);
+    const unsigned workers = exec.worker_count(total);
+    std::cerr << "sweep: " << cells.size() << " cells x "
+              << spec.runs_per_cell << " seeds = " << total << " runs on "
+              << workers << " threads\n";
+    const auto results = exec.run(cells);
+
+    if (!opts.get_bool("quiet")) {
+      to_table("sweep results", results).print(std::cout);
+    }
+    if (opts.has("csv")) {
+      write_report(opts.get_string("csv"), [&](std::ostream& out) {
+        write_cell_csv(out, results);
+      });
+    }
+    if (opts.has("json")) {
+      write_report(opts.get_string("json"), [&](std::ostream& out) {
+        write_cell_json(out, spec.name, results);
+      });
+    }
+
+    const auto max_replays =
+        static_cast<std::size_t>(opts.get_int("replay", 0));
+    if (max_replays > 0) {
+      const auto reports = replay_failures(results, max_replays);
+      std::cout << "replayed " << reports.size() << " failing run(s)\n";
+      dump_replays(std::cout, reports);
+    }
+  } catch (const ContractViolation& e) {
+    std::cerr << "sweep: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}

@@ -4,11 +4,12 @@
 //     counts degrade gracefully;
 //   * an ε-biased common coin against Algorithm 3 — the adversary's ability
 //     to pick coin bits slows (never corrupts) decisions.
-// Usage: table_adversary [--runs=N]
+// Usage: table_adversary [--runs=N] [--threads=K]
 #include <iostream>
 #include <memory>
+#include <string>
 
-#include "core/runner.h"
+#include "exp/executor.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -17,14 +18,15 @@ using namespace hyco;
 
 namespace {
 
-std::function<std::unique_ptr<DelayModel>()> split_adversary(SimTime factor) {
-  return [factor] {
-    return std::make_unique<AdversarialDelay>(
-        [factor](ProcId, ProcId, const Message& m, SimTime, Rng& rng) {
-          const SimTime base = rng.uniform(10, 50);
-          return m.est == Estimate::One ? base * factor : base;
-        });
-  };
+DelayAxis split_adversary(SimTime factor) {
+  return DelayAxis::adversarial(
+      "split-x" + std::to_string(factor), [factor] {
+        return std::make_unique<AdversarialDelay>(
+            [factor](ProcId, ProcId, const Message& m, SimTime, Rng& rng) {
+              const SimTime base = rng.uniform(10, 50);
+              return m.est == Estimate::One ? base * factor : base;
+            });
+      });
 }
 
 }  // namespace
@@ -32,6 +34,9 @@ std::function<std::unique_ptr<DelayModel>()> split_adversary(SimTime factor) {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const int runs = static_cast<int>(opts.get_int("runs", 200));
+  ParallelExecutor::Options exec_opts;
+  exec_opts.threads = opts.get_int("threads", 0);
+  const ParallelExecutor exec(exec_opts);
 
   std::cout << "T-ADV: adversarial scheduling and imperfect coins (n=7,"
                " fig1-left, split inputs, " << runs << " seeds)\n\n";
@@ -40,28 +45,31 @@ int main(int argc, char** argv) {
           " factor)");
   t.set_columns({"delay factor", "algorithm", "terminated", "violations",
                  "mean rounds", "p95 rounds"});
-  for (const SimTime factor : {1, 10, 100}) {
-    for (const Algorithm alg :
-         {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
-      Summary rounds;
-      int terminated = 0, violations = 0;
-      for (int i = 0; i < runs; ++i) {
-        RunConfig cfg(ClusterLayout::fig1_left());
-        cfg.alg = alg;
-        cfg.inputs = split_inputs(7);
-        cfg.seed = mix64(0xAD, static_cast<std::uint64_t>(i));
-        cfg.delay_factory = split_adversary(factor);
-        const auto r = run_consensus(cfg);
-        terminated += r.all_correct_decided ? 1 : 0;
-        violations += r.safe() ? 0 : 1;
-        if (r.all_correct_decided) {
-          rounds.add(static_cast<double>(r.max_decision_round));
-        }
+  {
+    const std::vector<SimTime> factors{1, 10, 100};
+    ExperimentSpec spec;
+    spec.name = "t-adv-split";
+    spec.algorithms = {Algorithm::HybridLocalCoin,
+                       Algorithm::HybridCommonCoin};
+    spec.layouts = {ClusterLayout::fig1_left()};
+    spec.delays.clear();
+    for (const SimTime factor : factors) {
+      spec.delays.push_back(split_adversary(factor));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0xAD;
+    const auto res = exec.run(spec);
+    // Expansion is algorithms ▸ delays; the table iterates factor outer,
+    // algorithm inner, so cell (a, f) sits at a * factors.size() + f.
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+      for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+        const auto& r = res[a * factors.size() + f];
+        t.add_row_values(factors[f], to_cstring(r.cell.alg),
+                         std::to_string(r.terminated) + "/" +
+                             std::to_string(r.runs),
+                         r.violations, fixed(r.rounds.mean()),
+                         fixed(r.rounds.percentile(95)));
       }
-      t.add_row_values(factor, to_cstring(alg),
-                       std::to_string(terminated) + "/" + std::to_string(runs),
-                       violations, fixed(rounds.mean()),
-                       fixed(rounds.percentile(95)));
     }
   }
   t.print(std::cout);
@@ -70,27 +78,22 @@ int main(int argc, char** argv) {
           " probability ε)");
   b.set_columns({"epsilon", "terminated", "violations", "mean rounds",
                  "p95 rounds"});
-  for (const double eps : {0.0, 0.1, 0.25, 0.5, 0.9}) {
-    Summary rounds;
-    int terminated = 0, violations = 0;
-    for (int i = 0; i < runs; ++i) {
-      RunConfig cfg(ClusterLayout::fig1_left());
-      cfg.alg = Algorithm::HybridCommonCoin;
-      cfg.inputs = split_inputs(7);
-      cfg.seed = mix64(0xAE, static_cast<std::uint64_t>(i));
-      cfg.coin_epsilon = eps;
-      cfg.adversary_bit = 0;
-      const auto r = run_consensus(cfg);
-      terminated += r.all_correct_decided ? 1 : 0;
-      violations += r.safe() ? 0 : 1;
-      if (r.all_correct_decided) {
-        rounds.add(static_cast<double>(r.max_decision_round));
-      }
+  {
+    ExperimentSpec spec;
+    spec.name = "t-adv-coin";
+    spec.algorithms = {Algorithm::HybridCommonCoin};
+    spec.layouts = {ClusterLayout::fig1_left()};
+    spec.coin_epsilons = {0.0, 0.1, 0.25, 0.5, 0.9};
+    spec.adversary_bit = 0;
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0xAE;
+    for (const auto& r : exec.run(spec)) {
+      b.add_row_values(fixed(r.cell.coin_epsilon, 2),
+                       std::to_string(r.terminated) + "/" +
+                           std::to_string(r.runs),
+                       r.violations, fixed(r.rounds.mean()),
+                       fixed(r.rounds.percentile(95)));
     }
-    b.add_row_values(fixed(eps, 2),
-                     std::to_string(terminated) + "/" + std::to_string(runs),
-                     violations, fixed(rounds.mean()),
-                     fixed(rounds.percentile(95)));
   }
   b.print(std::cout);
 

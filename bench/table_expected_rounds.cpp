@@ -5,39 +5,23 @@
 //   * Algorithm 2 (local coin): convergence needs the per-cluster coins to
 //     align, so expected rounds grow with the number of clusters m, not
 //     with n; at m = 1 it is 1 round, at m = n it matches Ben-Or.
-// Usage: table_expected_rounds [--runs=N]
+// Usage: table_expected_rounds [--runs=N] [--threads=K]
+#include <algorithm>
 #include <iostream>
 
-#include "core/runner.h"
+#include "exp/executor.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace hyco;
 
-namespace {
-
-Summary measure(Algorithm alg, const ClusterLayout& layout, int runs,
-                std::uint64_t salt) {
-  Summary rounds;
-  for (int i = 0; i < runs; ++i) {
-    RunConfig cfg(layout);
-    cfg.alg = alg;
-    cfg.inputs = split_inputs(layout.n());
-    cfg.seed = mix64(salt, static_cast<std::uint64_t>(i));
-    const auto r = run_consensus(cfg);
-    if (r.all_correct_decided) {
-      rounds.add(static_cast<double>(r.max_decision_round));
-    }
-  }
-  return rounds;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const int runs = static_cast<int>(opts.get_int("runs", 300));
+  ParallelExecutor::Options exec_opts;
+  exec_opts.threads = opts.get_int("threads", 0);
+  const ParallelExecutor exec(exec_opts);
 
   std::cout << "T-ROUNDS: decision rounds, split inputs, " << runs
             << " seeds per cell\n\n";
@@ -45,41 +29,76 @@ int main(int argc, char** argv) {
   Table cc("Algorithm 3 (common coin): rounds vs n — claim: flat in n,"
            " mean ~2-3");
   cc.set_columns({"n", "m", "mean rounds", "p50", "p95", "max"});
-  for (const ProcId n : {4, 8, 16, 32, 64}) {
-    const auto layout = ClusterLayout::even(n, std::min<ClusterId>(4, n));
-    const auto s = measure(Algorithm::HybridCommonCoin, layout, runs, 0xCC);
-    cc.add_row_values(n, std::min<ClusterId>(4, n), fixed(s.mean()),
-                      fixed(s.percentile(50)), fixed(s.percentile(95)),
-                      fixed(s.max(), 0));
+  {
+    ExperimentSpec spec;
+    spec.name = "t-rounds-cc";
+    spec.algorithms = {Algorithm::HybridCommonCoin};
+    for (const ProcId n : {4, 8, 16, 32, 64}) {
+      spec.layouts.push_back(
+          ClusterLayout::even(n, std::min<ClusterId>(4, n)));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0xCC;
+    for (const auto& r : exec.run(spec)) {
+      cc.add_row_values(r.cell.layout.n(), r.cell.layout.m(),
+                        fixed(r.rounds.mean()), fixed(r.rounds.percentile(50)),
+                        fixed(r.rounds.percentile(95)),
+                        fixed(r.rounds.max(), 0));
+    }
   }
   cc.print(std::cout);
 
   Table lc("Algorithm 2 (local coin): rounds vs m at fixed n=12 — claim:"
            " grows with m, 1 at m=1, matches Ben-Or at m=n");
   lc.set_columns({"m", "mean rounds", "p50", "p95", "max"});
-  for (const ClusterId m : {1, 2, 3, 4, 6, 12}) {
-    const auto s =
-        measure(Algorithm::HybridLocalCoin, ClusterLayout::even(12, m), runs,
-                0x1C);
-    lc.add_row_values(m, fixed(s.mean()), fixed(s.percentile(50)),
-                      fixed(s.percentile(95)), fixed(s.max(), 0));
+  {
+    ExperimentSpec spec;
+    spec.name = "t-rounds-lc";
+    spec.algorithms = {Algorithm::HybridLocalCoin};
+    for (const ClusterId m : {1, 2, 3, 4, 6, 12}) {
+      spec.layouts.push_back(ClusterLayout::even(12, m));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0x1C;
+    for (const auto& r : exec.run(spec)) {
+      lc.add_row_values(r.cell.layout.m(), fixed(r.rounds.mean()),
+                        fixed(r.rounds.percentile(50)),
+                        fixed(r.rounds.percentile(95)),
+                        fixed(r.rounds.max(), 0));
+    }
   }
   {
-    const auto s = measure(Algorithm::BenOr, ClusterLayout::singletons(12),
-                           runs, 0xB0);
-    lc.add_row_values("ben-or (=m=12)", fixed(s.mean()),
-                      fixed(s.percentile(50)), fixed(s.percentile(95)),
-                      fixed(s.max(), 0));
+    ExperimentSpec spec;
+    spec.name = "t-rounds-benor";
+    spec.algorithms = {Algorithm::BenOr};
+    spec.layouts = {ClusterLayout::singletons(12)};
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0xB0;
+    for (const auto& r : exec.run(spec)) {
+      lc.add_row_values("ben-or (=m=12)", fixed(r.rounds.mean()),
+                        fixed(r.rounds.percentile(50)),
+                        fixed(r.rounds.percentile(95)),
+                        fixed(r.rounds.max(), 0));
+    }
   }
   lc.print(std::cout);
 
   Table lcn("Algorithm 2: rounds vs n at fixed m=2 — claim: flat in n"
             " (cluster count is what matters)");
   lcn.set_columns({"n", "mean rounds", "p95"});
-  for (const ProcId n : {4, 8, 16, 32}) {
-    const auto s = measure(Algorithm::HybridLocalCoin,
-                           ClusterLayout::even(n, 2), runs, 0x1D);
-    lcn.add_row_values(n, fixed(s.mean()), fixed(s.percentile(95)));
+  {
+    ExperimentSpec spec;
+    spec.name = "t-rounds-lc-n";
+    spec.algorithms = {Algorithm::HybridLocalCoin};
+    for (const ProcId n : {4, 8, 16, 32}) {
+      spec.layouts.push_back(ClusterLayout::even(n, 2));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0x1D;
+    for (const auto& r : exec.run(spec)) {
+      lcn.add_row_values(r.cell.layout.n(), fixed(r.rounds.mean()),
+                         fixed(r.rounds.percentile(95)));
+    }
   }
   lcn.print(std::cout);
   return 0;

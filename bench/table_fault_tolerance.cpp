@@ -6,10 +6,12 @@
 // keeps one live process in a covering set of clusters — including patterns
 // with > n/2 crashes — and never violate safety on any pattern; Ben-Or
 // terminates iff a majority of processes survive.
-// Usage: table_fault_tolerance [--runs=N]
+// Usage: table_fault_tolerance [--runs=N] [--threads=K]
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/runner.h"
+#include "exp/executor.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -17,39 +19,12 @@
 
 using namespace hyco;
 
-namespace {
-
-struct Cell {
-  int terminated = 0;
-  int violations = 0;
-  Summary rounds;
-};
-
-Cell run_cell(Algorithm alg, const ClusterLayout& layout,
-              const CrashPlan& plan, int runs, std::uint64_t salt) {
-  Cell c;
-  for (int i = 0; i < runs; ++i) {
-    RunConfig cfg(layout);
-    cfg.alg = alg;
-    cfg.inputs = split_inputs(layout.n());
-    cfg.crashes = plan;
-    cfg.seed = mix64(salt, static_cast<std::uint64_t>(i));
-    cfg.max_rounds = 200;  // blocked runs quiesce quickly
-    const auto r = run_consensus(cfg);
-    c.terminated += r.all_correct_decided ? 1 : 0;
-    c.violations += r.safe() ? 0 : 1;
-    if (r.all_correct_decided) {
-      c.rounds.add(static_cast<double>(r.max_decision_round));
-    }
-  }
-  return c;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const int runs = static_cast<int>(opts.get_int("runs", 150));
+  ParallelExecutor::Options exec_opts;
+  exec_opts.threads = opts.get_int("threads", 0);
+  const ParallelExecutor exec(exec_opts);
 
   std::cout << "T-FT: termination and safety per failure pattern "
                "(fig1-right layout {0},{1,2,3,4},{5,6}, n=7)\n\n";
@@ -75,23 +50,47 @@ int main(int argc, char** argv) {
   scenarios.push_back({"3 mid-broadcast crashes",
                        failure_patterns::mid_broadcast(layout, 3, 1, rng)});
 
+  std::vector<CrashAxis> crash_axes;
+  for (const auto& [label, s] : scenarios) {
+    crash_axes.push_back(CrashAxis::of(label, s.plan));
+  }
+
+  // One grid for both hybrid algorithms on fig1_right, one for Ben-Or on
+  // singleton clusters; expansion is row-major (algorithms outer, crashes
+  // inner), so hybrid cell (a, s) sits at a * S + s.
+  ExperimentSpec hybrid;
+  hybrid.name = "t-ft-hybrid";
+  hybrid.algorithms = {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin};
+  hybrid.layouts = {layout};
+  hybrid.crashes = crash_axes;
+  hybrid.runs_per_cell = runs;
+  hybrid.max_rounds = 200;  // blocked runs quiesce quickly
+  hybrid.base_seed = 0xA1;
+
+  ExperimentSpec benor = hybrid;
+  benor.name = "t-ft-benor";
+  benor.algorithms = {Algorithm::BenOr};
+  benor.layouts = {ClusterLayout::singletons(7)};
+  benor.base_seed = 0xA3;
+
+  const auto hybrid_res = exec.run(hybrid);
+  const auto benor_res = exec.run(benor);
+
   Table t("termination rate (terminated/runs) and safety violations");
   t.set_columns({"failure pattern", "crashes", "hybrid should terminate?",
                  "hybrid-LC", "hybrid-CC", "ben-or", "violations (all)"});
 
-  for (const auto& [label, s] : scenarios) {
-    const auto lc =
-        run_cell(Algorithm::HybridLocalCoin, layout, s.plan, runs, 0xA1);
-    const auto cc =
-        run_cell(Algorithm::HybridCommonCoin, layout, s.plan, runs, 0xA2);
-    const auto bo = run_cell(Algorithm::BenOr, ClusterLayout::singletons(7),
-                             s.plan, runs, 0xA3);
-    const auto frac = [&](const Cell& c) {
-      return std::to_string(c.terminated) + "/" + std::to_string(runs);
+  const std::size_t S = scenarios.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& lc = hybrid_res[s];
+    const auto& cc = hybrid_res[S + s];
+    const auto& bo = benor_res[s];
+    const auto frac = [&](const CellResult& c) {
+      return std::to_string(c.terminated) + "/" + std::to_string(c.runs);
     };
-    t.add_row_values(label, s.crash_count,
-                     s.hybrid_should_terminate ? "yes" : "no", frac(lc),
-                     frac(cc), frac(bo),
+    t.add_row_values(scenarios[s].label, scenarios[s].s.crash_count,
+                     scenarios[s].s.hybrid_should_terminate ? "yes" : "no",
+                     frac(lc), frac(cc), frac(bo),
                      lc.violations + cc.violations + bo.violations);
   }
   t.print(std::cout);

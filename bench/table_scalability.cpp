@@ -4,46 +4,22 @@
 // footprint is m objects per phase — the hybrid tradeoff: intra-cluster
 // agreement is "free" (shared memory), the message side scales like pure
 // message passing while gaining cluster-weight fault tolerance.
-// Usage: table_scalability [--runs=N]
+// Usage: table_scalability [--runs=N] [--threads=K]
 #include <iostream>
 
-#include "core/runner.h"
+#include "exp/executor.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace hyco;
 
-namespace {
-
-struct Row {
-  Summary msgs, shm_props, simtime, rounds, objects;
-};
-
-Row measure(Algorithm alg, const ClusterLayout& layout, int runs,
-            std::uint64_t salt) {
-  Row row;
-  for (int i = 0; i < runs; ++i) {
-    RunConfig cfg(layout);
-    cfg.alg = alg;
-    cfg.inputs = split_inputs(layout.n());
-    cfg.seed = mix64(salt, static_cast<std::uint64_t>(i));
-    const auto r = run_consensus(cfg);
-    if (!r.all_correct_decided) continue;
-    row.msgs.add(static_cast<double>(r.net.unicasts_sent));
-    row.shm_props.add(static_cast<double>(r.shm.consensus_proposals));
-    row.simtime.add(static_cast<double>(r.last_decision_time));
-    row.rounds.add(static_cast<double>(r.max_decision_round));
-    row.objects.add(static_cast<double>(r.consensus_objects));
-  }
-  return row;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const int runs = static_cast<int>(opts.get_int("runs", 40));
+  ParallelExecutor::Options exec_opts;
+  exec_opts.threads = opts.get_int("threads", 0);
+  const ParallelExecutor exec(exec_opts);
 
   std::cout << "T-SCALE: per-decision resource usage (split inputs, " << runs
             << " seeds per cell)\n\n";
@@ -51,28 +27,45 @@ int main(int argc, char** argv) {
   Table t("Algorithm 3 (common coin), m = 4 clusters");
   t.set_columns({"n", "mean rounds", "mean msgs", "msgs/n^2/round",
                  "shm proposals", "cons objects", "mean sim latency (ns)"});
-  for (const ProcId n : {8, 16, 32, 64, 128}) {
-    const auto r =
-        measure(Algorithm::HybridCommonCoin, ClusterLayout::even(n, 4), runs,
-                0x5C);
-    const double per_n2 =
-        r.msgs.mean() / (static_cast<double>(n) * static_cast<double>(n) *
-                         r.rounds.mean());
-    t.add_row_values(n, fixed(r.rounds.mean()), fixed(r.msgs.mean(), 0),
-                     fixed(per_n2), fixed(r.shm_props.mean(), 0),
-                     fixed(r.objects.mean(), 1), fixed(r.simtime.mean(), 0));
+  {
+    ExperimentSpec spec;
+    spec.name = "t-scale-cc";
+    spec.algorithms = {Algorithm::HybridCommonCoin};
+    for (const ProcId n : {8, 16, 32, 64, 128}) {
+      spec.layouts.push_back(ClusterLayout::even(n, 4));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0x5C;
+    for (const auto& r : exec.run(spec)) {
+      const double n = static_cast<double>(r.cell.layout.n());
+      const double per_n2 = r.msgs.mean() / (n * n * r.rounds.mean());
+      t.add_row_values(r.cell.layout.n(), fixed(r.rounds.mean()),
+                       fixed(r.msgs.mean(), 0), fixed(per_n2),
+                       fixed(r.shm_proposals.mean(), 0),
+                       fixed(r.objects.mean(), 1),
+                       fixed(r.decision_time.mean(), 0));
+    }
   }
   t.print(std::cout);
 
   Table t2("Algorithm 2 (local coin), n = 32: cost vs m");
   t2.set_columns({"m", "mean rounds", "mean msgs", "shm proposals",
                   "cons objects"});
-  for (const ClusterId m : {1, 2, 4, 8, 16, 32}) {
-    const auto r = measure(Algorithm::HybridLocalCoin,
-                           ClusterLayout::even(32, m), runs, 0x5D);
-    t2.add_row_values(m, fixed(r.rounds.mean()), fixed(r.msgs.mean(), 0),
-                      fixed(r.shm_props.mean(), 0),
-                      fixed(r.objects.mean(), 1));
+  {
+    ExperimentSpec spec;
+    spec.name = "t-scale-lc";
+    spec.algorithms = {Algorithm::HybridLocalCoin};
+    for (const ClusterId m : {1, 2, 4, 8, 16, 32}) {
+      spec.layouts.push_back(ClusterLayout::even(32, m));
+    }
+    spec.runs_per_cell = runs;
+    spec.base_seed = 0x5D;
+    for (const auto& r : exec.run(spec)) {
+      t2.add_row_values(r.cell.layout.m(), fixed(r.rounds.mean()),
+                        fixed(r.msgs.mean(), 0),
+                        fixed(r.shm_proposals.mean(), 0),
+                        fixed(r.objects.mean(), 1));
+    }
   }
   t2.print(std::cout);
 

@@ -1,0 +1,115 @@
+#include "exp/executor.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+RunRecord extract_record(int run, std::uint64_t seed, const RunResult& r) {
+  RunRecord rec;
+  rec.run = run;
+  rec.seed = seed;
+  rec.terminated = r.all_correct_decided;
+  rec.safe_ok = r.safe();
+  rec.success = r.success();
+  rec.rounds = r.max_decision_round;
+  rec.decision_time = r.last_decision_time;
+  rec.msgs = r.net.unicasts_sent;
+  rec.shm_proposals = r.shm.consensus_proposals;
+  rec.consensus_objects = r.consensus_objects;
+  rec.events = r.events;
+  rec.crashed = r.crashed;
+  return rec;
+}
+
+void CellResult::add(const RunRecord& r) {
+  ++runs;
+  if (r.terminated) {
+    ++terminated;
+    rounds.add(static_cast<double>(r.rounds));
+    msgs.add(static_cast<double>(r.msgs));
+    shm_proposals.add(static_cast<double>(r.shm_proposals));
+    objects.add(static_cast<double>(r.consensus_objects));
+    decision_time.add(static_cast<double>(r.decision_time));
+    round_hist.add(static_cast<double>(r.rounds));
+  }
+  if (!r.safe_ok) ++violations;
+  if (!r.success) failures.push_back(r);
+}
+
+double CellResult::termination_rate() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(terminated) / static_cast<double>(runs);
+}
+
+unsigned ParallelExecutor::worker_count(std::size_t total_tasks) const {
+  HYCO_CHECK_MSG(opts_.threads >= 0,
+                 "thread count must be >= 0, got " << opts_.threads);
+  auto t = static_cast<unsigned>(opts_.threads);
+  if (t == 0) t = std::thread::hardware_concurrency();
+  if (t == 0) t = 1;
+  if (static_cast<std::size_t>(t) > total_tasks) {
+    t = static_cast<unsigned>(total_tasks);
+  }
+  return t == 0 ? 1 : t;
+}
+
+std::vector<CellResult> ParallelExecutor::run(
+    const ExperimentSpec& spec) const {
+  return run(spec.expand());
+}
+
+std::vector<CellResult> ParallelExecutor::run(
+    const std::vector<ExperimentCell>& cells) const {
+  if (cells.empty()) return {};
+  const std::size_t runs = static_cast<std::size_t>(cells.front().runs);
+  for (const auto& c : cells) {
+    HYCO_CHECK_MSG(static_cast<std::size_t>(c.runs) == runs,
+                   "all cells of one execution must share runs_per_cell");
+  }
+  const std::size_t total = cells.size() * runs;
+
+  // Slot per (cell, run) task, indexed globally: records[cell * runs + run].
+  std::vector<RunRecord> records(total);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const ExperimentCell& cell = cells[i / runs];
+      const int run = static_cast<int>(i % runs);
+      const RunConfig cfg = cell.run_config(run);
+      records[i] = extract_record(run, cfg.seed, run_consensus(cfg));
+      const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts_.progress) opts_.progress(d, total);
+    }
+  };
+
+  const unsigned n_threads = worker_count(total);
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Serial fold in task order: the aggregate is independent of which worker
+  // produced which record.
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult res(cells[c]);
+    for (std::size_t k = 0; k < runs; ++k) res.add(records[c * runs + k]);
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace hyco

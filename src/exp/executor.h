@@ -1,0 +1,96 @@
+// Multi-threaded grid execution.
+//
+// Each run of each cell is an independent, single-threaded, seed-determined
+// run_consensus() call, so the executor fans (cell × run) tasks across
+// worker threads with an atomic-counter work queue. Per-run metrics land in
+// a slot preallocated by global task index, and aggregation folds those
+// slots serially in task order afterwards — so the aggregate (and any
+// report rendered from it) is bit-identical whether the grid ran on 1
+// thread or 64.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/runner.h"
+#include "exp/spec.h"
+#include "util/stats.h"
+
+namespace hyco {
+
+/// Compact per-run metrics extracted from a RunResult (a full RunResult per
+/// run would hold O(n) vectors; large grids only need these scalars).
+struct RunRecord {
+  int run = 0;                ///< run index within the cell
+  std::uint64_t seed = 0;
+  bool terminated = false;    ///< RunResult::all_correct_decided
+  bool safe_ok = true;        ///< RunResult::safe()
+  bool success = false;       ///< RunResult::success()
+  Round rounds = 0;           ///< deepest deciding round
+  SimTime decision_time = kSimTimeNever;
+  std::uint64_t msgs = 0;     ///< unicasts scheduled
+  std::uint64_t shm_proposals = 0;
+  std::uint64_t consensus_objects = 0;
+  std::uint64_t events = 0;
+  std::size_t crashed = 0;
+};
+
+RunRecord extract_record(int run, std::uint64_t seed, const RunResult& r);
+
+/// Aggregated outcome of one cell. Summaries cover terminated runs only
+/// (matching how the paper's tables report cost conditioned on deciding).
+struct CellResult {
+  explicit CellResult(ExperimentCell c) : cell(std::move(c)) {}
+
+  ExperimentCell cell;
+  int runs = 0;
+  int terminated = 0;
+  int violations = 0;  ///< runs where safety did not hold
+
+  Summary rounds;
+  Summary msgs;
+  Summary shm_proposals;
+  Summary objects;
+  Summary decision_time;
+  Histogram round_hist{0.0, 64.0, 16};  ///< decision-round distribution
+
+  /// Non-success() runs, in run order — the replay hook's work list.
+  std::vector<RunRecord> failures;
+
+  void add(const RunRecord& r);
+  [[nodiscard]] double termination_rate() const;
+};
+
+/// Fans a grid across worker threads; see file comment for the determinism
+/// contract.
+class ParallelExecutor {
+ public:
+  struct Options {
+    /// Worker count; 0 = std::thread::hardware_concurrency() (min 1).
+    /// Negative values are rejected (ContractViolation) when running.
+    std::int64_t threads = 0;
+    /// Optional progress callback, invoked from worker threads after each
+    /// completed run with (done, total). Must be thread-safe.
+    std::function<void(std::size_t done, std::size_t total)> progress;
+  };
+
+  ParallelExecutor() = default;
+  explicit ParallelExecutor(Options opts) : opts_(std::move(opts)) {}
+
+  /// Runs every (cell × run) task and returns per-cell aggregates in cell
+  /// order. Deterministic for a fixed spec regardless of thread count.
+  [[nodiscard]] std::vector<CellResult> run(const ExperimentSpec& spec) const;
+
+  /// Same, over an already-expanded grid.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::vector<ExperimentCell>& cells) const;
+
+  /// Effective worker count for a task list of the given size.
+  [[nodiscard]] unsigned worker_count(std::size_t total_tasks) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace hyco

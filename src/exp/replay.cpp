@@ -1,0 +1,43 @@
+#include "exp/replay.h"
+
+namespace hyco {
+
+std::vector<ReplayReport> replay_failures(
+    const std::vector<CellResult>& results, std::size_t max_replays) {
+  std::vector<ReplayReport> reports;
+  for (const auto& res : results) {
+    for (const auto& fail : res.failures) {
+      if (reports.size() >= max_replays) return reports;
+      RunConfig cfg = res.cell.run_config(fail.run);
+      cfg.enable_trace = true;
+      const RunResult r = run_consensus(cfg);
+
+      ReplayReport rep;
+      rep.cell_index = res.cell.index;
+      rep.cell_label = res.cell.label();
+      rep.run = fail.run;
+      rep.seed = cfg.seed;
+      rep.terminated = r.all_correct_decided;
+      rep.safe_ok = r.safe();
+      rep.violations = r.violations;
+      rep.trace = r.trace_dump;
+      reports.push_back(std::move(rep));
+    }
+  }
+  return reports;
+}
+
+void dump_replays(std::ostream& out,
+                  const std::vector<ReplayReport>& reports) {
+  for (const auto& rep : reports) {
+    out << "=== replay: cell " << rep.cell_index << " [" << rep.cell_label
+        << "] run " << rep.run << " seed " << rep.seed << " ===\n"
+        << "terminated=" << (rep.terminated ? "yes" : "no")
+        << " safe=" << (rep.safe_ok ? "yes" : "no") << '\n';
+    for (const auto& v : rep.violations) out << "violation: " << v << '\n';
+    out << rep.trace;
+    if (!rep.trace.empty() && rep.trace.back() != '\n') out << '\n';
+  }
+}
+
+}  // namespace hyco

@@ -1,0 +1,38 @@
+// Failing-seed replay: any run that did not reach success() can be re-run
+// bit-exactly from its (cell, run) coordinates — seeds are pure functions
+// of the spec — this time with tracing enabled, so a failed cell in a
+// thousand-run sweep turns into a readable event trace without re-running
+// the sweep.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/executor.h"
+
+namespace hyco {
+
+/// One replayed failure with its full event trace.
+struct ReplayReport {
+  std::size_t cell_index = 0;
+  std::string cell_label;
+  int run = 0;
+  std::uint64_t seed = 0;
+  bool terminated = false;
+  bool safe_ok = true;
+  std::vector<std::string> violations;
+  std::string trace;  ///< RunResult::trace_dump of the traced re-run
+};
+
+/// Re-runs every failure recorded in `results` with enable_trace = true,
+/// up to `max_replays` total (traces are large; sweeps with expected
+/// non-termination — e.g. dead covering sets — can fail thousands of runs).
+[[nodiscard]] std::vector<ReplayReport> replay_failures(
+    const std::vector<CellResult>& results, std::size_t max_replays = 8);
+
+/// Human-readable dump: one header + trace block per report.
+void dump_replays(std::ostream& out, const std::vector<ReplayReport>& reports);
+
+}  // namespace hyco

@@ -1,0 +1,156 @@
+#include "exp/report.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace hyco {
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN literals
+  char buf[64];
+  // std::to_chars emits the shortest representation that round-trips —
+  // locale-free, so identical on every run.
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_summary_fields(std::vector<std::string>& fields,
+                           const Summary& s) {
+  fields.push_back(format_number(s.mean()));
+  fields.push_back(format_number(s.percentile(50)));
+  fields.push_back(format_number(s.percentile(95)));
+  fields.push_back(format_number(s.max()));
+}
+
+void write_summary_json(std::ostream& out, const char* key,
+                        const Summary& s) {
+  out << '"' << key << "\":{\"count\":" << s.count()
+      << ",\"mean\":" << format_number(s.mean())
+      << ",\"sd\":" << format_number(s.stddev())
+      << ",\"min\":" << format_number(s.min())
+      << ",\"p50\":" << format_number(s.percentile(50))
+      << ",\"p95\":" << format_number(s.percentile(95))
+      << ",\"max\":" << format_number(s.max()) << '}';
+}
+
+}  // namespace
+
+void write_cell_csv(std::ostream& out,
+                    const std::vector<CellResult>& results) {
+  CsvWriter w(out);
+  w.header({"cell", "algorithm", "n", "m", "layout", "delay", "crash",
+            "coin_epsilon", "runs", "terminated", "violations",
+            "rounds_mean", "rounds_p50", "rounds_p95", "rounds_max",
+            "msgs_mean", "msgs_p50", "msgs_p95", "msgs_max",
+            "shm_proposals_mean", "shm_proposals_p50", "shm_proposals_p95",
+            "shm_proposals_max", "objects_mean", "objects_p50", "objects_p95",
+            "objects_max", "decision_time_mean", "decision_time_p50",
+            "decision_time_p95", "decision_time_max"});
+  for (const auto& r : results) {
+    std::vector<std::string> fields;
+    fields.push_back(std::to_string(r.cell.index));
+    fields.emplace_back(to_cstring(r.cell.alg));
+    fields.push_back(std::to_string(r.cell.layout.n()));
+    fields.push_back(std::to_string(r.cell.layout.m()));
+    fields.push_back(r.cell.layout.to_string());
+    fields.push_back(r.cell.delay.name);
+    fields.push_back(r.cell.crash.name);
+    fields.push_back(format_number(r.cell.coin_epsilon));
+    fields.push_back(std::to_string(r.runs));
+    fields.push_back(std::to_string(r.terminated));
+    fields.push_back(std::to_string(r.violations));
+    append_summary_fields(fields, r.rounds);
+    append_summary_fields(fields, r.msgs);
+    append_summary_fields(fields, r.shm_proposals);
+    append_summary_fields(fields, r.objects);
+    append_summary_fields(fields, r.decision_time);
+    w.row(fields);
+  }
+}
+
+void write_cell_json(std::ostream& out, const std::string& experiment_name,
+                     const std::vector<CellResult>& results) {
+  out << "{\"experiment\":\"" << json_escape(experiment_name)
+      << "\",\"cells\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (i) out << ',';
+    out << "{\"index\":" << r.cell.index << ",\"algorithm\":\""
+        << to_cstring(r.cell.alg) << "\",\"n\":" << r.cell.layout.n()
+        << ",\"m\":" << r.cell.layout.m() << ",\"layout\":\""
+        << json_escape(r.cell.layout.to_string()) << "\",\"delay\":\""
+        << json_escape(r.cell.delay.name) << "\",\"crash\":\""
+        << json_escape(r.cell.crash.name)
+        << "\",\"coin_epsilon\":" << format_number(r.cell.coin_epsilon)
+        << ",\"inputs\":\"" << to_cstring(r.cell.inputs)
+        << "\",\"base_seed\":" << r.cell.base_seed << ",\"runs\":" << r.runs
+        << ",\"terminated\":" << r.terminated
+        << ",\"violations\":" << r.violations << ',';
+    write_summary_json(out, "rounds", r.rounds);
+    out << ',';
+    write_summary_json(out, "msgs", r.msgs);
+    out << ',';
+    write_summary_json(out, "shm_proposals", r.shm_proposals);
+    out << ',';
+    write_summary_json(out, "consensus_objects", r.objects);
+    out << ',';
+    write_summary_json(out, "decision_time", r.decision_time);
+    out << ",\"failures\":[";
+    for (std::size_t f = 0; f < r.failures.size(); ++f) {
+      const auto& fail = r.failures[f];
+      if (f) out << ',';
+      out << "{\"run\":" << fail.run << ",\"seed\":" << fail.seed
+          << ",\"terminated\":" << (fail.terminated ? "true" : "false")
+          << ",\"safe\":" << (fail.safe_ok ? "true" : "false") << '}';
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+Table to_table(const std::string& title,
+               const std::vector<CellResult>& results) {
+  Table t(title);
+  t.set_columns({"cell", "terminated", "violations", "mean rounds",
+                 "p95 rounds", "mean msgs", "mean simtime"});
+  for (const auto& r : results) {
+    t.add_row_values(r.cell.label(),
+                     std::to_string(r.terminated) + "/" +
+                         std::to_string(r.runs),
+                     r.violations, fixed(r.rounds.mean()),
+                     fixed(r.rounds.percentile(95)), fixed(r.msgs.mean(), 0),
+                     fixed(r.decision_time.mean(), 0));
+  }
+  return t;
+}
+
+}  // namespace hyco

@@ -1,0 +1,37 @@
+// Report emitters for executed grids: RFC-4180 CSV (via util/csv) for
+// spreadsheet/plotting pipelines and a self-contained JSON document for
+// regression diffing. Both render only from CellResult aggregates, and both
+// format numbers deterministically — two executions of the same spec (at
+// any thread count) emit byte-identical documents.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/executor.h"
+#include "util/table.h"
+
+namespace hyco {
+
+/// One row per cell: axis labels, counts, and per-metric mean/p50/p95/max.
+void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results);
+
+/// {"experiment": ..., "cells": [...]} with a stats object per metric and
+/// the failing seeds listed per cell (the replay work list survives into
+/// the artifact).
+void write_cell_json(std::ostream& out, const std::string& experiment_name,
+                     const std::vector<CellResult>& results);
+
+/// Renders an ASCII summary table (one row per cell) for quick terminal use.
+[[nodiscard]] Table to_table(const std::string& title,
+                             const std::vector<CellResult>& results);
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest-round-trip double formatting ("17 significant digits max, no
+/// locale"), shared by both emitters so documents stay byte-stable.
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace hyco

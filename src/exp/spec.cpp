@@ -1,0 +1,139 @@
+#include "exp/spec.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+DelayAxis DelayAxis::of(std::string name, DelayConfig cfg) {
+  DelayAxis a;
+  a.name = std::move(name);
+  a.config = cfg;
+  return a;
+}
+
+DelayAxis DelayAxis::adversarial(
+    std::string name, std::function<std::unique_ptr<DelayModel>()> factory) {
+  DelayAxis a;
+  a.name = std::move(name);
+  a.factory = std::move(factory);
+  return a;
+}
+
+CrashAxis CrashAxis::none() { return CrashAxis{}; }
+
+CrashAxis CrashAxis::of(std::string name, CrashPlan plan) {
+  CrashAxis a;
+  a.name = std::move(name);
+  a.make = [plan = std::move(plan)](const ClusterLayout& layout) {
+    HYCO_CHECK_MSG(plan.specs.size() == static_cast<std::size_t>(layout.n()),
+                   "fixed crash plan sized for n=" << plan.specs.size()
+                                                   << " used with n="
+                                                   << layout.n());
+    return plan;
+  };
+  return a;
+}
+
+CrashAxis CrashAxis::of(std::string name,
+                        std::function<CrashPlan(const ClusterLayout&)> make) {
+  CrashAxis a;
+  a.name = std::move(name);
+  a.make = std::move(make);
+  return a;
+}
+
+const char* to_cstring(InputKind k) {
+  switch (k) {
+    case InputKind::Split: return "split";
+    case InputKind::AllZero: return "all-0";
+    case InputKind::AllOne: return "all-1";
+  }
+  return "?";
+}
+
+std::size_t ExperimentSpec::cell_count() const {
+  return algorithms.size() * layouts.size() * delays.size() * crashes.size() *
+         coin_epsilons.size();
+}
+
+std::vector<ExperimentCell> ExperimentSpec::expand() const {
+  HYCO_CHECK_MSG(!algorithms.empty(), "experiment needs >= 1 algorithm");
+  HYCO_CHECK_MSG(!layouts.empty(), "experiment needs >= 1 layout");
+  HYCO_CHECK_MSG(!delays.empty(), "experiment needs >= 1 delay axis value");
+  HYCO_CHECK_MSG(!crashes.empty(), "experiment needs >= 1 crash axis value");
+  HYCO_CHECK_MSG(!coin_epsilons.empty(),
+                 "experiment needs >= 1 coin_epsilon value");
+  HYCO_CHECK_MSG(runs_per_cell >= 1, "runs_per_cell must be >= 1");
+
+  std::vector<ExperimentCell> cells;
+  cells.reserve(cell_count());
+  for (const Algorithm alg : algorithms) {
+    for (const ClusterLayout& layout : layouts) {
+      for (const DelayAxis& delay : delays) {
+        for (const CrashAxis& crash : crashes) {
+          for (const double eps : coin_epsilons) {
+            ExperimentCell c(layout);
+            c.index = cells.size();
+            c.alg = alg;
+            c.delay = delay;
+            c.crash = crash;
+            c.coin_epsilon = eps;
+            c.runs = runs_per_cell;
+            c.base_seed = base_seed;
+            c.inputs = inputs;
+            c.max_rounds = max_rounds;
+            c.start_jitter = start_jitter;
+            c.adversary_bit = adversary_bit;
+            cells.push_back(std::move(c));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::uint64_t ExperimentCell::seed_for(int run) const {
+  return mix64(base_seed,
+               mix64(static_cast<std::uint64_t>(index),
+                     static_cast<std::uint64_t>(run)));
+}
+
+RunConfig ExperimentCell::run_config(int run) const {
+  HYCO_CHECK_MSG(run >= 0 && run < runs,
+                 "run index " << run << " out of range [0, " << runs << ")");
+  RunConfig cfg(layout);
+  cfg.alg = alg;
+  switch (inputs) {
+    case InputKind::Split: cfg.inputs = split_inputs(layout.n()); break;
+    case InputKind::AllZero:
+      cfg.inputs = uniform_inputs(layout.n(), Estimate::Zero);
+      break;
+    case InputKind::AllOne:
+      cfg.inputs = uniform_inputs(layout.n(), Estimate::One);
+      break;
+  }
+  cfg.seed = seed_for(run);
+  cfg.delays = delay.config;
+  cfg.delay_factory = delay.factory;
+  if (crash.make) cfg.crashes = crash.make(layout);
+  cfg.max_rounds = max_rounds;
+  cfg.start_jitter = start_jitter;
+  cfg.coin_epsilon = coin_epsilon;
+  cfg.adversary_bit = adversary_bit;
+  return cfg;
+}
+
+std::string ExperimentCell::label() const {
+  std::ostringstream os;
+  os << to_cstring(alg) << " n=" << layout.n() << " m=" << layout.m()
+     << " delay=" << delay.name << " crash=" << crash.name
+     << " eps=" << coin_epsilon;
+  return os.str();
+}
+
+}  // namespace hyco

@@ -1,0 +1,118 @@
+// Declarative experiment grids (the paper's tables are sweeps over
+// {algorithm, layout, delay model, crash pattern, coin quality} × seeds).
+//
+// An ExperimentSpec names one value list per axis; expand() produces the
+// cross-product as ExperimentCell values, each of which can mint the
+// RunConfig of any of its seeds. Cells are plain data, independent, and
+// seed-deterministic: cell `index` + run `k` always maps to the same
+// RunConfig regardless of how (or on how many threads) the grid is executed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/runner.h"
+#include "net/delay_model.h"
+#include "sim/crash.h"
+
+namespace hyco {
+
+/// One value of the delay axis: a label plus either a declarative
+/// DelayConfig or a custom factory (for adversarial schedulers).
+struct DelayAxis {
+  std::string name = "uniform(50,150)";
+  DelayConfig config = DelayConfig::uniform(50, 150);
+  std::function<std::unique_ptr<DelayModel>()> factory;  ///< overrides config
+
+  static DelayAxis of(std::string name, DelayConfig cfg);
+  static DelayAxis adversarial(
+      std::string name, std::function<std::unique_ptr<DelayModel>()> factory);
+};
+
+/// One value of the crash axis: a label plus a plan generator. The generator
+/// takes the cell's layout so one axis value can apply to every layout in
+/// the grid (crash plans are sized to n).
+struct CrashAxis {
+  std::string name = "none";
+  std::function<CrashPlan(const ClusterLayout&)> make;  ///< null = no crashes
+
+  static CrashAxis none();
+  static CrashAxis of(std::string name, CrashPlan plan);
+  static CrashAxis of(std::string name,
+                      std::function<CrashPlan(const ClusterLayout&)> make);
+};
+
+/// How proposals are assigned across processes.
+enum class InputKind : std::uint8_t {
+  Split,    ///< process i proposes i % 2 — the adversarially divided start
+  AllZero,  ///< unanimous 0
+  AllOne,   ///< unanimous 1
+};
+
+const char* to_cstring(InputKind k);
+
+struct ExperimentCell;
+
+/// A full parameter grid. Every axis must be non-empty (expand() checks);
+/// the defaults make single-axis sweeps one-liners.
+struct ExperimentSpec {
+  std::string name = "experiment";
+
+  std::vector<Algorithm> algorithms{Algorithm::HybridLocalCoin};
+  std::vector<ClusterLayout> layouts;
+  std::vector<DelayAxis> delays{DelayAxis{}};
+  std::vector<CrashAxis> crashes{CrashAxis::none()};
+  std::vector<double> coin_epsilons{0.0};
+
+  int runs_per_cell = 40;
+  std::uint64_t base_seed = 1;
+  InputKind inputs = InputKind::Split;
+  Round max_rounds = 5000;
+  SimTime start_jitter = 50;
+  int adversary_bit = 0;
+
+  /// Cross-product size (cells, not runs).
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// Expands the grid row-major in axis declaration order:
+  /// algorithms ▸ layouts ▸ delays ▸ crashes ▸ coin_epsilons.
+  /// Throws ContractViolation if any axis is empty or runs_per_cell < 1.
+  [[nodiscard]] std::vector<ExperimentCell> expand() const;
+};
+
+/// One point of the grid; knows how to build the RunConfig of each seed.
+struct ExperimentCell {
+  std::size_t index = 0;  ///< position in the row-major expansion
+  Algorithm alg = Algorithm::HybridLocalCoin;
+  ClusterLayout layout;
+  DelayAxis delay;
+  CrashAxis crash;
+  double coin_epsilon = 0.0;
+
+  // Scalars snapshotted from the spec so a cell is self-contained.
+  int runs = 0;
+  std::uint64_t base_seed = 1;
+  InputKind inputs = InputKind::Split;
+  Round max_rounds = 5000;
+  SimTime start_jitter = 50;
+  int adversary_bit = 0;
+
+  explicit ExperimentCell(ClusterLayout l) : layout(std::move(l)) {}
+
+  /// The seed of run k — a pure function of (base_seed, index, k), so
+  /// results are replayable from the aggregate report alone.
+  [[nodiscard]] std::uint64_t seed_for(int run) const;
+
+  /// Mints the full RunConfig of run k (0 <= k < runs).
+  [[nodiscard]] RunConfig run_config(int run) const;
+
+  /// "hybrid-CC n=16 m=4 delay=uniform(50,150) crash=none eps=0" — stable
+  /// across runs; used in tables, CSV, and JSON.
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace hyco

@@ -1,5 +1,6 @@
 #include "util/options.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -49,6 +50,69 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& key,
+                                    const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = value.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    HYCO_CHECK_MSG(!item.empty(),
+                   "--" << key << ": empty item in list \"" << value << '"');
+    items.push_back(item);
+    if (comma == std::string::npos) return items;
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Options::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  for (const auto& item : split_list(key, it->second)) {
+    char* end = nullptr;
+    errno = 0;
+    const std::int64_t v = std::strtoll(item.c_str(), &end, 10);
+    HYCO_CHECK_MSG(end != item.c_str() && *end == '\0' && errno != ERANGE,
+                   "--" << key << ": \"" << item
+                        << "\" is not an in-range integer (in \""
+                        << it->second << "\")");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> Options::get_double_list(
+    const std::string& key, std::vector<double> fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<double> out;
+  for (const auto& item : split_list(key, it->second)) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(item.c_str(), &end);
+    HYCO_CHECK_MSG(end != item.c_str() && *end == '\0' && errno != ERANGE,
+                   "--" << key << ": \"" << item
+                        << "\" is not an in-range number (in \"" << it->second
+                        << "\")");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Options::get_string_list(
+    const std::string& key, std::vector<std::string> fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return split_list(key, it->second);
 }
 
 }  // namespace hyco

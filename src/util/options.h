@@ -26,6 +26,22 @@ class Options {
   [[nodiscard]] bool get_bool(const std::string& key,
                               bool fallback = false) const;
 
+  /// Comma-separated integer list ("--n=8,16,32"). Returns `fallback` when
+  /// the key is absent; throws ContractViolation naming the key and the
+  /// offending token on malformed input (empty items, non-numeric text,
+  /// trailing junk).
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback = {}) const;
+
+  /// Comma-separated double list ("--eps=0,0.1,0.5"); same error contract.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, std::vector<double> fallback = {}) const;
+
+  /// Comma-separated string list ("--alg=local_coin,common_coin"); empty
+  /// items are rejected.
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& key, std::vector<std::string> fallback = {}) const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

@@ -31,20 +31,20 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 void Summary::add(double x) {
+  // Appending in sorted position would be O(n); instead just note that the
+  // order is no longer sorted and defer to the next percentile query.
+  if (sorted_ && !xs_.empty() && x < xs_.back()) sorted_ = false;
   xs_.push_back(x);
-  dirty_ = true;
 }
 
 void Summary::add_all(const std::vector<double>& xs) {
-  xs_.insert(xs_.end(), xs.begin(), xs.end());
-  dirty_ = true;
+  for (const double x : xs) add(x);
 }
 
 void Summary::ensure_sorted() const {
-  if (dirty_) {
-    sorted_ = xs_;
-    std::sort(sorted_.begin(), sorted_.end());
-    dirty_ = false;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
   }
 }
 
@@ -65,24 +65,24 @@ double Summary::stddev() const {
 
 double Summary::min() const {
   ensure_sorted();
-  return sorted_.empty() ? 0.0 : sorted_.front();
+  return xs_.empty() ? 0.0 : xs_.front();
 }
 
 double Summary::max() const {
   ensure_sorted();
-  return sorted_.empty() ? 0.0 : sorted_.back();
+  return xs_.empty() ? 0.0 : xs_.back();
 }
 
 double Summary::percentile(double q) const {
   HYCO_CHECK_MSG(q >= 0.0 && q <= 100.0, "percentile " << q << " out of range");
   ensure_sorted();
-  if (sorted_.empty()) return 0.0;
-  if (sorted_.size() == 1) return sorted_[0];
-  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  if (xs_.empty()) return 0.0;
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = q / 100.0 * static_cast<double>(xs_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
 }
 
 std::string Summary::to_string() const {

@@ -50,10 +50,12 @@ class Summary {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  // Samples are sorted in place on demand (order carries no information
+  // here), so the summary holds one copy of the data, not two — large
+  // sweeps retain millions of samples across their cells.
   void ensure_sorted() const;
-  std::vector<double> xs_;
-  mutable std::vector<double> sorted_;
-  mutable bool dirty_ = true;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
 };
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into the

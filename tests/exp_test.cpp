@@ -1,0 +1,184 @@
+// Unit tests for the experiment engine (src/exp/): grid expansion,
+// thread-count-independent execution, report emission, and failure replay.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "exp/executor.h"
+#include "exp/replay.h"
+#include "exp/report.h"
+#include "util/assert.h"
+#include "workload/failure_patterns.h"
+
+namespace hyco {
+namespace {
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.name = "exp-test";
+  spec.algorithms = {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin};
+  spec.layouts = {ClusterLayout::even(4, 2), ClusterLayout::even(6, 3)};
+  spec.runs_per_cell = 4;
+  spec.base_seed = 42;
+  return spec;
+}
+
+TEST(ExperimentSpec, ExpandCoversCrossProductWithoutDuplicates) {
+  ExperimentSpec spec = small_spec();
+  spec.delays = {DelayAxis::of("d1", DelayConfig::uniform(50, 150)),
+                 DelayAxis::of("d2", DelayConfig::constant_of(100))};
+  spec.crashes = {CrashAxis::none(),
+                  CrashAxis::of("minority", [](const ClusterLayout& l) {
+                    Rng rng(7);
+                    return failure_patterns::random_minority(l, rng, 300).plan;
+                  })};
+  spec.coin_epsilons = {0.0, 0.25};
+
+  const auto cells = spec.expand();
+  EXPECT_EQ(spec.cell_count(), 2u * 2u * 2u * 2u * 2u);
+  ASSERT_EQ(cells.size(), spec.cell_count());
+
+  std::set<std::tuple<int, ProcId, ClusterId, std::string, std::string, double>>
+      seen;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);  // index matches expansion position
+    seen.insert({static_cast<int>(cells[i].alg), cells[i].layout.n(),
+                 cells[i].layout.m(), cells[i].delay.name,
+                 cells[i].crash.name, cells[i].coin_epsilon});
+  }
+  EXPECT_EQ(seen.size(), cells.size());  // no duplicate combination
+}
+
+TEST(ExperimentSpec, ExpandRejectsEmptyAxes) {
+  ExperimentSpec spec = small_spec();
+  spec.algorithms.clear();
+  EXPECT_THROW(spec.expand(), ContractViolation);
+
+  spec = small_spec();
+  spec.layouts.clear();
+  EXPECT_THROW(spec.expand(), ContractViolation);
+
+  spec = small_spec();
+  spec.runs_per_cell = 0;
+  EXPECT_THROW(spec.expand(), ContractViolation);
+}
+
+TEST(ExperimentCell, SeedsAreDeterministicAndDistinct) {
+  const auto cells = small_spec().expand();
+  std::set<std::uint64_t> seeds;
+  for (const auto& c : cells) {
+    for (int k = 0; k < c.runs; ++k) {
+      EXPECT_EQ(c.seed_for(k), c.seed_for(k));
+      seeds.insert(c.seed_for(k));
+    }
+  }
+  // 4 cells x 4 runs, all distinct.
+  EXPECT_EQ(seeds.size(), cells.size() * 4u);
+}
+
+TEST(ExperimentCell, RunConfigReflectsAxes) {
+  ExperimentSpec spec = small_spec();
+  spec.coin_epsilons = {0.25};
+  spec.max_rounds = 77;
+  const auto cells = spec.expand();
+  const RunConfig cfg = cells.front().run_config(1);
+  EXPECT_EQ(cfg.alg, Algorithm::HybridLocalCoin);
+  EXPECT_EQ(cfg.seed, cells.front().seed_for(1));
+  EXPECT_EQ(cfg.max_rounds, 77);
+  EXPECT_DOUBLE_EQ(cfg.coin_epsilon, 0.25);
+  EXPECT_EQ(cfg.inputs.size(), static_cast<std::size_t>(cfg.layout.n()));
+  EXPECT_THROW(cells.front().run_config(99), ContractViolation);
+}
+
+std::string run_to_json(const ExperimentSpec& spec, unsigned threads) {
+  ParallelExecutor::Options opts;
+  opts.threads = threads;
+  const auto results = ParallelExecutor(opts).run(spec);
+  std::ostringstream os;
+  write_cell_json(os, spec.name, results);
+  return os.str();
+}
+
+TEST(ParallelExecutor, RejectsNegativeThreadCount) {
+  ParallelExecutor::Options opts;
+  opts.threads = -1;
+  EXPECT_THROW((void)ParallelExecutor(opts).worker_count(4),
+               ContractViolation);
+}
+
+TEST(ParallelExecutor, JsonIsByteIdenticalAcrossThreadCounts) {
+  const ExperimentSpec spec = small_spec();
+  const std::string one = run_to_json(spec, 1);
+  const std::string eight = run_to_json(spec, 8);
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one.find("\"experiment\":\"exp-test\""), std::string::npos);
+}
+
+TEST(ParallelExecutor, AggregatesEveryRun) {
+  const ExperimentSpec spec = small_spec();
+  const auto results = ParallelExecutor().run(spec);
+  ASSERT_EQ(results.size(), spec.cell_count());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.runs, spec.runs_per_cell);
+    EXPECT_EQ(r.terminated, spec.runs_per_cell);  // no crashes => all decide
+    EXPECT_EQ(r.violations, 0);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_EQ(r.rounds.count(), static_cast<std::size_t>(r.terminated));
+    EXPECT_EQ(r.round_hist.total(), static_cast<std::uint64_t>(r.terminated));
+    EXPECT_DOUBLE_EQ(r.termination_rate(), 1.0);
+  }
+}
+
+TEST(ParallelExecutor, CsvHasOneRowPerCell) {
+  const ExperimentSpec spec = small_spec();
+  const auto results = ParallelExecutor().run(spec);
+  std::ostringstream os;
+  write_cell_csv(os, results);
+  std::size_t lines = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, results.size() + 1);  // header + cells
+}
+
+TEST(Replay, ReproducesFailingSeedsWithTraces) {
+  ExperimentSpec spec;
+  spec.name = "replay-test";
+  spec.algorithms = {Algorithm::HybridLocalCoin};
+  spec.layouts = {ClusterLayout::even(4, 2)};
+  spec.crashes = {CrashAxis::of("covering-dead", [](const ClusterLayout& l) {
+    Rng rng(3);
+    return failure_patterns::kill_covering_set(l, rng, 0).plan;
+  })};
+  spec.runs_per_cell = 3;
+  spec.max_rounds = 50;
+
+  const auto results = ParallelExecutor().run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].terminated, 0);  // covering set dead => blocked
+  ASSERT_EQ(results[0].failures.size(), 3u);
+
+  const auto reports = replay_failures(results, 2);
+  ASSERT_EQ(reports.size(), 2u);  // capped
+  for (const auto& rep : reports) {
+    EXPECT_FALSE(rep.terminated);
+    EXPECT_TRUE(rep.safe_ok);  // indulgence: blocked but safe
+    EXPECT_FALSE(rep.trace.empty());
+    EXPECT_EQ(rep.seed, results[0].cell.seed_for(rep.run));
+  }
+  std::ostringstream os;
+  dump_replays(os, reports);
+  EXPECT_NE(os.str().find("=== replay: cell 0"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesAndFormatsNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(format_number(2.5), "2.5");
+  EXPECT_EQ(format_number(3.0), "3");
+}
+
+}  // namespace
+}  // namespace hyco
