@@ -29,6 +29,8 @@ void BM_SimulatorFanOut(benchmark::State& state) {
   // Heap behavior under broadcast-like bursts: schedule k events at once.
   for (auto _ : state) {
     Simulator sim(2);
+    sim.reserve(static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(0)));
     std::int64_t sink = 0;
     for (int i = 0; i < state.range(0); ++i) {
       sim.schedule_in(i % 17, [&sink] { ++sink; });
@@ -42,8 +44,10 @@ BENCHMARK(BM_SimulatorFanOut)->Arg(10'000)->Arg(100'000);
 
 void BM_NetworkBroadcastDelivery(benchmark::State& state) {
   const auto n = static_cast<ProcId>(state.range(0));
+  std::size_t peak = 0;
   for (auto _ : state) {
     Simulator sim(3);
+    sim.reserve(10 * static_cast<std::size_t>(n));
     ConstantDelay delay(10);
     CrashTracker tracker(static_cast<std::size_t>(n));
     SimNetwork net(sim, delay, tracker, n);
@@ -54,7 +58,9 @@ void BM_NetworkBroadcastDelivery(benchmark::State& state) {
     }
     sim.run();
     benchmark::DoNotOptimize(delivered);
+    peak = sim.peak_queue_depth();
   }
+  state.counters["peak_queue_depth"] = static_cast<double>(peak);
   state.SetItemsProcessed(state.iterations() * 10 * n);
 }
 BENCHMARK(BM_NetworkBroadcastDelivery)->Arg(8)->Arg(64)->Arg(256);

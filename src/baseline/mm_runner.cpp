@@ -16,6 +16,7 @@ RunResult run_mm(const MmRunConfig& cfg) {
                  "inputs size mismatch");
 
   Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
   CrashPlan plan = cfg.crashes;
   if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
   CrashTracker tracker(static_cast<std::size_t>(n));

@@ -24,6 +24,7 @@ MultiRunResult run_multivalued(const MultiRunConfig& cfg) {
                  "inputs size mismatch");
 
   Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
   CrashPlan plan = cfg.crashes;
   if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
   CrashTracker tracker(static_cast<std::size_t>(n));

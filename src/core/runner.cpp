@@ -44,6 +44,7 @@ RunResult run_consensus(const RunConfig& cfg) {
                  "inputs size " << inputs.size() << " != n " << n);
 
   Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
   CrashPlan plan = cfg.crashes;
   if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
   HYCO_CHECK_MSG(plan.specs.size() == static_cast<std::size_t>(n),

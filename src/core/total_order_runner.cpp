@@ -12,6 +12,7 @@ namespace hyco {
 TobRunResult run_tob(const TobRunConfig& cfg) {
   const ProcId n = cfg.layout.n();
   Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
   CrashPlan plan = cfg.crashes;
   if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
   CrashTracker tracker(static_cast<std::size_t>(n));

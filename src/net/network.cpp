@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -16,13 +17,17 @@ SimNetwork::SimNetwork(Simulator& sim, DelayModel& delays,
       n_(n),
       plan_(plan),
       trace_(trace),
-      broadcast_counts_(static_cast<std::size_t>(n), 0) {
+      broadcast_counts_(static_cast<std::size_t>(n), 0),
+      scratch_(static_cast<std::size_t>(n)) {
   HYCO_CHECK_MSG(n > 0, "network needs at least one process");
   if (plan_ != nullptr) {
     HYCO_CHECK_MSG(plan_->specs.size() == static_cast<std::size_t>(n),
                    "crash plan size mismatch");
   }
+  sim_.set_deliver_sink(this);
 }
+
+SimNetwork::~SimNetwork() { sim_.clear_deliver_sink(this); }
 
 void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
   const SimTime d = delays_.delay(from, to, m, sim_.now(), sim_.rng());
@@ -31,23 +36,25 @@ void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
     trace_->record(sim_.now(), TraceKind::Send, from,
                    m.to_string() + " -> p" + std::to_string(to));
   }
-  sim_.schedule_in(d, [this, from, to, m] {
-    if (crashes_.is_crashed(to)) {
-      ++stats_.dropped_receiver_crashed;
-      if (trace_ != nullptr) {
-        trace_->record(sim_.now(), TraceKind::Drop, to,
-                       "receiver crashed; " + m.to_string());
-      }
-      return;
-    }
-    ++stats_.delivered;
+  sim_.schedule_deliver(d, from, to, m);
+}
+
+void SimNetwork::deliver_event(ProcId from, ProcId to, const Message& m) {
+  if (crashes_.is_crashed(to)) {
+    ++stats_.dropped_receiver_crashed;
     if (trace_ != nullptr) {
-      trace_->record(sim_.now(), TraceKind::Deliver, to,
-                     m.to_string() + " from p" + std::to_string(from));
+      trace_->record(sim_.now(), TraceKind::Drop, to,
+                     "receiver crashed; " + m.to_string());
     }
-    HYCO_CHECK_MSG(static_cast<bool>(deliver_), "network deliver fn not set");
-    deliver_(to, from, m);
-  });
+    return;
+  }
+  ++stats_.delivered;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), TraceKind::Deliver, to,
+                   m.to_string() + " from p" + std::to_string(from));
+  }
+  HYCO_CHECK_MSG(static_cast<bool>(deliver_), "network deliver fn not set");
+  deliver_(to, from, m);
 }
 
 void SimNetwork::send(ProcId from, ProcId to, const Message& m) {
@@ -75,13 +82,15 @@ void SimNetwork::broadcast(ProcId from, const Message& m) {
     const CrashSpec& spec = plan_->specs[idx];
     if (spec.kind == CrashSpec::Kind::OnBroadcast &&
         spec.broadcast_index == my_broadcast) {
-      std::vector<ProcId> order(static_cast<std::size_t>(n_));
-      std::iota(order.begin(), order.end(), 0);
-      sim_.rng().shuffle(order);
+      // Only the k delivery targets are drawn (k RNG draws, not n-1; see
+      // Rng::partial_shuffle for the draw-order contract), over the
+      // reusable scratch buffer — no allocation on the crash path.
       const auto k = static_cast<std::size_t>(
           std::clamp<std::int32_t>(spec.deliver_count, 0, n_));
+      std::iota(scratch_.begin(), scratch_.end(), 0);
+      sim_.rng().partial_shuffle(scratch_, k);
       for (std::size_t i = 0; i < k; ++i) {
-        schedule_delivery(from, order[i], m);
+        schedule_delivery(from, scratch_[i], m);
       }
       crashes_.crash(from, sim_.now());
       if (trace_ != nullptr) {

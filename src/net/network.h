@@ -47,7 +47,12 @@ class INetwork {
 
 /// Discrete-event network: delays from a DelayModel, crash semantics from a
 /// CrashTracker + CrashPlan (for scripted mid-broadcast crashes).
-class SimNetwork final : public INetwork {
+///
+/// Deliveries ride the simulator's typed Deliver events (the network
+/// registers itself as the DeliverSink), so sending a message allocates
+/// nothing: the payload travels inline in the event node and comes straight
+/// back through deliver_event() when it fires.
+class SimNetwork final : public INetwork, private DeliverSink {
  public:
   /// Called for each delivery to a live process.
   using DeliverFn = std::function<void(ProcId to, ProcId from, const Message&)>;
@@ -57,6 +62,7 @@ class SimNetwork final : public INetwork {
   SimNetwork(Simulator& sim, DelayModel& delays, CrashTracker& crashes,
              ProcId n, const CrashPlan* plan = nullptr,
              Trace* trace = nullptr);
+  ~SimNetwork() override;
 
   /// Must be called before any traffic flows (the runner wires processes in
   /// after constructing the network).
@@ -71,6 +77,10 @@ class SimNetwork final : public INetwork {
  private:
   void schedule_delivery(ProcId from, ProcId to, const Message& m);
 
+  /// DeliverSink: a Deliver event fired — apply receiver-crash semantics and
+  /// hand the message to the wired-in deliver function.
+  void deliver_event(ProcId from, ProcId to, const Message& m) override;
+
   Simulator& sim_;
   DelayModel& delays_;
   CrashTracker& crashes_;
@@ -79,6 +89,7 @@ class SimNetwork final : public INetwork {
   Trace* trace_;
   DeliverFn deliver_;
   std::vector<std::int32_t> broadcast_counts_;
+  std::vector<ProcId> scratch_;  ///< reusable mid-broadcast target buffer
   NetStats stats_;
 };
 

@@ -1,28 +1,18 @@
 #include "sim/event_queue.h"
 
-#include <utility>
-
-#include "util/assert.h"
-
 namespace hyco {
 
-void EventQueue::push(SimTime at, std::function<void()> fn) {
-  HYCO_CHECK_MSG(at >= 0, "cannot schedule event at negative time " << at);
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
-}
-
-SimTime EventQueue::next_time() const {
-  HYCO_CHECK(!heap_.empty());
-  return heap_.top().at;
-}
-
-Event EventQueue::pop() {
-  HYCO_CHECK(!heap_.empty());
-  // priority_queue::top() returns const&; move via const_cast is the
-  // standard idiom to avoid copying the std::function payload.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return ev;
+void EventQueue::reserve(std::size_t events, std::size_t callbacks) {
+  if (events > heap_.capacity()) {
+    heap_.reserve(events);
+    refs_.reserve(events);
+    deliveries_.reserve(events);
+    free_deliveries_.reserve(events);
+  }
+  if (callbacks > pool_.capacity()) {
+    pool_.reserve(callbacks);
+    free_slots_.reserve(callbacks);
+  }
 }
 
 }  // namespace hyco

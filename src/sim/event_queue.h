@@ -2,52 +2,275 @@
 //
 // Ordering is (time, insertion sequence): events at equal times run in the
 // order they were scheduled, which makes every simulation fully
-// deterministic for a given seed.
+// deterministic for a given seed. The (at, seq) key is a total order (seq is
+// unique), so the pop sequence is independent of the heap's internal shape —
+// swapping the heap implementation can never change simulation behavior.
+//
+// The queue is the hot path of every experiment: one all-to-all consensus
+// round schedules O(n²) deliveries. Design rules for that path:
+//
+//  * No per-event heap allocation. A popped Event is a tagged value node;
+//    the Deliver variant — the n² case — carries {from, to, Message} by
+//    value, no closure. Internally Deliver payloads wait in a free-list
+//    slab that recycles slots on pop, so steady-state churn re-uses the
+//    same storage instead of allocating.
+//  * Generic timer/callback events (the ~10 cold call sites in runners,
+//    harnesses, and tests) park their std::function in a second free-list
+//    slab; pushing into a recycled slot performs no allocation as long as
+//    the callable fits std::function's small-buffer optimization.
+//  * The heap orders 16-byte packed (at, seq) keys — payload refs ride in
+//    a parallel array — not full events: a sift step on a 4-ary heap scans
+//    up to four children, and four keys share one cache line where four
+//    64-byte event nodes span four lines. The queue is memory-bound under
+//    broadcast bursts, so key size directly sets throughput.
+//
+// The heap itself is a 4-ary implicit min-heap in one contiguous vector:
+// shallower than a binary heap (fewer levels per sift) and reservable
+// up-front via reserve() so bursty broadcasts never reallocate. Pop uses
+// hole-sifting (walk the min-child chain down, then bubble the detached
+// back element up), which moves each touched node once in the common
+// bursty case of many events at one virtual time. The push/pop bodies live
+// in this header: they run once per message, and cross-TU call overhead at
+// that frequency is measurable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "core/types.h"
+#include "net/message.h"
+#include "util/assert.h"
 
 namespace hyco {
 
-/// A scheduled callback.
+/// A scheduled occurrence, as handed out by EventQueue::pop(): either a
+/// message delivery (payload carried by value) or a generic callback
+/// (closure parked in the pool, referenced by slot).
 struct Event {
+  enum class Kind : std::uint8_t {
+    Callback,  ///< run the pooled closure in `slot`
+    Deliver,   ///< hand `msg` from `from` to `to` via the deliver sink
+  };
+
   SimTime at = 0;
-  std::uint64_t seq = 0;  // insertion order; tie-breaker for equal times
-  std::function<void()> fn;
+  std::uint64_t seq = 0;  ///< insertion order; tie-breaker for equal times
+  Kind kind = Kind::Callback;
+  ProcId from = -1;          ///< Deliver: sender
+  ProcId to = -1;            ///< Deliver: receiver
+  std::uint32_t slot = 0;    ///< Callback: index into the closure pool
+  Message msg;               ///< Deliver: the payload, by value
 };
 
-/// Min-heap of events ordered by (at, seq).
+/// Min-heap of events ordered by (at, seq), with free-list slabs for both
+/// payload kinds. Not thread-safe (the simulator is single-threaded).
 class EventQueue {
  public:
-  void push(SimTime at, std::function<void()> fn);
+  /// Pre-sizes the heap + deliver slab for `events` concurrent events and
+  /// the closure pool for `callbacks` concurrent callback events. Never
+  /// shrinks.
+  void reserve(std::size_t events, std::size_t callbacks = 0);
+
+  /// Schedules a generic callback.
+  void push(SimTime at, std::function<void()> fn) {
+    HYCO_CHECK_MSG(at >= 0, "cannot schedule event at negative time " << at);
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      pool_[slot] = std::move(fn);
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(fn));
+    }
+    push_key(make_key(at, next_seq_++), slot);
+  }
+
+  /// Schedules a message delivery. Allocation-free in steady state: the
+  /// message is copied into a recycled slab slot, never onto the heap.
+  void push_deliver(SimTime at, ProcId from, ProcId to, const Message& m) {
+    HYCO_CHECK_MSG(at >= 0, "cannot schedule event at negative time " << at);
+    std::uint32_t idx;
+    if (!free_deliveries_.empty()) {
+      idx = free_deliveries_.back();
+      free_deliveries_.pop_back();
+      deliveries_[idx] = DeliverPayload{from, to, m};
+    } else {
+      idx = static_cast<std::uint32_t>(deliveries_.size());
+      deliveries_.push_back(DeliverPayload{from, to, m});
+    }
+    push_key(make_key(at, next_seq_++), idx | kDeliverBit);
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] SimTime next_time() const {
+    HYCO_CHECK(!heap_.empty());
+    return key_at(heap_.front());
+  }
 
   /// Removes and returns the earliest event. Precondition: !empty().
-  Event pop();
+  /// For a Kind::Callback event the caller MUST follow up with
+  /// take_callback(ev.slot) to obtain the closure and recycle the slot.
+  Event pop() {
+    HYCO_CHECK(!heap_.empty());
+    const Key top = heap_.front();
+    const std::uint32_t top_ref = refs_.front();
+    const std::size_t n = heap_.size() - 1;
+    if (n > 0) {
+      // Hole-sifting: walk the min-child chain down from the root, then
+      // drop the detached back() element into the hole and bubble it up.
+      // In the common bursty case (many events at one virtual time) the
+      // back element belongs near the bottom, so each touched node moves
+      // exactly once.
+      std::size_t hole = 0;
+      std::size_t child = 1;
+      while (child < n) {
+        std::size_t best;
+        if (child + kArity <= n) {
+          // Full fan of four children: tournament of independent compares
+          // (two pairs, then the winners) instead of a serial scan, so the
+          // selects can retire as conditional moves off a short dep chain.
+          const std::size_t b0 =
+              child + (heap_[child + 1] < heap_[child] ? 1 : 0);
+          const std::size_t b1 =
+              child + 2 + (heap_[child + 3] < heap_[child + 2] ? 1 : 0);
+          best = heap_[b1] < heap_[b0] ? b1 : b0;
+        } else {
+          best = child;
+          for (std::size_t c = child + 1; c < n; ++c) {
+            best = heap_[c] < heap_[best] ? c : best;
+          }
+        }
+        heap_[hole] = heap_[best];
+        refs_[hole] = refs_[best];
+        hole = best;
+        child = kArity * hole + 1;
+      }
+      heap_[hole] = heap_[n];  // hole < n always: best is < n at every step
+      refs_[hole] = refs_[n];
+      sift_up(hole);
+    }
+    heap_.pop_back();
+    refs_.pop_back();
+
+    Event ev;
+    ev.at = key_at(top);
+    ev.seq = key_seq(top);
+    if (top_ref & kDeliverBit) {
+      const std::uint32_t idx = top_ref & ~kDeliverBit;
+      const DeliverPayload& p = deliveries_[idx];
+      ev.kind = Event::Kind::Deliver;
+      ev.from = p.from;
+      ev.to = p.to;
+      ev.msg = p.msg;
+      free_deliveries_.push_back(idx);  // recycle; ev holds its own copy
+    } else {
+      ev.kind = Event::Kind::Callback;
+      ev.slot = top_ref;
+    }
+    return ev;
+  }
+
+  /// Moves the pooled closure out of `slot` and returns the slot to the
+  /// free list. Call exactly once per popped Kind::Callback event, before
+  /// running the closure (the closure may push new events, which can grow
+  /// the pool).
+  std::function<void()> take_callback(std::uint32_t slot) {
+    HYCO_CHECK_MSG(slot < pool_.size(), "bad callback slot " << slot);
+    std::function<void()> fn = std::move(pool_[slot]);
+    HYCO_CHECK_MSG(static_cast<bool>(fn), "callback slot " << slot
+                                          << " taken twice or never filled");
+    pool_[slot] = nullptr;  // drop any residual captured state now
+    free_slots_.push_back(slot);
+    return fn;
+  }
 
   /// Total number of events ever pushed.
   [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
 
+  /// High-water mark of size() — the peak number of concurrently pending
+  /// events (feeds the perf snapshot's queue-depth metric).
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
+
+  // Pool introspection for tests and benchmarks: total slots ever
+  // materialized, and how many of them are currently in use.
+  [[nodiscard]] std::size_t pool_capacity() const { return pool_.size(); }
+  [[nodiscard]] std::size_t pool_in_use() const {
+    return pool_.size() - free_slots_.size();
+  }
+  [[nodiscard]] std::size_t deliver_pool_capacity() const {
+    return deliveries_.size();
+  }
+  [[nodiscard]] std::size_t deliver_pool_in_use() const {
+    return deliveries_.size() - free_deliveries_.size();
+  }
+
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  // 4-ary implicit heap: children of i are 4i+1 … 4i+4, parent (i-1)/4.
+  static constexpr std::size_t kArity = 4;
+
+  /// High bit of an event's ref distinguishes the two payload slabs; low 31
+  /// bits index into the corresponding one.
+  static constexpr std::uint32_t kDeliverBit = 0x8000'0000u;
+
+  /// What the heap orders: (at, seq) packed into one 128-bit integer, high
+  /// half `at` (non-negative by contract, so unsigned compare is exact),
+  /// low half `seq`. One register-pair compare replaces the two-field
+  /// lexicographic compare, and four 16-byte keys share a cache line — the
+  /// sift loops are bound by exactly these two costs. Payload refs ride in
+  /// a parallel array (refs_[i] belongs to heap_[i]) so the sift only drags
+  /// 4 extra bytes per moved node.
+  using Key = unsigned __int128;
+
+  static Key make_key(SimTime at, std::uint64_t seq) {
+    return (Key{static_cast<std::uint64_t>(at)} << 64) | seq;
+  }
+  static SimTime key_at(Key k) {
+    return static_cast<SimTime>(static_cast<std::uint64_t>(k >> 64));
+  }
+  static std::uint64_t key_seq(Key k) {
+    return static_cast<std::uint64_t>(k);
+  }
+
+  /// A parked Deliver payload, by value, in a recycled slab slot.
+  struct DeliverPayload {
+    ProcId from;
+    ProcId to;
+    Message msg;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push_key(Key k, std::uint32_t ref) {
+    heap_.push_back(k);
+    refs_.push_back(ref);
+    sift_up(heap_.size() - 1);
+    if (heap_.size() > peak_) peak_ = heap_.size();
+  }
+
+  void sift_up(std::size_t i) {
+    const Key k = heap_[i];
+    const std::uint32_t r = refs_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (k >= heap_[parent]) break;
+      heap_[i] = heap_[parent];
+      refs_[i] = refs_[parent];
+      i = parent;
+    }
+    heap_[i] = k;
+    refs_[i] = r;
+  }
+
+  std::vector<Key> heap_;                      ///< (at, seq) sort keys
+  std::vector<std::uint32_t> refs_;            ///< parallel payload refs
+  std::vector<DeliverPayload> deliveries_;     ///< deliver payload slab
+  std::vector<std::uint32_t> free_deliveries_;
+  std::vector<std::function<void()>> pool_;    ///< closure slab
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace hyco

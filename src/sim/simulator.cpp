@@ -19,12 +19,38 @@ void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   queue_.push(at, std::move(fn));
 }
 
+void Simulator::schedule_deliver(SimTime delay, ProcId from, ProcId to,
+                                 const Message& m) {
+  HYCO_CHECK_MSG(delay >= 0, "negative delay " << delay);
+  queue_.push_deliver(now_ + delay, from, to, m);
+}
+
+void Simulator::set_deliver_sink(DeliverSink* sink) {
+  HYCO_CHECK_MSG(sink != nullptr, "deliver sink must not be null");
+  HYCO_CHECK_MSG(sink_ == nullptr || sink_ == sink,
+                 "a different deliver sink is already registered");
+  sink_ = sink;
+}
+
+void Simulator::clear_deliver_sink(const DeliverSink* sink) {
+  if (sink_ == sink) sink_ = nullptr;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.pop();
+  const Event ev = queue_.pop();
   now_ = ev.at;
   ++executed_;
-  ev.fn();
+  if (ev.kind == Event::Kind::Deliver) {
+    HYCO_CHECK_MSG(sink_ != nullptr,
+                   "Deliver event fired with no deliver sink registered");
+    sink_->deliver_event(ev.from, ev.to, ev.msg);
+  } else {
+    // Move the closure out before running it: the callback may schedule new
+    // callbacks, which can recycle or grow the pool slot it came from.
+    const std::function<void()> fn = queue_.take_callback(ev.slot);
+    fn();
+  }
   return true;
 }
 

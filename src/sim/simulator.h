@@ -5,6 +5,12 @@
 // arbitrary-but-finite (drawn from a pluggable delay model), and a crashed
 // process executes no further steps. Given a seed, a run is bit-for-bit
 // reproducible.
+//
+// Message deliveries — the O(n²)-per-round hot path — travel as typed
+// Deliver events dispatched straight to the registered DeliverSink (the
+// network), so no closure is allocated per message. schedule_in/schedule_at
+// keep their std::function signature for the sparse timer/bookkeeping call
+// sites; those closures are pool-backed inside the EventQueue.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <limits>
 
 #include "core/types.h"
+#include "net/message.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -25,6 +32,16 @@ enum class StopReason {
   Halted,      ///< halt() was called from inside an event
 };
 
+/// Receiver of typed Deliver events (implemented by the network). The
+/// simulator calls deliver_event() when a Deliver node fires.
+class DeliverSink {
+ public:
+  virtual void deliver_event(ProcId from, ProcId to, const Message& m) = 0;
+
+ protected:
+  ~DeliverSink() = default;  // never deleted through this interface
+};
+
 /// Single-threaded discrete-event engine with a virtual clock and a seeded
 /// random number generator.
 class Simulator {
@@ -34,11 +51,40 @@ class Simulator {
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
 
+  /// Pre-sizes the event heap / callback pool (see EventQueue::reserve).
+  void reserve(std::size_t events, std::size_t callbacks = 0) {
+    queue_.reserve(events, callbacks);
+  }
+
+  /// Pre-sizing for an n-process all-to-all protocol: one phase keeps ~n²
+  /// deliveries in flight, plus up to 2n start/crash timers. Every runner
+  /// calls this right after construction so the hot path never reallocates
+  /// mid-run.
+  void reserve_all_to_all(ProcId n) {
+    const auto nn = static_cast<std::size_t>(n);
+    reserve(nn * nn + 2 * nn, 2 * nn);
+  }
+
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
   void schedule_in(SimTime delay, std::function<void()> fn);
 
   /// Schedules `fn` at absolute virtual time `at` (>= now()).
   void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules a message delivery `delay` nanoseconds from now. The message
+  /// is stored inline in the event node — no allocation — and dispatched to
+  /// the deliver sink when it fires. Requires a sink by dispatch time.
+  void schedule_deliver(SimTime delay, ProcId from, ProcId to,
+                        const Message& m);
+
+  /// Registers the deliver sink (one per simulator; the network installs
+  /// itself). Re-registering the same sink is a no-op; a different live sink
+  /// is a contract violation.
+  void set_deliver_sink(DeliverSink* sink);
+
+  /// Deregisters `sink` if it is the current one (called from the network's
+  /// destructor so a dangling simulator never dispatches into freed memory).
+  void clear_deliver_sink(const DeliverSink* sink);
 
   /// Runs until quiescence or a limit is hit.
   StopReason run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max(),
@@ -54,6 +100,11 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.pushed(); }
 
+  /// Peak number of concurrently pending events (perf instrumentation).
+  [[nodiscard]] std::size_t peak_queue_depth() const {
+    return queue_.peak_size();
+  }
+
   /// The simulation-wide RNG (delay draws, crash subsets, ...). Forked
   /// streams should be used for logically independent randomness.
   Rng& rng() { return rng_; }
@@ -63,6 +114,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   bool halted_ = false;
+  DeliverSink* sink_ = nullptr;
   Rng rng_;
 };
 

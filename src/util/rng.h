@@ -90,13 +90,30 @@ class Rng {
   /// Exponentially distributed double with the given mean (> 0).
   double exponential(double mean);
 
-  /// Fisher–Yates shuffle of a random-access container.
+  /// Fisher–Yates shuffle of a random-access container. Draw order: one
+  /// bounded(i) per position for i = size() … 2 (bounded(1) is never
+  /// drawn), finalizing positions back to front.
   template <typename Container>
   void shuffle(Container& c) {
     for (std::size_t i = c.size(); i > 1; --i) {
       const std::size_t j = static_cast<std::size_t>(bounded(i));
       using std::swap;
       swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Partial Fisher–Yates: after the call, c[0 … k-1] is a uniform random
+  /// k-subset of the container's elements in uniform random order; the
+  /// tail is unspecified. Draw order: draw i (0-based) uses
+  /// bounded(size - i) — the same bound sequence as the first k draws of
+  /// shuffle() — so selecting k elements consumes exactly k draws
+  /// (bounded(1) consumes none) instead of size-1. Requires k <= size.
+  template <typename Container>
+  void partial_shuffle(Container& c, std::size_t k) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(bounded(c.size() - i));
+      using std::swap;
+      swap(c[i], c[j]);
     }
   }
 

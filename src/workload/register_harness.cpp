@@ -88,6 +88,7 @@ bool check_register_atomicity(const std::vector<RegOpRecord>& history,
 RegisterRunResult run_register_workload(const RegisterRunConfig& cfg) {
   const ProcId n = cfg.layout.n();
   Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
   CrashPlan plan = cfg.crashes;
   if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
   CrashTracker tracker(static_cast<std::size_t>(n));

@@ -136,6 +136,31 @@ TEST(Rng, ShuffleIsAPermutation) {
   EXPECT_EQ(shuffled, v);
 }
 
+TEST(Rng, PartialShufflePrefixIsDistinctSubset) {
+  Rng rng(11);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  rng.partial_shuffle(v, 5);
+  std::set<int> prefix(v.begin(), v.begin() + 5);
+  EXPECT_EQ(prefix.size(), 5u);
+  // The whole container is still a permutation of the universe.
+  std::vector<int> all = v;
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, PartialShuffleDrawOrderContract) {
+  // Documented contract: draw i uses bounded(size - i), nothing else — so
+  // the generator state after partial_shuffle(c, k) equals the state after
+  // manually drawing that bound sequence.
+  Rng a(77), b(77);
+  std::vector<int> v(16);
+  std::iota(v.begin(), v.end(), 0);
+  a.partial_shuffle(v, 6);
+  for (std::uint64_t i = 0; i < 6; ++i) b.bounded(16 - i);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, Mix64IsDeterministicAndSpreads) {
   EXPECT_EQ(mix64(1, 2), mix64(1, 2));
   std::set<std::uint64_t> outs;
