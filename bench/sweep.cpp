@@ -23,6 +23,18 @@
 //   --csv=PATH      write CSV report (- for stdout)
 //   --replay=N      re-run up to N failing seeds with tracing on
 //   --quiet         suppress the ASCII table
+//
+// Adversarial scenario flags (src/scenario/; all default off — combined
+// into one scenario axis value applied to every cell):
+//   --loss=P        per-link message loss probability      [0]
+//   --dup=P         per-link duplication probability       [0]
+//   --reorder=T     bounded-reordering jitter (ns/us/ms)   [0]
+//   --partition=S,... scheduled cuts, KIND:IDS@START..HEAL with KIND
+//                   cluster | procs | split; HEAL may be "never"
+//                   (e.g. cluster:0-1@5ms..20ms)
+//   --recover=S,... crash-recovery cycles, PID@DOWN..UP or
+//                   cluster:X@DOWN..UP (e.g. 3@2ms..8ms)
+//   --coin-attack=BIT:BOOST delay round>=2 phase-1 carriers of BIT by BOOST
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,6 +44,8 @@
 #include "exp/executor.h"
 #include "exp/replay.h"
 #include "exp/report.h"
+#include "scenario/engine.h"
+#include "scenario/scenario.h"
 #include "util/assert.h"
 #include "util/options.h"
 #include "workload/failure_patterns.h"
@@ -127,6 +141,38 @@ CrashAxis parse_crash(const std::string& name, std::uint64_t base_seed) {
   return CrashAxis::none();  // unreachable
 }
 
+ScenarioConfig parse_scenario(const Options& opts) {
+  ScenarioConfig scn;
+  scn.link.loss = opts.get_double("loss", 0.0);
+  scn.link.dup = opts.get_double("dup", 0.0);
+  if (opts.has("reorder")) {
+    scn.link.reorder_max = parse_sim_time(opts.get_string("reorder"));
+  }
+  if (opts.has("partition")) {
+    for (const auto& s : opts.get_string_list("partition")) {
+      scn.partitions.push_back(parse_partition_spec(s));
+    }
+  }
+  if (opts.has("recover")) {
+    for (const auto& s : opts.get_string_list("recover")) {
+      scn.recoveries.push_back(parse_recovery_spec(s));
+    }
+  }
+  if (opts.has("coin-attack")) {
+    const std::string spec = opts.get_string("coin-attack");
+    const std::size_t colon = spec.find(':');
+    HYCO_CHECK_MSG(colon != std::string::npos,
+                   "--coin-attack: want BIT:BOOST, got \"" << spec << '"');
+    const std::string bit = spec.substr(0, colon);
+    HYCO_CHECK_MSG(bit == "0" || bit == "1",
+                   "--coin-attack: bit must be 0 or 1 in \"" << spec << '"');
+    scn.coin_attack.enabled = true;
+    scn.coin_attack.bit = bit == "1" ? 1 : 0;
+    scn.coin_attack.boost = parse_sim_time(spec.substr(colon + 1));
+  }
+  return scn;
+}
+
 void write_report(const std::string& path,
                   const std::function<void(std::ostream&)>& emit) {
   if (path == "-") {
@@ -166,6 +212,8 @@ int main(int argc, char** argv) {
       spec.crashes.push_back(parse_crash(c, spec.base_seed));
     }
 
+    spec.scenarios = {ScenarioAxis::of(parse_scenario(opts))};
+
     const auto ns = opts.get_int_list("n", {8});
     const auto ms = opts.get_int_list("m", {1});
     for (const auto n : ns) {
@@ -182,6 +230,15 @@ int main(int argc, char** argv) {
       }
     }
     HYCO_CHECK_MSG(!spec.layouts.empty(), "no valid (n, m) layouts in grid");
+
+    // Validate the scenario against every layout here, on the main thread:
+    // an out-of-range cluster/proc id would otherwise throw inside a worker
+    // thread and terminate the process instead of exiting 2.
+    for (const auto& axis : spec.scenarios) {
+      for (const auto& layout : spec.layouts) {
+        validate_scenario(axis.config, layout);
+      }
+    }
 
     ParallelExecutor::Options exec_opts;
     exec_opts.threads = opts.get_int("threads", 0);

@@ -40,7 +40,13 @@ void BenOrProcess::enter_round() {
 }
 
 void BenOrProcess::on_message(ProcId from, const Message& m) {
-  if (decided()) return;
+  if (decided()) {
+    // Decision-gossip reply for scenario runs (see ProcessBase::on_message).
+    if (assist_ && m.kind != MsgKind::Decide) {
+      net_.send(self_, from, Message::decide_msg(*decision_));
+    }
+    return;
+  }
   if (m.kind == MsgKind::Decide) {
     decide(m.est);
     return;
@@ -52,6 +58,18 @@ void BenOrProcess::on_message(ProcId from, const Message& m) {
   ++t.counts[estimate_index(m.est)];
   ++stats_.phase_msgs_handled;
   progress();
+}
+
+void BenOrProcess::on_recover() {
+  if (!started_ || parked_) return;
+  if (decided()) {
+    net_.broadcast(self_, Message::decide_msg(*decision_));
+    return;
+  }
+  // Retransmit this (round, phase)'s value — identical to the original
+  // broadcast, and peers count each sender once.
+  const Estimate est = phase_ == Phase::One ? est1_ : est2_;
+  net_.broadcast(self_, Message::phase_msg(round_, phase_, est));
 }
 
 void BenOrProcess::progress() {

@@ -35,6 +35,14 @@ class BenOrProcess final : public IConsensusProcess {
   void start(Estimate proposal) override;
   void on_message(ProcId from, const Message& m) override;
 
+  /// Crash-recovery rejoin: retransmits the current (round, phase) message
+  /// (peers dedup by sender) or re-gossips DECIDE. Scenario assist covers
+  /// decide replies only — Ben-Or keeps no per-round sent history, so a
+  /// rejoiner relies on a surviving majority deciding without it.
+  void on_recover() override;
+
+  void set_scenario_assist(bool on) override { assist_ = on; }
+
   [[nodiscard]] bool decided() const override {
     return decision_.has_value();
   }
@@ -81,6 +89,7 @@ class BenOrProcess final : public IConsensusProcess {
   Estimate est2_ = Estimate::Bot;
   bool started_ = false;
   bool parked_ = false;
+  bool assist_ = false;
   std::optional<Estimate> decision_;
   Round decision_round_ = 0;
   ProcessStats stats_;

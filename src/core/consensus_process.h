@@ -30,6 +30,29 @@ class IConsensusProcess {
   /// Delivery hook for every message addressed to this process.
   virtual void on_message(ProcId from, const Message& m) = 0;
 
+  /// Crash-recovery hook (src/scenario/): the process just rejoined with
+  /// its state intact but missed every message delivered while it was
+  /// down. Implementations retransmit whatever peers need to pull it back
+  /// in (typically the active PHASE message or its DECIDE). Default: no-op.
+  virtual void on_recover() {}
+
+  /// Peer-rejoin announcement (the runner calls it on every process when
+  /// `peer` recovers): replies previously sent to `peer` may have fallen
+  /// into its down window, so per-peer reply bookkeeping must be reset.
+  /// Default: no-op.
+  virtual void on_peer_recover(ProcId /*peer*/) {}
+
+  /// Enables the scenario-assist gossip that keeps faulty runs live:
+  /// (a) decide replies — a decided process answers stale non-DECIDE
+  /// messages with a targeted DECIDE; (b) catch-up replies — an undecided
+  /// process answers a PHASE message for any (round, phase) it has begun
+  /// by retransmitting its own message of that (round, phase), once per
+  /// (peer, round, phase), so a rejoined or loss-starved process can
+  /// recover what it missed. Off by default (the paper's algorithms don't need
+  /// either under reliable channels; keeping them off preserves
+  /// byte-identical legacy runs). Default: ignored.
+  virtual void set_scenario_assist(bool /*on*/) {}
+
   [[nodiscard]] virtual bool decided() const = 0;
   [[nodiscard]] virtual std::optional<Estimate> decision() const = 0;
   [[nodiscard]] virtual Round decision_round() const = 0;

@@ -16,11 +16,17 @@ void MsgExchange::begin(Round r, Phase ph, Estimate est) {
   HYCO_CHECK_MSG(r >= 1, "rounds start at 1");
   round_ = r;
   phase_ = ph;
+  est_ = est;
   active_ = true;
   ++begun_;
   for (auto& s : supporter_clusters_) s.clear_all();
   // Line 3: broadcast (r, ph, est) to everyone, self included.
   net_.broadcast(self_, Message::phase_msg(r, ph, est));
+}
+
+void MsgExchange::retransmit() {
+  HYCO_CHECK_MSG(active_, "retransmit() outside an active exchange");
+  net_.broadcast(self_, Message::phase_msg(round_, phase_, est_));
 }
 
 bool MsgExchange::credit(ProcId from, Estimate value) {

@@ -56,6 +56,15 @@ class MsgExchange {
   [[nodiscard]] Phase phase() const { return phase_; }
   [[nodiscard]] bool active() const { return active_; }
 
+  /// The estimate this process broadcast in the active exchange (what a
+  /// recovered process must retransmit).
+  [[nodiscard]] Estimate value() const { return est_; }
+
+  /// Rebroadcasts the active exchange's PHASE message (crash-recovery
+  /// retransmission). Crediting is idempotent — supporter sets are unions
+  /// of clusters — so peers that already saw the original are unaffected.
+  void retransmit();
+
   /// Number of begin() calls (== phases entered); for instrumentation.
   [[nodiscard]] std::uint64_t exchanges_started() const { return begun_; }
 
@@ -66,6 +75,7 @@ class MsgExchange {
 
   Round round_ = 0;
   Phase phase_ = Phase::One;
+  Estimate est_ = Estimate::Bot;
   bool active_ = false;
   std::uint64_t begun_ = 0;
 

@@ -30,7 +30,17 @@ void ProcessBase::start(Estimate proposal) {
 }
 
 void ProcessBase::on_message(ProcId from, const Message& m) {
-  if (decided()) return;  // a decided process has returned from propose()
+  if (decided()) {
+    // A decided process has returned from propose(). Under scenarios
+    // (recovery, loss) the sender may have missed the DECIDE broadcast;
+    // when scenario assist is on, answer stale traffic with a targeted
+    // DECIDE. PHASE messages only come from undecided processes, so each
+    // sender triggers finitely many replies.
+    if (assist_ && m.kind != MsgKind::Decide) {
+      net_.send(self_, from, Message::decide_msg(*decision_));
+    }
+    return;
+  }
 
   if (m.kind == MsgKind::Decide) {
     // Algorithm 2 line 17 / Algorithm 3 line 13: forward, then return.
@@ -38,9 +48,14 @@ void ProcessBase::on_message(ProcId from, const Message& m) {
     return;
   }
 
-  // PHASE message: remember it (we may not have reached (r, ph) yet), and
-  // feed it to the active exchange if it matches.
+  // PHASE message: remember it (we may not have reached (r, ph) yet), feed
+  // it to the active exchange if it matches, and — under scenario assist —
+  // answer with our own message of that (round, phase) in case the sender
+  // missed the original (the reply happens before crediting, so a decision
+  // made by the credit cannot swallow it; deciding broadcasts DECIDE
+  // anyway).
   backlog_[{m.round, static_cast<int>(m.phase)}].emplace_back(from, m.est);
+  if (assist_ && !parked_ && started_) maybe_catchup_reply(from, m);
   if (!parked_ && started_ && exch_.active() && m.round == exch_.round() &&
       m.phase == exch_.phase()) {
     ++stats_.phase_msgs_handled;
@@ -49,7 +64,48 @@ void ProcessBase::on_message(ProcId from, const Message& m) {
   }
 }
 
+void ProcessBase::maybe_catchup_reply(ProcId from, const Message& m) {
+  // The sender is exchanging in a (round, phase) this process has already
+  // begun — under crash-recovery or loss it may have missed this process's
+  // broadcast of that phase. Retransmit it to the sender (crediting is
+  // idempotent). The once-per-(peer, round, phase) guard bounds the extra
+  // traffic to one unicast per peer per phase and keeps two processes from
+  // bouncing replies forever.
+  const auto key = std::make_pair(m.round, static_cast<int>(m.phase));
+  const auto it = sent_history_.find(key);
+  if (it == sent_history_.end()) return;
+  if (!catchup_sent_.emplace(from, m.round, static_cast<int>(m.phase))
+           .second) {
+    return;
+  }
+  net_.send(self_, from, Message::phase_msg(m.round, m.phase, it->second));
+}
+
+void ProcessBase::on_peer_recover(ProcId peer) {
+  // std::tuple orders lexicographically, peer first: erase its whole range.
+  const auto lo = catchup_sent_.lower_bound({peer, 0, 0});
+  const auto hi = catchup_sent_.lower_bound({peer + 1, 0, 0});
+  catchup_sent_.erase(lo, hi);
+}
+
+void ProcessBase::on_recover() {
+  if (!started_ || parked_) return;
+  if (decided()) {
+    // Re-gossip the decision: the original DECIDE broadcast may have been
+    // dropped while peers were down.
+    net_.broadcast(self_, Message::decide_msg(*decision_));
+    return;
+  }
+  if (exch_.active()) {
+    // Retransmit the active PHASE message. Peers still in this (r, ph)
+    // re-credit idempotently; decided peers answer with DECIDE when decide
+    // replies are enabled, pulling this process back in.
+    exch_.retransmit();
+  }
+}
+
 void ProcessBase::begin_exchange(Round r, Phase ph, Estimate est) {
+  if (assist_) sent_history_[{r, static_cast<int>(ph)}] = est;
   exch_.begin(r, ph, est);
   const auto it = backlog_.find({r, static_cast<int>(ph)});
   if (it != backlog_.end()) {

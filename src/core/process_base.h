@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -38,6 +40,20 @@ class ProcessBase : public IConsensusProcess {
 
   /// Runtime delivery hook for every message addressed to this process.
   void on_message(ProcId from, const Message& m) override;
+
+  /// Crash-recovery rejoin: retransmits the active exchange's PHASE message
+  /// (or re-gossips DECIDE when already decided). Peers answer with decide
+  /// or catch-up replies (scenario assist), letting this process replay the
+  /// history it missed and climb back to the frontier.
+  void on_recover() override;
+
+  /// Forgets the once-per-(peer, round, phase) reply bookkeeping for a
+  /// rejoined peer — its copies may have been dropped while it was down,
+  /// so catch-up replies to it must be allowed again. Each recovery resets
+  /// the guard once, keeping total reply traffic bounded.
+  void on_peer_recover(ProcId peer) override;
+
+  void set_scenario_assist(bool on) override { assist_ = on; }
 
   [[nodiscard]] bool decided() const override {
     return decision_.has_value();
@@ -86,12 +102,23 @@ class ProcessBase : public IConsensusProcess {
   ProcessStats stats_;
 
  private:
+  /// Scenario assist: answer a PHASE message from `from` by retransmitting
+  /// this process's own message of that (round, phase), if it ever sent
+  /// one — at most once per (peer, round, phase), so the extra traffic is
+  /// bounded and two processes can never bounce replies forever.
+  void maybe_catchup_reply(ProcId from, const Message& m);
+
   using BacklogKey = std::pair<Round, int>;
   std::map<BacklogKey, std::vector<std::pair<ProcId, Estimate>>> backlog_;
   std::optional<Estimate> decision_;
   Round decision_round_ = 0;
   bool parked_ = false;
   bool started_ = false;
+  bool assist_ = false;
+  /// What this process broadcast per (round, phase); recorded only when
+  /// scenario assist is on (feeds catch-up replies).
+  std::map<BacklogKey, Estimate> sent_history_;
+  std::set<std::tuple<ProcId, Round, int>> catchup_sent_;
 };
 
 }  // namespace hyco

@@ -8,6 +8,7 @@
 #include "core/common_coin_process.h"
 #include "core/invariant_checker.h"
 #include "core/local_coin_process.h"
+#include "scenario/engine.h"
 #include "shm/cluster_memory.h"
 #include "sim/trace.h"
 #include "util/assert.h"
@@ -54,9 +55,21 @@ RunResult run_consensus(const RunConfig& cfg) {
   std::unique_ptr<DelayModel> delays =
       cfg.delay_factory ? cfg.delay_factory() : make_delay_model(cfg.delays);
 
+  // Scenario faults wrap the delay model in a FaultyChannel and give the
+  // network its partition/loss/duplication hooks. Empty scenario = the
+  // legacy path, bit for bit.
+  std::unique_ptr<ScenarioEngine> scenario;
+  DelayModel* channel = delays.get();
+  if (!cfg.scenario.empty()) {
+    scenario = std::make_unique<ScenarioEngine>(cfg.scenario, cfg.layout,
+                                                std::move(delays));
+    channel = &scenario->channel();
+  }
+
   Trace trace;
   trace.enable(cfg.enable_trace);
-  SimNetwork net(sim, *delays, tracker, n, &plan, &trace);
+  SimNetwork net(sim, *channel, tracker, n, &plan, &trace);
+  if (scenario != nullptr) net.set_scenario(scenario.get());
 
   InvariantChecker checker(cfg.layout);
   checker.set_inputs(inputs);
@@ -140,15 +153,53 @@ RunResult run_consensus(const RunConfig& cfg) {
     }
   }
 
+  // Crash-recovery cycles (scenario). A process that was down at its start
+  // time proposes on rejoin instead; `started` guards the double-start.
+  std::vector<char> started(static_cast<std::size_t>(n), 0);
+  if (scenario != nullptr) {
+    for (const ScenarioEngine::Rejoin& rj : scenario->rejoins()) {
+      const ProcId p = rj.proc;
+      if (rj.down_at <= 0) {
+        tracker.crash(p, 0);  // down from the start
+      } else {
+        sim.schedule_at(rj.down_at, [&tracker, p, t = rj.down_at] {
+          tracker.crash(p, t);
+        });
+      }
+      if (rj.up_at == kSimTimeNever) continue;
+      sim.schedule_at(rj.up_at, [&, p, t = rj.up_at] {
+        const auto idx = static_cast<std::size_t>(p);
+        tracker.recover(p, t);
+        // Announce the rejoin first: replies peers sent into the down
+        // window were lost, so their per-peer reply guards must reset
+        // before the rejoiner's retransmit reaches them.
+        for (auto& proc : procs) proc->on_peer_recover(p);
+        if (started[idx] == 0) {
+          started[idx] = 1;
+          procs[idx]->start(inputs[idx]);
+        } else {
+          procs[idx]->on_recover();
+        }
+      });
+    }
+  }
+
+  // Decide-reply and catch-up gossip keep scenario runs live (see
+  // RunConfig::scenario).
+  if (scenario != nullptr) {
+    for (auto& proc : procs) proc->set_scenario_assist(true);
+  }
+
   // Every live process invokes propose(v_p) at its own start time.
   Rng start_rng(mix64(cfg.seed, 0x57A7));
   for (ProcId p = 0; p < n; ++p) {
     const SimTime at =
         cfg.start_jitter > 0 ? start_rng.uniform(0, cfg.start_jitter) : 0;
     sim.schedule_at(at, [&, p] {
-      if (tracker.is_crashed(p)) return;
-      procs[static_cast<std::size_t>(p)]->start(
-          inputs[static_cast<std::size_t>(p)]);
+      const auto idx = static_cast<std::size_t>(p);
+      if (tracker.is_crashed(p) || started[idx] != 0) return;
+      started[idx] = 1;
+      procs[idx]->start(inputs[idx]);
     });
   }
 
@@ -156,6 +207,7 @@ RunResult run_consensus(const RunConfig& cfg) {
   result.end_time = sim.now();
   result.events = sim.events_executed();
   result.crashed = tracker.crashed_count();
+  result.recovered = tracker.recovered_count();
 
   // Harvest per-process outcomes.
   bool all_correct_decided = true;

@@ -16,6 +16,7 @@
 #include "core/types.h"
 #include "net/delay_model.h"
 #include "net/network.h"
+#include "scenario/scenario.h"
 #include "shm/consensus_object.h"
 #include "shm/op_counts.h"
 #include "sim/crash.h"
@@ -51,6 +52,14 @@ struct RunConfig {
   std::function<std::unique_ptr<DelayModel>()> delay_factory;
 
   CrashPlan crashes;  ///< empty specs = nobody crashes
+
+  /// Adversarial scenario (partitions, link faults, crash-recovery, coin
+  /// attack). Empty = none; runs are then byte-identical to pre-scenario
+  /// builds. When non-empty, scenario-assist gossip is enabled on every
+  /// process (decided processes answer stale traffic with DECIDE, and
+  /// undecided ones answer it by retransmitting their own message of that
+  /// phase) so recovered or loss-starved processes can still terminate.
+  ScenarioConfig scenario;
 
   Round max_rounds = 5000;          ///< parking brake for unlucky coin runs
   std::uint64_t max_events = 200'000'000;
@@ -93,7 +102,8 @@ struct RunResult {
   std::uint64_t consensus_objects = 0;  ///< objects materialized
   std::uint64_t events = 0;
   StopReason stop = StopReason::Quiescent;
-  std::size_t crashed = 0;
+  std::size_t crashed = 0;    ///< processes down at the end of the run
+  std::size_t recovered = 0;  ///< crash-recovery rejoins executed
   std::string trace_dump;  ///< populated when cfg.enable_trace
 
   /// all_correct_decided && agreement && validity && invariants.

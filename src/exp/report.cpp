@@ -68,7 +68,7 @@ void write_cell_csv(std::ostream& out,
                     const std::vector<CellResult>& results) {
   CsvWriter w(out);
   w.header({"cell", "algorithm", "n", "m", "layout", "delay", "crash",
-            "coin_epsilon", "runs", "terminated", "violations",
+            "scenario", "coin_epsilon", "runs", "terminated", "violations",
             "rounds_mean", "rounds_p50", "rounds_p95", "rounds_max",
             "msgs_mean", "msgs_p50", "msgs_p95", "msgs_max",
             "shm_proposals_mean", "shm_proposals_p50", "shm_proposals_p95",
@@ -84,6 +84,7 @@ void write_cell_csv(std::ostream& out,
     fields.push_back(r.cell.layout.to_string());
     fields.push_back(r.cell.delay.name);
     fields.push_back(r.cell.crash.name);
+    fields.push_back(r.cell.scenario.name);
     fields.push_back(format_number(r.cell.coin_epsilon));
     fields.push_back(std::to_string(r.runs));
     fields.push_back(std::to_string(r.terminated));
@@ -109,7 +110,8 @@ void write_cell_json(std::ostream& out, const std::string& experiment_name,
         << ",\"m\":" << r.cell.layout.m() << ",\"layout\":\""
         << json_escape(r.cell.layout.to_string()) << "\",\"delay\":\""
         << json_escape(r.cell.delay.name) << "\",\"crash\":\""
-        << json_escape(r.cell.crash.name)
+        << json_escape(r.cell.crash.name) << "\",\"scenario\":\""
+        << json_escape(r.cell.scenario.name)
         << "\",\"coin_epsilon\":" << format_number(r.cell.coin_epsilon)
         << ",\"inputs\":\"" << to_cstring(r.cell.inputs)
         << "\",\"base_seed\":" << r.cell.base_seed << ",\"runs\":" << r.runs

@@ -46,6 +46,22 @@ CrashAxis CrashAxis::of(std::string name,
   return a;
 }
 
+ScenarioAxis ScenarioAxis::none() { return ScenarioAxis{}; }
+
+ScenarioAxis ScenarioAxis::of(std::string name, ScenarioConfig config) {
+  ScenarioAxis a;
+  a.name = std::move(name);
+  a.config = std::move(config);
+  return a;
+}
+
+ScenarioAxis ScenarioAxis::of(ScenarioConfig config) {
+  ScenarioAxis a;
+  a.name = config.label();
+  a.config = std::move(config);
+  return a;
+}
+
 const char* to_cstring(InputKind k) {
   switch (k) {
     case InputKind::Split: return "split";
@@ -57,7 +73,7 @@ const char* to_cstring(InputKind k) {
 
 std::size_t ExperimentSpec::cell_count() const {
   return algorithms.size() * layouts.size() * delays.size() * crashes.size() *
-         coin_epsilons.size();
+         scenarios.size() * coin_epsilons.size();
 }
 
 std::vector<ExperimentCell> ExperimentSpec::expand() const {
@@ -65,6 +81,8 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
   HYCO_CHECK_MSG(!layouts.empty(), "experiment needs >= 1 layout");
   HYCO_CHECK_MSG(!delays.empty(), "experiment needs >= 1 delay axis value");
   HYCO_CHECK_MSG(!crashes.empty(), "experiment needs >= 1 crash axis value");
+  HYCO_CHECK_MSG(!scenarios.empty(),
+                 "experiment needs >= 1 scenario axis value");
   HYCO_CHECK_MSG(!coin_epsilons.empty(),
                  "experiment needs >= 1 coin_epsilon value");
   HYCO_CHECK_MSG(runs_per_cell >= 1, "runs_per_cell must be >= 1");
@@ -75,20 +93,23 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
     for (const ClusterLayout& layout : layouts) {
       for (const DelayAxis& delay : delays) {
         for (const CrashAxis& crash : crashes) {
-          for (const double eps : coin_epsilons) {
-            ExperimentCell c(layout);
-            c.index = cells.size();
-            c.alg = alg;
-            c.delay = delay;
-            c.crash = crash;
-            c.coin_epsilon = eps;
-            c.runs = runs_per_cell;
-            c.base_seed = base_seed;
-            c.inputs = inputs;
-            c.max_rounds = max_rounds;
-            c.start_jitter = start_jitter;
-            c.adversary_bit = adversary_bit;
-            cells.push_back(std::move(c));
+          for (const ScenarioAxis& scenario : scenarios) {
+            for (const double eps : coin_epsilons) {
+              ExperimentCell c(layout);
+              c.index = cells.size();
+              c.alg = alg;
+              c.delay = delay;
+              c.crash = crash;
+              c.scenario = scenario;
+              c.coin_epsilon = eps;
+              c.runs = runs_per_cell;
+              c.base_seed = base_seed;
+              c.inputs = inputs;
+              c.max_rounds = max_rounds;
+              c.start_jitter = start_jitter;
+              c.adversary_bit = adversary_bit;
+              cells.push_back(std::move(c));
+            }
           }
         }
       }
@@ -121,6 +142,7 @@ RunConfig ExperimentCell::run_config(int run) const {
   cfg.delays = delay.config;
   cfg.delay_factory = delay.factory;
   if (crash.make) cfg.crashes = crash.make(layout);
+  cfg.scenario = scenario.config;
   cfg.max_rounds = max_rounds;
   cfg.start_jitter = start_jitter;
   cfg.coin_epsilon = coin_epsilon;
@@ -132,7 +154,7 @@ std::string ExperimentCell::label() const {
   std::ostringstream os;
   os << to_cstring(alg) << " n=" << layout.n() << " m=" << layout.m()
      << " delay=" << delay.name << " crash=" << crash.name
-     << " eps=" << coin_epsilon;
+     << " scn=" << scenario.name << " eps=" << coin_epsilon;
   return os.str();
 }
 

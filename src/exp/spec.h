@@ -17,6 +17,7 @@
 #include "core/cluster_layout.h"
 #include "core/runner.h"
 #include "net/delay_model.h"
+#include "scenario/scenario.h"
 #include "sim/crash.h"
 
 namespace hyco {
@@ -46,6 +47,20 @@ struct CrashAxis {
                       std::function<CrashPlan(const ClusterLayout&)> make);
 };
 
+/// One value of the scenario axis: a label plus the adversarial scenario
+/// applied to every run of the cell (partitions, link faults, recoveries,
+/// coin attack — src/scenario/scenario.h). Declarative specs are resolved
+/// against each cell's layout, so one axis value rides every (n, m).
+struct ScenarioAxis {
+  std::string name = "none";
+  ScenarioConfig config;
+
+  static ScenarioAxis none();
+  static ScenarioAxis of(std::string name, ScenarioConfig config);
+  /// Labels the axis with the config's own compact label().
+  static ScenarioAxis of(ScenarioConfig config);
+};
+
 /// How proposals are assigned across processes.
 enum class InputKind : std::uint8_t {
   Split,    ///< process i proposes i % 2 — the adversarially divided start
@@ -66,6 +81,7 @@ struct ExperimentSpec {
   std::vector<ClusterLayout> layouts;
   std::vector<DelayAxis> delays{DelayAxis{}};
   std::vector<CrashAxis> crashes{CrashAxis::none()};
+  std::vector<ScenarioAxis> scenarios{ScenarioAxis{}};
   std::vector<double> coin_epsilons{0.0};
 
   int runs_per_cell = 40;
@@ -79,7 +95,7 @@ struct ExperimentSpec {
   [[nodiscard]] std::size_t cell_count() const;
 
   /// Expands the grid row-major in axis declaration order:
-  /// algorithms ▸ layouts ▸ delays ▸ crashes ▸ coin_epsilons.
+  /// algorithms ▸ layouts ▸ delays ▸ crashes ▸ scenarios ▸ coin_epsilons.
   /// Throws ContractViolation if any axis is empty or runs_per_cell < 1.
   [[nodiscard]] std::vector<ExperimentCell> expand() const;
 };
@@ -91,6 +107,7 @@ struct ExperimentCell {
   ClusterLayout layout;
   DelayAxis delay;
   CrashAxis crash;
+  ScenarioAxis scenario;
   double coin_epsilon = 0.0;
 
   // Scalars snapshotted from the spec so a cell is self-contained.
@@ -110,8 +127,8 @@ struct ExperimentCell {
   /// Mints the full RunConfig of run k (0 <= k < runs).
   [[nodiscard]] RunConfig run_config(int run) const;
 
-  /// "hybrid-CC n=16 m=4 delay=uniform(50,150) crash=none eps=0" — stable
-  /// across runs; used in tables, CSV, and JSON.
+  /// "hybrid-CC n=16 m=4 delay=uniform(50,150) crash=none scn=none eps=0" —
+  /// stable across runs; used in tables, CSV, and JSON.
   [[nodiscard]] std::string label() const;
 };
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "scenario/engine.h"
 #include "util/assert.h"
 
 namespace hyco {
@@ -30,13 +31,43 @@ SimNetwork::SimNetwork(Simulator& sim, DelayModel& delays,
 SimNetwork::~SimNetwork() { sim_.clear_deliver_sink(this); }
 
 void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
-  const SimTime d = delays_.delay(from, to, m, sim_.now(), sim_.rng());
-  ++stats_.unicasts_sent;
-  if (trace_ != nullptr) {
-    trace_->record(sim_.now(), TraceKind::Send, from,
-                   m.to_string() + " -> p" + std::to_string(to));
+  SimTime hold = 0;
+  int copies = 1;
+  if (scenario_ != nullptr) {
+    // Partition: a finite cut holds the message until it heals (reliable,
+    // adversarially slow); a permanent cut drops it.
+    const SimTime release = scenario_->release_time(from, to, sim_.now());
+    if (release == kSimTimeNever) {
+      ++stats_.dropped_partitioned;
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceKind::Drop, from,
+                       "partitioned; " + m.to_string() + " -> p" +
+                           std::to_string(to));
+      }
+      return;
+    }
+    hold = release - sim_.now();
+    copies = scenario_->draw_copies(m, sim_.rng());
+    if (copies == 0) {
+      ++stats_.dropped_lost;
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceKind::Drop, from,
+                       "lost; " + m.to_string() + " -> p" +
+                           std::to_string(to));
+      }
+      return;
+    }
+    stats_.duplicated += static_cast<std::uint64_t>(copies - 1);
   }
-  sim_.schedule_deliver(d, from, to, m);
+  for (int c = 0; c < copies; ++c) {
+    const SimTime d = delays_.delay(from, to, m, sim_.now(), sim_.rng());
+    ++stats_.unicasts_sent;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), TraceKind::Send, from,
+                     m.to_string() + " -> p" + std::to_string(to));
+    }
+    sim_.schedule_deliver(hold + d, from, to, m);
+  }
 }
 
 void SimNetwork::deliver_event(ProcId from, ProcId to, const Message& m) {

@@ -20,6 +20,8 @@
 
 namespace hyco {
 
+class ScenarioEngine;
+
 /// Transport counters, aggregated per run.
 struct NetStats {
   std::uint64_t unicasts_sent = 0;      ///< individual send() deliveries scheduled
@@ -27,6 +29,10 @@ struct NetStats {
   std::uint64_t delivered = 0;          ///< messages handed to a live receiver
   std::uint64_t dropped_sender_crashed = 0;
   std::uint64_t dropped_receiver_crashed = 0;
+  // Scenario faults (src/scenario/; all zero without a scenario):
+  std::uint64_t dropped_partitioned = 0;  ///< blocked by a never-healing cut
+  std::uint64_t dropped_lost = 0;         ///< per-link loss draws
+  std::uint64_t duplicated = 0;           ///< extra copies scheduled
 };
 
 /// Abstract message-passing system shared by algorithms and substrates.
@@ -68,6 +74,14 @@ class SimNetwork final : public INetwork, private DeliverSink {
   /// after constructing the network).
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Installs the run's fault-injection engine (nullptr = none). When set,
+  /// every scheduled delivery consults the engine: partitioned messages are
+  /// held until the cut heals (or dropped when it never does) and each send
+  /// draws a copy count (loss/duplication). The engine must outlive the
+  /// network. Delay shaping (reordering, coin attack) rides the engine's
+  /// FaultyChannel, which the runner passes as this network's DelayModel.
+  void set_scenario(ScenarioEngine* scenario) { scenario_ = scenario; }
+
   void send(ProcId from, ProcId to, const Message& m) override;
   void broadcast(ProcId from, const Message& m) override;
   [[nodiscard]] ProcId n() const override { return n_; }
@@ -87,6 +101,7 @@ class SimNetwork final : public INetwork, private DeliverSink {
   ProcId n_;
   const CrashPlan* plan_;
   Trace* trace_;
+  ScenarioEngine* scenario_ = nullptr;
   DeliverFn deliver_;
   std::vector<std::int32_t> broadcast_counts_;
   std::vector<ProcId> scratch_;  ///< reusable mid-broadcast target buffer

@@ -1,0 +1,75 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+std::vector<ScenarioEngine::Rejoin> resolve_recoveries(
+    const std::vector<RecoverySpec>& specs, const ClusterLayout& layout) {
+  std::vector<ScenarioEngine::Rejoin> rejoins;
+  for (const RecoverySpec& spec : specs) {
+    if (spec.whole_cluster) {
+      HYCO_CHECK_MSG(spec.id >= 0 && spec.id < layout.m(),
+                     "recovery " << spec.to_string() << ": cluster "
+                                 << spec.id << " out of range (m="
+                                 << layout.m() << ')');
+      for (const ProcId p : layout.members(static_cast<ClusterId>(spec.id))) {
+        rejoins.push_back({p, spec.down_at, spec.up_at});
+      }
+    } else {
+      HYCO_CHECK_MSG(spec.id >= 0 && spec.id < layout.n(),
+                     "recovery " << spec.to_string() << ": process "
+                                 << spec.id << " out of range (n="
+                                 << layout.n() << ')');
+      rejoins.push_back(
+          {static_cast<ProcId>(spec.id), spec.down_at, spec.up_at});
+    }
+  }
+
+  // Windows for one process must be disjoint and in order: a second crash
+  // inside a live window would make the later recover() fire on a live
+  // process mid-run (a contract violation inside the simulation).
+  std::map<ProcId, SimTime> frontier;  // earliest allowed next down_at
+  for (const auto& rj : rejoins) {
+    const auto it = frontier.find(rj.proc);
+    if (it != frontier.end()) {
+      HYCO_CHECK_MSG(it->second != kSimTimeNever && rj.down_at >= it->second,
+                     "recovery windows for p" << rj.proc
+                         << " overlap (a process must be recovered before"
+                            " it can crash again)");
+    }
+    frontier[rj.proc] = rj.up_at;
+  }
+  return rejoins;
+}
+
+void validate_scenario(const ScenarioConfig& cfg,
+                       const ClusterLayout& layout) {
+  ConstantDelay probe(0);
+  FaultyChannel channel(probe, cfg.link, cfg.coin_attack);
+  PartitionSchedule partitions(cfg.partitions, layout);
+  resolve_recoveries(cfg.recoveries, layout);
+}
+
+namespace {
+
+std::unique_ptr<DelayModel> checked(std::unique_ptr<DelayModel> m) {
+  HYCO_CHECK_MSG(m != nullptr, "scenario engine needs a delay model");
+  return m;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(const ScenarioConfig& cfg,
+                               const ClusterLayout& layout,
+                               std::unique_ptr<DelayModel> base_delays)
+    : base_(checked(std::move(base_delays))),
+      channel_(*base_, cfg.link, cfg.coin_attack),
+      partitions_(cfg.partitions, layout),
+      rejoins_(resolve_recoveries(cfg.recoveries, layout)) {}
+
+}  // namespace hyco

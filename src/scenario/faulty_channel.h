@@ -1,0 +1,43 @@
+// FaultyChannel — a DelayModel decorator that makes any delay model lossy.
+//
+// Wraps an inner model and adds, per message:
+//  * bounded reordering: an extra uniform delay in [0, reorder_max], so a
+//    later message can overtake an earlier one by at most reorder_max;
+//  * the adversarial coin-attack boost for coin-carrying messages (PHASE,
+//    round >= 2, phase 1 — the messages championing the previous round's
+//    coin-derived estimates) whose estimate matches the targeted bit;
+//  * a copy count per send (copies()): 0 = lost, 2 = duplicated. The
+//    network draws the copy count once per send and then draws one delay
+//    per surviving copy, all from the run's seeded Rng.
+#pragma once
+
+#include "net/delay_model.h"
+#include "scenario/scenario.h"
+
+namespace hyco {
+
+class FaultyChannel final : public DelayModel {
+ public:
+  /// `inner` must outlive the channel. Throws ContractViolation when loss
+  /// or dup are outside [0, 1] or reorder_max/boost are negative.
+  FaultyChannel(DelayModel& inner, const LinkFaultConfig& link,
+                const CoinAttackConfig& coin_attack);
+
+  /// Inner delay + reorder jitter + coin-attack boost.
+  SimTime delay(ProcId from, ProcId to, const Message& m, SimTime now,
+                Rng& rng) override;
+
+  /// Delivery copies for one send: 0 (lost), 1, or 2 (duplicated). Loss
+  /// wins over duplication when both fire.
+  [[nodiscard]] int copies(const Message& m, Rng& rng) const;
+
+  /// True iff the coin attack targets m (see file comment).
+  [[nodiscard]] bool is_targeted_coin_carrier(const Message& m) const;
+
+ private:
+  DelayModel& inner_;
+  LinkFaultConfig link_;
+  CoinAttackConfig coin_attack_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,79 @@
+#include "scenario/partition.h"
+
+#include "util/assert.h"
+
+namespace hyco {
+
+PartitionSchedule::PartitionSchedule(const std::vector<PartitionSpec>& specs,
+                                     const ClusterLayout& layout) {
+  cuts_.reserve(specs.size());
+  for (const PartitionSpec& spec : specs) {
+    Cut cut;
+    cut.side_a = DynamicBitset(static_cast<std::size_t>(layout.n()));
+    cut.start = spec.start;
+    cut.heal = spec.heal;
+    switch (spec.kind) {
+      case PartitionSpec::Kind::Clusters:
+        for (const std::int32_t x : spec.ids) {
+          HYCO_CHECK_MSG(x >= 0 && x < layout.m(),
+                         "partition " << spec.to_string() << ": cluster " << x
+                                      << " out of range (m=" << layout.m()
+                                      << ')');
+          for (const ProcId p : layout.members(static_cast<ClusterId>(x))) {
+            cut.side_a.set(static_cast<std::size_t>(p));
+          }
+        }
+        break;
+      case PartitionSpec::Kind::Procs:
+        for (const std::int32_t p : spec.ids) {
+          HYCO_CHECK_MSG(p >= 0 && p < layout.n(),
+                         "partition " << spec.to_string() << ": process " << p
+                                      << " out of range (n=" << layout.n()
+                                      << ')');
+          cut.side_a.set(static_cast<std::size_t>(p));
+        }
+        break;
+      case PartitionSpec::Kind::SplitCluster: {
+        HYCO_CHECK_MSG(spec.ids.size() == 1,
+                       "split partition takes exactly one cluster id");
+        const std::int32_t x = spec.ids[0];
+        HYCO_CHECK_MSG(x >= 0 && x < layout.m(),
+                       "partition " << spec.to_string() << ": cluster " << x
+                                    << " out of range (m=" << layout.m()
+                                    << ')');
+        const auto& members = layout.members(static_cast<ClusterId>(x));
+        const std::size_t half = (members.size() + 1) / 2;
+        for (std::size_t i = 0; i < half; ++i) {
+          cut.side_a.set(static_cast<std::size_t>(members[i]));
+        }
+        break;
+      }
+    }
+    cuts_.push_back(std::move(cut));
+  }
+}
+
+SimTime PartitionSchedule::release_time(ProcId from, ProcId to,
+                                        SimTime now) const {
+  SimTime release = now;
+  // Fixed point: a message released by one healing cut may immediately be
+  // captured by another whose window contains the new release time. Each
+  // pass either terminates or strictly advances `release` past one cut's
+  // heal time, so the loop runs at most |cuts| passes.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Cut& cut : cuts_) {
+      if (!cut.crosses(from, to)) continue;
+      if (release < cut.start) continue;
+      if (cut.heal == kSimTimeNever) return kSimTimeNever;
+      if (release < cut.heal) {
+        release = cut.heal;
+        moved = true;
+      }
+    }
+  }
+  return release;
+}
+
+}  // namespace hyco

@@ -1,0 +1,51 @@
+// PartitionSchedule — resolved, queryable network cuts.
+//
+// Resolves declarative PartitionSpecs against a concrete ClusterLayout into
+// bitset cuts and answers the one question the network asks: starting from
+// `now`, when may a message from `from` to `to` cross? A cut with a finite
+// heal time holds crossing messages until it heals (asynchrony, not loss);
+// a cut that never heals blocks them forever (the network drops and counts
+// them). Overlapping cuts cascade: a message released by one cut can be
+// captured by a later one.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster_layout.h"
+#include "core/types.h"
+#include "scenario/scenario.h"
+#include "util/bitset.h"
+
+namespace hyco {
+
+class PartitionSchedule {
+ public:
+  /// Throws ContractViolation when a spec names an out-of-range cluster or
+  /// process id for this layout.
+  PartitionSchedule(const std::vector<PartitionSpec>& specs,
+                    const ClusterLayout& layout);
+
+  /// Earliest virtual time >= now at which a from->to message may be in
+  /// transit; kSimTimeNever when a permanent cut separates them at (or
+  /// after) now.
+  [[nodiscard]] SimTime release_time(ProcId from, ProcId to,
+                                     SimTime now) const;
+
+  [[nodiscard]] bool empty() const { return cuts_.empty(); }
+
+ private:
+  struct Cut {
+    DynamicBitset side_a;
+    SimTime start = 0;
+    SimTime heal = kSimTimeNever;
+
+    [[nodiscard]] bool crosses(ProcId from, ProcId to) const {
+      return side_a.test(static_cast<std::size_t>(from)) !=
+             side_a.test(static_cast<std::size_t>(to));
+    }
+  };
+
+  std::vector<Cut> cuts_;
+};
+
+}  // namespace hyco

@@ -1,0 +1,221 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hyco {
+
+namespace {
+
+/// Splits on a single-character separator; empty pieces are preserved so
+/// callers can reject them with a named error.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    parts.push_back(
+        s.substr(start, pos == std::string::npos ? std::string::npos
+                                                 : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+/// "A..B" -> (A, B); B may be "never" when allow_never.
+std::pair<SimTime, SimTime> parse_window(const std::string& text,
+                                         const char* what) {
+  const std::size_t dots = text.find("..");
+  HYCO_CHECK_MSG(dots != std::string::npos,
+                 what << ": missing \"..\" in time window \"" << text << '"');
+  const std::string lo = text.substr(0, dots);
+  const std::string hi = text.substr(dots + 2);
+  const SimTime start = parse_sim_time(lo);
+  const SimTime end = hi == "never" ? kSimTimeNever : parse_sim_time(hi);
+  HYCO_CHECK_MSG(end == kSimTimeNever || end > start,
+                 what << ": window \"" << text << "\" must end after it"
+                         " starts (or end with \"never\")");
+  return {start, end};
+}
+
+std::vector<std::int32_t> parse_ids(const std::string& text,
+                                    const char* what) {
+  std::vector<std::int32_t> ids;
+  for (const std::string& piece : split(text, '-')) {
+    char* end = nullptr;
+    const long v = std::strtol(piece.c_str(), &end, 10);
+    HYCO_CHECK_MSG(!piece.empty() && end != piece.c_str() && *end == '\0' &&
+                       v >= 0,
+                   what << ": \"" << piece << "\" is not a non-negative id"
+                        << " in \"" << text << '"');
+    ids.push_back(static_cast<std::int32_t>(v));
+  }
+  return ids;
+}
+
+std::string window_to_string(SimTime start, SimTime heal) {
+  std::ostringstream os;
+  os << start << "..";
+  if (heal == kSimTimeNever) {
+    os << "never";
+  } else {
+    os << heal;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SimTime parse_sim_time(const std::string& text) {
+  HYCO_CHECK_MSG(!text.empty(), "duration: empty string");
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  HYCO_CHECK_MSG(end != text.c_str(),
+                 "duration: \"" << text << "\" does not start with a number");
+  HYCO_CHECK_MSG(v >= 0, "duration: \"" << text << "\" is negative");
+  const std::string unit(end);
+  double scale = 1.0;
+  if (unit.empty() || unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    HYCO_CHECK_MSG(false, "duration: unknown unit \"" << unit << "\" in \""
+                          << text << "\" (want ns | us | ms | s)");
+  }
+  const double ns = v * scale;
+  // Casting an out-of-range double to SimTime is UB; reject first.
+  HYCO_CHECK_MSG(std::isfinite(ns) &&
+                     ns < static_cast<double>(
+                              std::numeric_limits<SimTime>::max()),
+                 "duration: \"" << text << "\" overflows the virtual clock");
+  return static_cast<SimTime>(ns);
+}
+
+PartitionSpec parse_partition_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  HYCO_CHECK_MSG(colon != std::string::npos,
+                 "--partition: missing \":\" in \"" << text
+                 << "\" (want KIND:IDS@START..HEAL)");
+  const std::string kind = text.substr(0, colon);
+  const std::size_t at = text.find('@', colon);
+  HYCO_CHECK_MSG(at != std::string::npos,
+                 "--partition: missing \"@\" in \"" << text << '"');
+
+  PartitionSpec spec;
+  if (kind == "cluster" || kind == "clusters") {
+    spec.kind = PartitionSpec::Kind::Clusters;
+  } else if (kind == "procs" || kind == "proc") {
+    spec.kind = PartitionSpec::Kind::Procs;
+  } else if (kind == "split") {
+    spec.kind = PartitionSpec::Kind::SplitCluster;
+  } else {
+    HYCO_CHECK_MSG(false, "--partition: unknown kind \"" << kind
+                          << "\" (want cluster | procs | split)");
+  }
+  spec.ids = parse_ids(text.substr(colon + 1, at - colon - 1), "--partition");
+  HYCO_CHECK_MSG(!spec.ids.empty(), "--partition: no ids in \"" << text << '"');
+  HYCO_CHECK_MSG(spec.kind != PartitionSpec::Kind::SplitCluster ||
+                     spec.ids.size() == 1,
+                 "--partition: split takes exactly one cluster id, got \""
+                     << text << '"');
+  const auto [start, heal] = parse_window(text.substr(at + 1), "--partition");
+  spec.start = start;
+  spec.heal = heal;
+  return spec;
+}
+
+RecoverySpec parse_recovery_spec(const std::string& text) {
+  const std::size_t at = text.find('@');
+  HYCO_CHECK_MSG(at != std::string::npos,
+                 "--recover: missing \"@\" in \"" << text
+                 << "\" (want PID@DOWN..UP or cluster:X@DOWN..UP)");
+  RecoverySpec spec;
+  std::string target = text.substr(0, at);
+  const std::size_t colon = target.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = target.substr(0, colon);
+    HYCO_CHECK_MSG(kind == "cluster", "--recover: unknown target kind \""
+                                          << kind << "\" (want cluster)");
+    spec.whole_cluster = true;
+    target = target.substr(colon + 1);
+  }
+  const auto ids = parse_ids(target, "--recover");
+  HYCO_CHECK_MSG(ids.size() == 1,
+                 "--recover: exactly one target id expected in \"" << text
+                                                                   << '"');
+  spec.id = ids[0];
+  const auto [down, up] = parse_window(text.substr(at + 1), "--recover");
+  spec.down_at = down;
+  spec.up_at = up;
+  return spec;
+}
+
+std::string PartitionSpec::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::Clusters: os << "cluster:"; break;
+    case Kind::Procs: os << "procs:"; break;
+    case Kind::SplitCluster: os << "split:"; break;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    os << (i > 0 ? "-" : "") << ids[i];
+  }
+  os << '@' << window_to_string(start, heal);
+  return os.str();
+}
+
+std::string RecoverySpec::to_string() const {
+  std::ostringstream os;
+  if (whole_cluster) os << "cluster:";
+  os << id << '@' << window_to_string(down_at, up_at);
+  return os.str();
+}
+
+std::string CoinAttackConfig::to_string() const {
+  std::ostringstream os;
+  os << bit << '+' << boost;
+  return os.str();
+}
+
+std::string ScenarioConfig::label() const {
+  if (empty()) return "none";
+  std::ostringstream os;
+  const char* sep = "";
+  if (link.loss > 0.0) {
+    os << sep << "loss=" << link.loss;
+    sep = ",";
+  }
+  if (link.dup > 0.0) {
+    os << sep << "dup=" << link.dup;
+    sep = ",";
+  }
+  if (link.reorder_max > 0) {
+    os << sep << "reorder=" << link.reorder_max;
+    sep = ",";
+  }
+  for (const PartitionSpec& p : partitions) {
+    os << sep << "part=" << p.to_string();
+    sep = ",";
+  }
+  for (const RecoverySpec& r : recoveries) {
+    os << sep << "rec=" << r.to_string();
+    sep = ",";
+  }
+  if (coin_attack.enabled) {
+    os << sep << "coin-attack=" << coin_attack.to_string();
+    sep = ",";
+  }
+  return os.str();
+}
+
+}  // namespace hyco

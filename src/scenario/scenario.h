@@ -1,0 +1,123 @@
+// Adversarial scenario configuration — the declarative vocabulary for the
+// fault-injection layer (src/scenario/) that sits between the runners and
+// SimNetwork/CrashTracker.
+//
+// The paper's model assumes asynchronous-but-reliable channels and
+// crash-stop failures. A ScenarioConfig deliberately steps outside that
+// model so experiments can probe which guarantees survive:
+//  * partitions  — scheduled network cuts (whole clusters, arbitrary proc
+//    sets, or one cluster split in half). A cut with a finite heal time
+//    HOLDS crossing messages until it heals (the channel stays reliable,
+//    transit is just adversarially long — still inside the paper's
+//    asynchrony); a cut that never heals DROPS them.
+//  * link faults — per-link message loss, duplication, and bounded
+//    reordering (FaultyChannel), which break the reliable-channel
+//    assumption: termination may fail, safety must not.
+//  * recoveries  — crash-recovery: a process halts and later rejoins with
+//    its in-memory/SHM state intact but every message delivered during the
+//    down window lost (the cluster-redundancy story: its cluster peers
+//    carried the weight meanwhile).
+//  * coin attack — an adversarial scheduler hook that slows the messages
+//    carrying coin-derived estimates (round >= 2, phase 1) for one side,
+//    the classic attack randomized consensus must survive.
+//
+// Everything here is plain copyable data; ScenarioEngine (engine.h) turns a
+// config into live machinery for one run. All fault draws come from the
+// run's seeded Rng, so scenario runs stay byte-identical at any --threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hyco {
+
+/// One scheduled network cut. Declarative: ids are resolved against the
+/// run's ClusterLayout when the engine is built, so one spec can ride an
+/// experiment grid whose (n, m) vary.
+struct PartitionSpec {
+  enum class Kind : std::uint8_t {
+    Clusters,      ///< side A = union of the listed clusters
+    Procs,         ///< side A = the listed processes (arbitrary cut)
+    SplitCluster,  ///< side A = first half of one cluster's members
+                   ///< (intra-cluster cut: SHM keeps working across it)
+  };
+
+  Kind kind = Kind::Clusters;
+  std::vector<std::int32_t> ids;  ///< cluster ids / proc ids / {cluster id}
+  SimTime start = 0;
+  SimTime heal = kSimTimeNever;  ///< kSimTimeNever = permanent (drops)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-link channel faults, applied to every message independently.
+struct LinkFaultConfig {
+  double loss = 0.0;        ///< P(message silently lost)
+  double dup = 0.0;         ///< P(message delivered twice)
+  SimTime reorder_max = 0;  ///< extra uniform delay in [0, reorder_max]
+                            ///< per copy — bounded reordering
+
+  [[nodiscard]] bool any() const {
+    return loss > 0.0 || dup > 0.0 || reorder_max > 0;
+  }
+};
+
+/// One crash-recovery instruction: the target halts at `down_at` and — if
+/// `up_at` is finite — rejoins at `up_at` with its state intact.
+struct RecoverySpec {
+  bool whole_cluster = false;  ///< id is a ClusterId (every member cycles)
+  std::int32_t id = 0;         ///< ProcId or ClusterId
+  SimTime down_at = 0;
+  SimTime up_at = kSimTimeNever;  ///< kSimTimeNever = stays down
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Adversarial scheduler hook targeting coin-carrying messages: PHASE
+/// messages of rounds >= 2 in phase 1 carry the previous round's
+/// coin-derived estimates; the attack delays the ones championing `bit` by
+/// `boost`, trying to starve one side of the coin outcome.
+struct CoinAttackConfig {
+  bool enabled = false;
+  int bit = 0;        ///< which estimate's carriers are slowed
+  SimTime boost = 0;  ///< extra transit time added to each of them
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A full adversarial scenario. Default-constructed = no faults (runs are
+/// byte-identical to pre-scenario builds).
+struct ScenarioConfig {
+  std::vector<PartitionSpec> partitions;
+  LinkFaultConfig link;
+  std::vector<RecoverySpec> recoveries;
+  CoinAttackConfig coin_attack;
+
+  [[nodiscard]] bool empty() const {
+    return partitions.empty() && !link.any() && recoveries.empty() &&
+           !coin_attack.enabled;
+  }
+
+  /// Compact single-token label ("loss=0.05,part=cluster:0-1@5ms..20ms");
+  /// "none" when empty. Used in cell labels, tables, CSV and JSON.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Parses a duration with an optional unit suffix: "100" / "100ns" /
+/// "20us" / "5ms" / "2s" (SimTime is abstract nanoseconds). Throws
+/// ContractViolation on malformed or negative input.
+SimTime parse_sim_time(const std::string& text);
+
+/// Parses "KIND:IDS@START..HEAL" where KIND is cluster | procs | split,
+/// IDS is dash-separated (e.g. "0-1"), and HEAL may be "never".
+/// Examples: "cluster:0-1@5ms..20ms", "procs:0-3-7@0..never", "split:2@1ms..4ms".
+PartitionSpec parse_partition_spec(const std::string& text);
+
+/// Parses "PID@DOWN..UP" or "cluster:X@DOWN..UP"; UP may be "never".
+/// Examples: "3@2ms..8ms", "cluster:0@100..5000".
+RecoverySpec parse_recovery_spec(const std::string& text);
+
+}  // namespace hyco

@@ -12,6 +12,20 @@ void CrashTracker::crash(ProcId p, SimTime at) {
   crash_time_[idx] = at;
 }
 
+void CrashTracker::recover(ProcId p, SimTime at) {
+  const auto idx = static_cast<std::size_t>(p);
+  HYCO_CHECK_MSG(idx < crashed_.size(), "recovery of unknown process " << p);
+  HYCO_CHECK_MSG(crashed_.test(idx),
+                 "recovery of live process p" << p << " at " << at);
+  crashed_.reset(idx);
+  crash_time_[idx] = kSimTimeNever;
+  if (recover_time_.empty()) {
+    recover_time_.assign(crashed_.size(), kSimTimeNever);
+  }
+  recover_time_[idx] = at;
+  ++recovered_;
+}
+
 DynamicBitset CrashTracker::correct() const {
   DynamicBitset live(crashed_.size());
   live.set_all();

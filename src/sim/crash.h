@@ -58,7 +58,10 @@ struct CrashPlan {
   }
 };
 
-/// Tracks which processes have crashed during a simulation, and when.
+/// Tracks which processes are down during a simulation, and when they went
+/// down. Supports the crash-recovery extension (src/scenario/): recover()
+/// brings a crashed process back — it counts as correct again and messages
+/// flow to it once more, but everything delivered while it was down is lost.
 class CrashTracker {
  public:
   explicit CrashTracker(std::size_t n)
@@ -68,23 +71,40 @@ class CrashTracker {
 
   void crash(ProcId p, SimTime at);
 
+  /// Crash-recovery: marks a crashed process live again. `at` is recorded
+  /// as the rejoin time (recover_time()). Recovering a live process is a
+  /// contract violation.
+  void recover(ProcId p, SimTime at);
+
   [[nodiscard]] bool is_crashed(ProcId p) const {
     return crashed_.test(static_cast<std::size_t>(p));
   }
 
-  /// Virtual time of the crash, or kSimTimeNever.
+  /// Virtual time of the (latest) crash, or kSimTimeNever when live.
   [[nodiscard]] SimTime crash_time(ProcId p) const {
     return crash_time_[static_cast<std::size_t>(p)];
   }
 
-  /// Processes that never crashed ("correct" processes).
+  /// Virtual time of the latest recovery, or kSimTimeNever.
+  [[nodiscard]] SimTime recover_time(ProcId p) const {
+    return recover_time_.empty()
+               ? kSimTimeNever
+               : recover_time_[static_cast<std::size_t>(p)];
+  }
+
+  /// Processes currently live ("correct"; a recovered process counts).
   [[nodiscard]] DynamicBitset correct() const;
 
   [[nodiscard]] std::size_t crashed_count() const { return crashed_.count(); }
 
+  /// Number of recover() calls.
+  [[nodiscard]] std::size_t recovered_count() const { return recovered_; }
+
  private:
   DynamicBitset crashed_;
   std::vector<SimTime> crash_time_;
+  std::vector<SimTime> recover_time_;  ///< allocated on first recover()
+  std::size_t recovered_ = 0;
 };
 
 }  // namespace hyco

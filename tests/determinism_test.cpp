@@ -11,6 +11,7 @@
 #include "exp/executor.h"
 #include "exp/report.h"
 #include "exp/spec.h"
+#include "scenario/scenario.h"
 #include "workload/failure_patterns.h"
 
 namespace hyco {
@@ -18,7 +19,9 @@ namespace {
 
 /// A small but representative grid: both hybrid algorithms, two layouts,
 /// crash-free and mid-broadcast-crash cells (the latter exercises the
-/// partial-Fisher–Yates scripted-crash path inside SimNetwork::broadcast).
+/// partial-Fisher–Yates scripted-crash path inside SimNetwork::broadcast),
+/// and a faulty scenario axis (loss, duplication, a healing cut — every
+/// fault draw must come from the run's seeded Rng).
 ExperimentSpec small_grid() {
   ExperimentSpec spec;
   spec.name = "determinism-grid";
@@ -32,7 +35,13 @@ ExperimentSpec small_grid() {
                                              l, 2, 1, rng)
                                       .plan;
                                 })};
+  ScenarioConfig faulty;
+  faulty.link.loss = 0.05;
+  faulty.link.dup = 0.05;
+  faulty.partitions.push_back(parse_partition_spec("cluster:0@100..800"));
+  spec.scenarios = {ScenarioAxis::none(), ScenarioAxis::of(faulty)};
   spec.runs_per_cell = 6;
+  spec.max_rounds = 500;  // lossy cells may park instead of terminating
   spec.base_seed = 0xDE7;
   return spec;
 }
