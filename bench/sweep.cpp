@@ -21,26 +21,51 @@
 //   --max-rounds=R  per-run round cap                      [5000]
 //   --json=PATH     write JSON report (- for stdout)
 //   --csv=PATH      write CSV report (- for stdout)
+//   --csv-shard=N   shard the CSV into PATH.000, PATH.001, … N cells each
 //   --replay=N      re-run up to N failing seeds with tracing on
 //   --quiet         suppress the ASCII table
+//
+// Streaming pipeline (bounded memory for multi-million-run grids; see
+// README "Streaming sweeps"):
+//   --stream          drop per-run records: memory stays O(cells) while
+//                     CSV/JSON stay byte-identical to batch mode
+//   --max-records=N   batch mode: retain at most N records per cell (the
+//                     lowest run indices win)
+//   --chunk=N         max runs per work unit (auto-shrunk so every worker
+//                     has chunks to steal; grain never changes output bytes)
+//                     [1024]
+//   --checkpoint=PATH append each completed cell's exact accumulator state
+//                     to PATH (flushed per cell; an existing checkpoint is
+//                     never truncated without --resume)
+//   --resume          load PATH first and skip its completed cells; the
+//                     final artifacts are byte-identical to an
+//                     uninterrupted run of the same grid
+//   --progress        1 Hz stderr line: runs & cells done, runs/s, ETA
 //
 // Adversarial scenario flags (src/scenario/; all default off — combined
 // into one scenario axis value applied to every cell):
 //   --loss=P        per-link message loss probability      [0]
 //   --dup=P         per-link duplication probability       [0]
 //   --reorder=T     bounded-reordering jitter (ns/us/ms)   [0]
-//   --partition=S,... scheduled cuts, KIND:IDS@START..HEAL with KIND
-//                   cluster | procs | split; HEAL may be "never"
-//                   (e.g. cluster:0-1@5ms..20ms)
+//   --partition=S,... scheduled cuts, KIND:IDS[:flap=D:period=D][@START..HEAL]
+//                   with KIND cluster | procs | split; HEAL may be "never";
+//                   flap/period make a square-wave cut/heal cycle
+//                   (e.g. cluster:0-1@5ms..20ms, cluster:0:flap=2ms:period=4ms)
 //   --recover=S,... crash-recovery cycles, PID@DOWN..UP or
 //                   cluster:X@DOWN..UP (e.g. 3@2ms..8ms)
 //   --coin-attack=BIT:BOOST delay round>=2 phase-1 carriers of BIT by BOOST
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exp/checkpoint.h"
 #include "exp/executor.h"
 #include "exp/replay.h"
 #include "exp/report.h"
@@ -192,7 +217,9 @@ int main(int argc, char** argv) {
     ExperimentSpec spec;
     spec.name = "sweep";
     spec.base_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-    spec.runs_per_cell = static_cast<int>(opts.get_int("runs", 40));
+    const auto runs_flag = opts.get_int("runs", 40);
+    HYCO_CHECK_MSG(runs_flag >= 1, "--runs must be >= 1, got " << runs_flag);
+    spec.runs_per_cell = static_cast<std::uint64_t>(runs_flag);
     spec.max_rounds = static_cast<Round>(opts.get_int("max-rounds", 5000));
     spec.inputs = parse_inputs(opts.get_string("inputs", "split"));
     spec.coin_epsilons.clear();
@@ -242,24 +269,172 @@ int main(int argc, char** argv) {
 
     ParallelExecutor::Options exec_opts;
     exec_opts.threads = opts.get_int("threads", 0);
-    const ParallelExecutor exec(exec_opts);
+    const auto chunk_flag = opts.get_int("chunk", 1024);
+    HYCO_CHECK_MSG(chunk_flag >= 1,
+                   "--chunk must be >= 1, got " << chunk_flag);
+    exec_opts.chunk_size = static_cast<std::uint64_t>(chunk_flag);
 
     const auto cells = spec.expand();
-    const std::size_t total =
-        cells.size() * static_cast<std::size_t>(spec.runs_per_cell);
-    const unsigned workers = exec.worker_count(total);
+    const std::uint64_t total = spec.total_runs();
+    const std::uint64_t fingerprint = grid_fingerprint(
+        cells, exec_opts.reservoir_capacity, exec_opts.failure_capacity);
+
+    // Checkpoint/resume: completed cells are reloaded bit-exactly and their
+    // runs skipped; resume granularity is a whole cell.
+    const std::string ckpt_path = opts.get_string("checkpoint");
+    std::map<std::uint64_t, CellAccumulator> resumed;
+    if (opts.get_bool("resume")) {
+      HYCO_CHECK_MSG(!ckpt_path.empty(),
+                     "--resume needs --checkpoint=PATH to read from");
+      std::ifstream in(ckpt_path);
+      if (in.good()) {
+        resumed = load_checkpoint(in, fingerprint);
+        // A corrupted block could carry an out-of-grid index; drop it and
+        // re-run that work instead of indexing out of bounds below.
+        for (auto it = resumed.begin(); it != resumed.end();) {
+          it = it->first >= cells.size() ? resumed.erase(it) : std::next(it);
+        }
+        std::cerr << "sweep: resumed " << resumed.size() << " of "
+                  << cells.size() << " cells from " << ckpt_path << "\n";
+      } else {
+        std::cerr << "sweep: no checkpoint at " << ckpt_path
+                  << ", starting fresh\n";
+      }
+    }
+    std::vector<ExperimentCell> todo;
+    todo.reserve(cells.size() - resumed.size());
+    for (const auto& c : cells) {
+      if (resumed.find(c.index) == resumed.end()) todo.push_back(c);
+    }
+
+    std::ofstream ckpt_out;
+    if (!ckpt_path.empty()) {
+      if (resumed.empty()) {
+        // Never silently destroy an earlier session's progress: a file
+        // that already carries a checkpoint header needs an explicit
+        // --resume (or manual removal) before we truncate it.
+        if (!opts.get_bool("resume")) {
+          std::ifstream probe(ckpt_path);
+          std::string first;
+          if (probe.good() && std::getline(probe, first)) {
+            HYCO_CHECK_MSG(
+                first.rfind("hyco-checkpoint", 0) != 0,
+                "--checkpoint: \"" << ckpt_path << "\" already holds a"
+                " checkpoint; pass --resume to continue it or remove the"
+                " file first");
+          }
+        }
+        ckpt_out.open(ckpt_path, std::ios::trunc);
+        HYCO_CHECK_MSG(ckpt_out.good(),
+                       "cannot open \"" << ckpt_path << "\" for writing");
+        write_checkpoint_header(ckpt_out, fingerprint);
+      } else {
+        ckpt_out.open(ckpt_path, std::ios::app);
+        HYCO_CHECK_MSG(ckpt_out.good(),
+                       "cannot open \"" << ckpt_path << "\" for appending");
+        // Guard newline: a previous kill mid-append may have left a partial
+        // line; the loader skips it once terminated.
+        ckpt_out << '\n';
+      }
+    }
+
+    const bool stream = opts.get_bool("stream");
+    CollectingSink::Options sink_opts;
+    sink_opts.retain_records = !stream;
+    if (opts.has("max-records")) {
+      const auto cap = opts.get_int("max-records");
+      HYCO_CHECK_MSG(cap >= 0, "--max-records must be >= 0, got " << cap);
+      sink_opts.max_records_per_cell = static_cast<std::uint64_t>(cap);
+    }
+    std::atomic<std::uint64_t> cells_done{resumed.size()};
+    sink_opts.on_complete = [&](const ExperimentCell& cell,
+                                const CellAccumulator& acc) {
+      cells_done.fetch_add(1, std::memory_order_relaxed);
+      if (ckpt_out.is_open()) {
+        append_checkpoint_cell(ckpt_out, cell.index, acc);
+      }
+    };
+
+    // --progress: throttled stderr heartbeat. Runs already restored from a
+    // checkpoint count as done for the ETA.
+    const std::uint64_t resumed_runs = total - [&] {
+      std::uint64_t left = 0;
+      for (const auto& c : todo) left += c.runs;
+      return left;
+    }();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::int64_t> last_print_ms{-1000};
+    if (opts.get_bool("progress")) {
+      exec_opts.progress = [&](std::uint64_t done, std::uint64_t) {
+        const auto elapsed_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        auto last = last_print_ms.load(std::memory_order_relaxed);
+        if (elapsed_ms - last < 1000 ||
+            !last_print_ms.compare_exchange_strong(last, elapsed_ms)) {
+          return;
+        }
+        const double secs =
+            static_cast<double>(elapsed_ms) / 1000.0 + 1e-9;
+        const double rate = static_cast<double>(done) / secs;
+        const std::uint64_t all_done = resumed_runs + done;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(total - all_done) / rate : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %llu/%llu runs | %llu/%zu cells | %.0f runs/s"
+                     " | eta %.1fs\n",
+                     static_cast<unsigned long long>(all_done),
+                     static_cast<unsigned long long>(total),
+                     static_cast<unsigned long long>(
+                         cells_done.load(std::memory_order_relaxed)),
+                     cells.size(), rate, eta);
+      };
+    }
+
+    const ParallelExecutor exec(exec_opts);
+    // The executor spawns worker_count(residual runs) workers (it shrinks
+    // the chunk grain so the pool is never starved), so this banner is
+    // exact even mid-resume.
+    const unsigned workers = exec.worker_count(total - resumed_runs);
     std::cerr << "sweep: " << cells.size() << " cells x "
               << spec.runs_per_cell << " seeds = " << total << " runs on "
-              << workers << " threads\n";
-    const auto results = exec.run(cells);
+              << workers << " threads"
+              << (stream ? " [streaming]" : "") << "\n";
+
+    CollectingSink sink(todo, std::move(sink_opts));
+    exec.run(todo, sink);
+
+    // Assemble the full grid in cell order: resumed cells + fresh ones.
+    // Everything downstream (table, CSV, JSON, replay) is agnostic to how
+    // a cell's accumulator was produced.
+    std::vector<CellResult> results;
+    results.reserve(cells.size());
+    for (auto& [index, acc] : resumed) {
+      results.emplace_back(cells[index], std::move(acc));
+    }
+    for (auto& r : sink.take_results()) results.push_back(std::move(r));
+    std::sort(results.begin(), results.end(),
+              [](const CellResult& a, const CellResult& b) {
+                return a.cell.index < b.cell.index;
+              });
 
     if (!opts.get_bool("quiet")) {
       to_table("sweep results", results).print(std::cout);
     }
     if (opts.has("csv")) {
-      write_report(opts.get_string("csv"), [&](std::ostream& out) {
-        write_cell_csv(out, results);
-      });
+      const std::string path = opts.get_string("csv");
+      const auto shard = opts.get_int("csv-shard", 0);
+      if (shard > 0) {
+        HYCO_CHECK_MSG(path != "-", "--csv-shard needs a file path, not -");
+        const auto shards = write_cell_csv_sharded(
+            path, results, static_cast<std::size_t>(shard));
+        std::cerr << "sweep: wrote " << shards.size() << " CSV shard(s)\n";
+      } else {
+        write_report(path, [&](std::ostream& out) {
+          write_cell_csv(out, results);
+        });
+      }
     }
     if (opts.has("json")) {
       write_report(opts.get_string("json"), [&](std::ostream& out) {

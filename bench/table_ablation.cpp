@@ -8,6 +8,8 @@
 //     decision round differs from the maximum (i.e. they were pulled over
 //     the line by gossip rather than their own phase completion).
 // Usage: table_ablation [--runs=N]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "core/runner.h"
@@ -19,7 +21,8 @@ using namespace hyco;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 200));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 200)));
   const auto layout = ClusterLayout::from_sizes({2, 3, 2});
 
   std::cout << "T-ABL: design-choice ablations (n=7, split inputs, " << runs

@@ -5,6 +5,8 @@
 //   * an ε-biased common coin against Algorithm 3 — the adversary's ability
 //     to pick coin bits slows (never corrupts) decisions.
 // Usage: table_adversary [--runs=N] [--threads=K]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -33,7 +35,8 @@ DelayAxis split_adversary(SimTime factor) {
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 200));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 200)));
   ParallelExecutor::Options exec_opts;
   exec_opts.threads = opts.get_int("threads", 0);
   const ParallelExecutor exec(exec_opts);
@@ -65,10 +68,10 @@ int main(int argc, char** argv) {
       for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
         const auto& r = res[a * factors.size() + f];
         t.add_row_values(factors[f], to_cstring(r.cell.alg),
-                         std::to_string(r.terminated) + "/" +
-                             std::to_string(r.runs),
-                         r.violations, fixed(r.rounds.mean()),
-                         fixed(r.rounds.percentile(95)));
+                         std::to_string(r.terminated()) + "/" +
+                             std::to_string(r.runs()),
+                         r.violations(), fixed(r.rounds().mean()),
+                         fixed(r.rounds().percentile(95)));
       }
     }
   }
@@ -89,10 +92,10 @@ int main(int argc, char** argv) {
     spec.base_seed = 0xAE;
     for (const auto& r : exec.run(spec)) {
       b.add_row_values(fixed(r.cell.coin_epsilon, 2),
-                       std::to_string(r.terminated) + "/" +
-                           std::to_string(r.runs),
-                       r.violations, fixed(r.rounds.mean()),
-                       fixed(r.rounds.percentile(95)));
+                       std::to_string(r.terminated()) + "/" +
+                           std::to_string(r.runs()),
+                       r.violations(), fixed(r.rounds().mean()),
+                       fixed(r.rounds().percentile(95)));
     }
   }
   b.print(std::cout);

@@ -7,6 +7,7 @@
 //     with n; at m = 1 it is 1 round, at m = n it matches Ben-Or.
 // Usage: table_expected_rounds [--runs=N] [--threads=K]
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "exp/executor.h"
@@ -18,7 +19,8 @@ using namespace hyco;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 300));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 300)));
   ParallelExecutor::Options exec_opts;
   exec_opts.threads = opts.get_int("threads", 0);
   const ParallelExecutor exec(exec_opts);
@@ -41,9 +43,9 @@ int main(int argc, char** argv) {
     spec.base_seed = 0xCC;
     for (const auto& r : exec.run(spec)) {
       cc.add_row_values(r.cell.layout.n(), r.cell.layout.m(),
-                        fixed(r.rounds.mean()), fixed(r.rounds.percentile(50)),
-                        fixed(r.rounds.percentile(95)),
-                        fixed(r.rounds.max(), 0));
+                        fixed(r.rounds().mean()), fixed(r.rounds().percentile(50)),
+                        fixed(r.rounds().percentile(95)),
+                        fixed(r.rounds().max(), 0));
     }
   }
   cc.print(std::cout);
@@ -61,10 +63,10 @@ int main(int argc, char** argv) {
     spec.runs_per_cell = runs;
     spec.base_seed = 0x1C;
     for (const auto& r : exec.run(spec)) {
-      lc.add_row_values(r.cell.layout.m(), fixed(r.rounds.mean()),
-                        fixed(r.rounds.percentile(50)),
-                        fixed(r.rounds.percentile(95)),
-                        fixed(r.rounds.max(), 0));
+      lc.add_row_values(r.cell.layout.m(), fixed(r.rounds().mean()),
+                        fixed(r.rounds().percentile(50)),
+                        fixed(r.rounds().percentile(95)),
+                        fixed(r.rounds().max(), 0));
     }
   }
   {
@@ -75,10 +77,10 @@ int main(int argc, char** argv) {
     spec.runs_per_cell = runs;
     spec.base_seed = 0xB0;
     for (const auto& r : exec.run(spec)) {
-      lc.add_row_values("ben-or (=m=12)", fixed(r.rounds.mean()),
-                        fixed(r.rounds.percentile(50)),
-                        fixed(r.rounds.percentile(95)),
-                        fixed(r.rounds.max(), 0));
+      lc.add_row_values("ben-or (=m=12)", fixed(r.rounds().mean()),
+                        fixed(r.rounds().percentile(50)),
+                        fixed(r.rounds().percentile(95)),
+                        fixed(r.rounds().max(), 0));
     }
   }
   lc.print(std::cout);
@@ -96,8 +98,8 @@ int main(int argc, char** argv) {
     spec.runs_per_cell = runs;
     spec.base_seed = 0x1D;
     for (const auto& r : exec.run(spec)) {
-      lcn.add_row_values(r.cell.layout.n(), fixed(r.rounds.mean()),
-                         fixed(r.rounds.percentile(95)));
+      lcn.add_row_values(r.cell.layout.n(), fixed(r.rounds().mean()),
+                         fixed(r.rounds().percentile(95)));
     }
   }
   lcn.print(std::cout);

@@ -7,6 +7,8 @@
 // with > n/2 crashes — and never violate safety on any pattern; Ben-Or
 // terminates iff a majority of processes survive.
 // Usage: table_fault_tolerance [--runs=N] [--threads=K]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,7 +23,8 @@ using namespace hyco;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 150));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 150)));
   ParallelExecutor::Options exec_opts;
   exec_opts.threads = opts.get_int("threads", 0);
   const ParallelExecutor exec(exec_opts);
@@ -86,12 +89,12 @@ int main(int argc, char** argv) {
     const auto& cc = hybrid_res[S + s];
     const auto& bo = benor_res[s];
     const auto frac = [&](const CellResult& c) {
-      return std::to_string(c.terminated) + "/" + std::to_string(c.runs);
+      return std::to_string(c.terminated()) + "/" + std::to_string(c.runs());
     };
     t.add_row_values(scenarios[s].label, scenarios[s].s.crash_count,
                      scenarios[s].s.hybrid_should_terminate ? "yes" : "no",
                      frac(lc), frac(cc), frac(bo),
-                     lc.violations + cc.violations + bo.violations);
+                     lc.violations() + cc.violations() + bo.violations());
   }
   t.print(std::cout);
 

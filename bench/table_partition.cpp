@@ -20,6 +20,8 @@
 //    a majority without them.
 // Violations must be 0 everywhere.
 // Usage: table_partition [--runs=N] [--threads=K]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,7 +51,8 @@ ScenarioConfig cut(PartitionSpec::Kind kind, std::vector<std::int32_t> ids,
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 100));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 100)));
   ParallelExecutor::Options exec_opts;
   exec_opts.threads = opts.get_int("threads", 0);
   const ParallelExecutor exec(exec_opts);
@@ -104,11 +107,11 @@ int main(int argc, char** argv) {
                  "violations (all)"});
   const std::size_t S = rows.size();
   const auto frac = [](const CellResult& c) {
-    return std::to_string(c.terminated) + "/" + std::to_string(c.runs);
+    return std::to_string(c.terminated()) + "/" + std::to_string(c.runs());
   };
   const auto mean_t = [](const CellResult& c) {
-    return c.terminated > 0 ? std::to_string(
-                                  static_cast<long long>(c.decision_time.mean()))
+    return c.terminated() > 0 ? std::to_string(
+                                  static_cast<long long>(c.decision_time().mean()))
                             : std::string("-");
   };
   for (std::size_t s = 0; s < S; ++s) {
@@ -116,7 +119,7 @@ int main(int argc, char** argv) {
     const auto& cc = results[S + s];
     t.add_row_values(rows[s].label, rows[s].should_terminate, frac(lc),
                      frac(cc), mean_t(lc), mean_t(cc),
-                     lc.violations + cc.violations);
+                     lc.violations() + cc.violations());
   }
   t.print(std::cout);
 

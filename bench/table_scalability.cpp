@@ -5,6 +5,8 @@
 // agreement is "free" (shared memory), the message side scales like pure
 // message passing while gaining cluster-weight fault tolerance.
 // Usage: table_scalability [--runs=N] [--threads=K]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "exp/executor.h"
@@ -16,7 +18,8 @@ using namespace hyco;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  const int runs = static_cast<int>(opts.get_int("runs", 40));
+  const std::uint64_t runs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opts.get_int("runs", 40)));
   ParallelExecutor::Options exec_opts;
   exec_opts.threads = opts.get_int("threads", 0);
   const ParallelExecutor exec(exec_opts);
@@ -38,12 +41,12 @@ int main(int argc, char** argv) {
     spec.base_seed = 0x5C;
     for (const auto& r : exec.run(spec)) {
       const double n = static_cast<double>(r.cell.layout.n());
-      const double per_n2 = r.msgs.mean() / (n * n * r.rounds.mean());
-      t.add_row_values(r.cell.layout.n(), fixed(r.rounds.mean()),
-                       fixed(r.msgs.mean(), 0), fixed(per_n2),
-                       fixed(r.shm_proposals.mean(), 0),
-                       fixed(r.objects.mean(), 1),
-                       fixed(r.decision_time.mean(), 0));
+      const double per_n2 = r.msgs().mean() / (n * n * r.rounds().mean());
+      t.add_row_values(r.cell.layout.n(), fixed(r.rounds().mean()),
+                       fixed(r.msgs().mean(), 0), fixed(per_n2),
+                       fixed(r.shm_proposals().mean(), 0),
+                       fixed(r.objects().mean(), 1),
+                       fixed(r.decision_time().mean(), 0));
     }
   }
   t.print(std::cout);
@@ -61,10 +64,10 @@ int main(int argc, char** argv) {
     spec.runs_per_cell = runs;
     spec.base_seed = 0x5D;
     for (const auto& r : exec.run(spec)) {
-      t2.add_row_values(r.cell.layout.m(), fixed(r.rounds.mean()),
-                        fixed(r.msgs.mean(), 0),
-                        fixed(r.shm_proposals.mean(), 0),
-                        fixed(r.objects.mean(), 1));
+      t2.add_row_values(r.cell.layout.m(), fixed(r.rounds().mean()),
+                        fixed(r.msgs().mean(), 0),
+                        fixed(r.shm_proposals().mean(), 0),
+                        fixed(r.objects().mean(), 1));
     }
   }
   t2.print(std::cout);

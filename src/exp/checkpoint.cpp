@@ -1,0 +1,338 @@
+#include "exp/checkpoint.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "exp/report.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+namespace {
+
+constexpr const char* kMagic = "hyco-checkpoint";
+constexpr const char* kVersion = "v1";
+
+// Sanity ceilings on file-supplied sizes: a corrupted size field must make
+// the loader drop the block (the documented contract), not drive a
+// multi-gigabyte allocation or an abort. Far above any configured value.
+constexpr std::size_t kMaxReservoirCapacity = std::size_t{1} << 22;
+constexpr std::size_t kMaxHistogramBuckets = std::size_t{1} << 16;
+constexpr std::size_t kMaxFailureCapacity = std::size_t{1} << 22;
+
+using U128 = ExactMoments::U128;
+
+std::string u128_to_string(U128 v) {
+  if (v == 0) return "0";
+  std::string digits;
+  while (v > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+bool parse_u128(const std::string& s, U128& out) {
+  if (s.empty() || s.size() > 39) return false;
+  U128 v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const U128 prev = v;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+    if (v < prev) return false;  // wrapped
+  }
+  out = v;
+  return true;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 0xCBF29CE484222325) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3;
+  }
+  return h;
+}
+
+void write_metric(std::ostream& out, const char* name,
+                  const MetricStats& m) {
+  const ExactMoments& mo = m.moments();
+  out << "m " << name << ' ' << mo.count() << ' '
+      << u128_to_string(mo.raw_sum()) << ' '
+      << u128_to_string(mo.raw_sumsq()) << ' ' << mo.raw_min() << ' '
+      << mo.raw_max() << '\n';
+  const ReservoirSample& res = m.reservoir();
+  out << "r " << name << ' ' << res.capacity() << ' ' << res.size();
+  for (const auto& e : res.entries()) {
+    out << ' ' << e.priority << ':' << format_number(e.value);
+  }
+  out << '\n';
+}
+
+bool parse_metric_lines(std::istringstream& mline, std::istringstream& rline,
+                        MetricStats& out, std::size_t reservoir_capacity) {
+  std::uint64_t count = 0, mn = 0, mx = 0;
+  std::string sum_s, sumsq_s;
+  if (!(mline >> count >> sum_s >> sumsq_s >> mn >> mx)) return false;
+  U128 sum = 0, sumsq = 0;
+  if (!parse_u128(sum_s, sum) || !parse_u128(sumsq_s, sumsq)) return false;
+
+  std::size_t cap = 0, n = 0;
+  if (!(rline >> cap >> n)) return false;
+  if (cap != reservoir_capacity || n > cap) return false;
+  ReservoirSample res(cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string entry;
+    if (!(rline >> entry)) return false;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string prio_s = entry.substr(0, colon);
+    char* end = nullptr;
+    const std::uint64_t prio = std::strtoull(prio_s.c_str(), &end, 10);
+    if (end == prio_s.c_str() || *end != '\0') return false;
+    const std::string val_s = entry.substr(colon + 1);
+    end = nullptr;
+    const double val = std::strtod(val_s.c_str(), &end);
+    if (end == val_s.c_str() || *end != '\0') return false;
+    res.add(prio, val);
+  }
+  out = MetricStats(ExactMoments::from_raw(count, sum, sumsq, mn, mx),
+                    std::move(res));
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const std::vector<ExperimentCell>& cells,
+                               std::size_t reservoir_capacity,
+                               std::size_t failure_capacity) {
+  std::uint64_t h = mix64(0x4859C0, cells.size());
+  h = mix64(h, reservoir_capacity);
+  h = mix64(h, failure_capacity);
+  for (const ExperimentCell& c : cells) {
+    h = mix64(h, c.index);
+    h = mix64(h, fnv1a(c.label()));
+    h = mix64(h, c.runs);
+    h = mix64(h, c.base_seed);
+    h = mix64(h, static_cast<std::uint64_t>(c.max_rounds));
+    h = mix64(h, static_cast<std::uint64_t>(c.start_jitter));
+    h = mix64(h, static_cast<std::uint64_t>(c.inputs));
+    h = mix64(h, static_cast<std::uint64_t>(c.adversary_bit));
+  }
+  return h;
+}
+
+void write_checkpoint_header(std::ostream& out, std::uint64_t fingerprint) {
+  out << kMagic << ' ' << kVersion << " grid " << fingerprint << '\n';
+  out.flush();
+}
+
+void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
+                            const CellAccumulator& acc) {
+  out << "cell " << cell_index << ' ' << acc.runs << ' ' << acc.terminated
+      << ' ' << acc.violations << '\n';
+  write_metric(out, "rounds", acc.rounds);
+  write_metric(out, "msgs", acc.msgs);
+  write_metric(out, "shm", acc.shm_proposals);
+  write_metric(out, "objects", acc.objects);
+  write_metric(out, "dtime", acc.decision_time);
+  out << "h " << format_number(acc.round_hist.lo()) << ' '
+      << format_number(acc.round_hist.hi()) << ' '
+      << acc.round_hist.bucket_count();
+  for (std::size_t i = 0; i < acc.round_hist.bucket_count(); ++i) {
+    out << ' ' << acc.round_hist.bucket(i);
+  }
+  out << '\n';
+  out << "f " << acc.failure_cap << ' ' << acc.failures.size();
+  for (const RunRecord& r : acc.failures) {
+    out << ' ' << r.run << ',' << r.seed << ',' << (r.terminated ? 1 : 0)
+        << ',' << (r.safe_ok ? 1 : 0) << ',' << (r.success ? 1 : 0) << ','
+        << r.rounds << ',' << r.decision_time << ',' << r.msgs << ','
+        << r.shm_proposals << ',' << r.consensus_objects << ',' << r.events
+        << ',' << r.crashed;
+  }
+  out << '\n';
+  out << "done " << cell_index << '\n';
+  out.flush();
+}
+
+std::map<std::uint64_t, CellAccumulator> load_checkpoint(
+    std::istream& in, std::uint64_t expected_fingerprint) {
+  std::string line;
+  // Header: skip blank/garbage prefix lines (append-mode guard newlines).
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string magic, version, grid_kw;
+    std::uint64_t fp = 0;
+    if (ls >> magic >> version >> grid_kw >> fp && magic == kMagic &&
+        version == kVersion && grid_kw == "grid") {
+      HYCO_CHECK_MSG(fp == expected_fingerprint,
+                     "checkpoint belongs to a different grid (fingerprint "
+                         << fp << ", expected " << expected_fingerprint
+                         << ") — refusing to resume");
+      have_header = true;
+      break;
+    }
+    HYCO_CHECK_MSG(false, "not a hyco checkpoint (bad header line)");
+  }
+  HYCO_CHECK_MSG(have_header, "checkpoint stream is empty");
+
+  std::map<std::uint64_t, CellAccumulator> cells;
+  // Blocks. A block is accepted only when fully parsed through its
+  // "done <index>" trailer; anything malformed drops the current block and
+  // resyncs on the next "cell" line. A bail-out may have just read the
+  // *next* block's "cell" header (e.g. a partial block cut before its
+  // trailer, appended to by a later session) — `carry` re-processes that
+  // line instead of discarding the complete block that follows it.
+  const auto is_cell_header = [](const std::string& l) {
+    std::istringstream probe(l);
+    std::string k;
+    return (probe >> k) && k == "cell";
+  };
+  bool carry = false;
+  for (;;) {
+    if (!carry && !std::getline(in, line)) break;
+    carry = false;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw != "cell") continue;
+    std::uint64_t index = 0, runs = 0, term = 0, viol = 0;
+    if (!(ls >> index >> runs >> term >> viol)) continue;
+
+    // The five metric (m+r line pairs), then h, f, done — read eagerly;
+    // bail to resync on any mismatch.
+    const auto next_line = [&](const char* want, std::istringstream& out_ls,
+                               std::string* tag = nullptr) {
+      if (!std::getline(in, line)) return false;
+      out_ls.clear();
+      out_ls.str(line);
+      std::string k;
+      if (!(out_ls >> k) || k != want) return false;
+      if (tag != nullptr && !(out_ls >> *tag)) return false;
+      return true;
+    };
+
+    // The reservoir capacity is read off the first metric's r-line and the
+    // failure cap off the f-line, so metrics parse into temporaries and the
+    // accumulator is assembled at the end.
+    std::size_t rcap = 0;
+    bool ok = true;
+    const char* names[5] = {"rounds", "msgs", "shm", "objects", "dtime"};
+    MetricStats parsed[5] = {MetricStats(1), MetricStats(1), MetricStats(1),
+                             MetricStats(1), MetricStats(1)};
+    for (int i = 0; i < 5 && ok; ++i) {
+      std::istringstream mls, rls;
+      std::string mtag, rtag;
+      ok = next_line("m", mls, &mtag) && mtag == names[i] &&
+           next_line("r", rls, &rtag) && rtag == names[i];
+      if (!ok) break;
+      if (i == 0) {
+        // Reservoir capacity is the token after the tag.
+        std::istringstream probe(rls.str());
+        std::string k, t;
+        probe >> k >> t >> rcap;
+        ok = rcap >= 1 && rcap <= kMaxReservoirCapacity;
+        if (!ok) break;
+      }
+      ok = parse_metric_lines(mls, rls, parsed[i], rcap);
+    }
+    if (!ok) {
+      carry = is_cell_header(line);
+      continue;
+    }
+
+    std::istringstream hls;
+    if (!next_line("h", hls)) {
+      carry = is_cell_header(line);
+      continue;
+    }
+    double lo = 0.0, hi = 0.0;
+    std::size_t buckets = 0;
+    if (!(hls >> lo >> hi >> buckets) || buckets == 0 ||
+        buckets > kMaxHistogramBuckets || !std::isfinite(lo) ||
+        !std::isfinite(hi) || !(hi > lo)) {
+      continue;
+    }
+    std::vector<std::uint64_t> counts(buckets, 0);
+    bool hist_ok = true;
+    for (std::size_t i = 0; i < buckets; ++i) {
+      if (!(hls >> counts[i])) {
+        hist_ok = false;
+        break;
+      }
+    }
+    if (!hist_ok) continue;
+
+    std::istringstream fls;
+    if (!next_line("f", fls)) {
+      carry = is_cell_header(line);
+      continue;
+    }
+    std::size_t fcap = 0, fcount = 0;
+    if (!(fls >> fcap >> fcount) || fcount > fcap ||
+        fcap > kMaxFailureCapacity) {
+      continue;
+    }
+    std::vector<RunRecord> fails;
+    bool fails_ok = true;
+    for (std::size_t i = 0; i < fcount; ++i) {
+      std::string tok;
+      if (!(fls >> tok)) {
+        fails_ok = false;
+        break;
+      }
+      RunRecord r;
+      int t = 0, s = 0, su = 0;
+      std::istringstream ts(tok);
+      const auto eat = [&](auto& field) {
+        if (!(ts >> field)) return false;
+        if (ts.peek() == ',') ts.get();
+        return true;
+      };
+      if (!(eat(r.run) && eat(r.seed) && eat(t) && eat(s) && eat(su) &&
+            eat(r.rounds) && eat(r.decision_time) && eat(r.msgs) &&
+            eat(r.shm_proposals) && eat(r.consensus_objects) &&
+            eat(r.events) && eat(r.crashed))) {
+        fails_ok = false;
+        break;
+      }
+      r.terminated = t != 0;
+      r.safe_ok = s != 0;
+      r.success = su != 0;
+      fails.push_back(r);
+    }
+    if (!fails_ok) continue;
+
+    std::istringstream dls;
+    if (!std::getline(in, line)) break;
+    dls.str(line);
+    std::string done_kw;
+    std::uint64_t done_idx = 0;
+    if (!(dls >> done_kw >> done_idx) || done_kw != "done" ||
+        done_idx != index) {
+      carry = is_cell_header(line);
+      continue;
+    }
+
+    CellAccumulator built(rcap, fcap);
+    built.runs = runs;
+    built.terminated = term;
+    built.violations = viol;
+    built.rounds = parsed[0];
+    built.msgs = parsed[1];
+    built.shm_proposals = parsed[2];
+    built.objects = parsed[3];
+    built.decision_time = parsed[4];
+    built.round_hist = Histogram::from_counts(lo, hi, std::move(counts));
+    built.failures = std::move(fails);
+    built.finalize();
+    cells.insert_or_assign(index, std::move(built));
+  }
+  return cells;
+}
+
+}  // namespace hyco

@@ -1,0 +1,50 @@
+// Checkpoint/resume for interrupted sweeps.
+//
+// A checkpoint file is an append-only text log: a header binding it to one
+// specific grid (a fingerprint over every cell's label, run count, seeds,
+// and the accumulator capacities), followed by one self-delimited block per
+// *completed* cell holding the cell's full CellAccumulator state — exact
+// 128-bit moment sums, reservoir entries, histogram counts, and the failure
+// ring. Because the accumulator is exact integer state, a resumed sweep
+// reconstructs completed cells bit-for-bit and its final CSV/JSON artifacts
+// are byte-identical to an uninterrupted run.
+//
+// Resume granularity is a cell: a cell interrupted mid-flight is re-run
+// from scratch (its block was never appended). The loader ignores trailing
+// partial blocks — a process killed mid-append loses at most one cell.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "exp/sink.h"
+#include "exp/spec.h"
+
+namespace hyco {
+
+/// Identity of a grid execution: any change to the cell list, run counts,
+/// seeds, inputs, or accumulator capacities changes the fingerprint, and
+/// load_checkpoint refuses to resume across it.
+[[nodiscard]] std::uint64_t grid_fingerprint(
+    const std::vector<ExperimentCell>& cells, std::size_t reservoir_capacity,
+    std::size_t failure_capacity);
+
+/// Writes the one-line header; call once on a fresh checkpoint stream.
+void write_checkpoint_header(std::ostream& out, std::uint64_t fingerprint);
+
+/// Appends one completed cell's block (call with the cell's finalized
+/// accumulator). Flushes so a kill loses at most the block in flight.
+void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
+                            const CellAccumulator& acc);
+
+/// Parses a checkpoint stream, returning completed cells keyed by their
+/// spec-expansion index. Throws ContractViolation when the header is
+/// missing or the fingerprint does not match `expected_fingerprint`;
+/// silently drops malformed or truncated trailing blocks.
+[[nodiscard]] std::map<std::uint64_t, CellAccumulator> load_checkpoint(
+    std::istream& in, std::uint64_t expected_fingerprint);
+
+}  // namespace hyco

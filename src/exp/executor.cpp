@@ -1,6 +1,9 @@
 #include "exp/executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -8,53 +11,110 @@
 
 namespace hyco {
 
-RunRecord extract_record(int run, std::uint64_t seed, const RunResult& r) {
-  RunRecord rec;
-  rec.run = run;
-  rec.seed = seed;
-  rec.terminated = r.all_correct_decided;
-  rec.safe_ok = r.safe();
-  rec.success = r.success();
-  rec.rounds = r.max_decision_round;
-  rec.decision_time = r.last_decision_time;
-  rec.msgs = r.net.unicasts_sent;
-  rec.shm_proposals = r.shm.consensus_proposals;
-  rec.consensus_objects = r.consensus_objects;
-  rec.events = r.events;
-  rec.crashed = r.crashed;
-  return rec;
-}
-
-void CellResult::add(const RunRecord& r) {
-  ++runs;
-  if (r.terminated) {
-    ++terminated;
-    rounds.add(static_cast<double>(r.rounds));
-    msgs.add(static_cast<double>(r.msgs));
-    shm_proposals.add(static_cast<double>(r.shm_proposals));
-    objects.add(static_cast<double>(r.consensus_objects));
-    decision_time.add(static_cast<double>(r.decision_time));
-    round_hist.add(static_cast<double>(r.rounds));
-  }
-  if (!r.safe_ok) ++violations;
-  if (!r.success) failures.push_back(r);
-}
-
-double CellResult::termination_rate() const {
-  return runs == 0 ? 0.0
-                   : static_cast<double>(terminated) / static_cast<double>(runs);
-}
-
-unsigned ParallelExecutor::worker_count(std::size_t total_tasks) const {
+unsigned ParallelExecutor::worker_count(std::uint64_t total_tasks) const {
   HYCO_CHECK_MSG(opts_.threads >= 0,
                  "thread count must be >= 0, got " << opts_.threads);
   auto t = static_cast<unsigned>(opts_.threads);
   if (t == 0) t = std::thread::hardware_concurrency();
   if (t == 0) t = 1;
-  if (static_cast<std::size_t>(t) > total_tasks) {
+  if (static_cast<std::uint64_t>(t) > total_tasks) {
     t = static_cast<unsigned>(total_tasks);
   }
   return t == 0 ? 1 : t;
+}
+
+void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
+                           RunSink& sink) const {
+  if (cells.empty()) return;
+  HYCO_CHECK_MSG(opts_.chunk_size >= 1, "chunk_size must be >= 1");
+
+  const std::size_t n_cells = cells.size();
+  std::uint64_t total_runs = 0;
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    const std::uint64_t runs = cells[c].runs;
+    HYCO_CHECK_MSG(runs >= 1, "cell " << cells[c].index << " has zero runs");
+    HYCO_CHECK_MSG(total_runs <=
+                       std::numeric_limits<std::uint64_t>::max() - runs,
+                   "grid run count overflows 64 bits");
+    total_runs += runs;
+  }
+
+  // Effective grain: the configured chunk size, shrunk so the pool sized
+  // below always has >= ~4 chunks per worker to steal (small grids would
+  // otherwise serialize — worker_count(total_runs) workers always spawn).
+  const unsigned pool = worker_count(total_runs);
+  const std::uint64_t target_chunks = static_cast<std::uint64_t>(pool) * 4;
+  const std::uint64_t chunk = std::min(
+      opts_.chunk_size,
+      std::max<std::uint64_t>(1, total_runs / target_chunks));
+
+  // Prefix sums over per-cell chunk counts: a global chunk index maps to
+  // (cell, run range) by binary search — no per-run or per-chunk task
+  // list exists, so the index space may hold billions of runs.
+  std::vector<std::uint64_t> chunks_before(n_cells + 1, 0);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    // (runs - 1) / chunk + 1 is ceil-divide without the runs + chunk
+    // overflow (chunk may be huge relative to runs).
+    chunks_before[c + 1] = chunks_before[c] + (cells[c].runs - 1) / chunk + 1;
+  }
+  const std::uint64_t total_chunks = chunks_before[n_cells];
+
+  // Per-cell countdown of unabsorbed runs; the worker that drops a cell's
+  // count to zero reports its completion.
+  auto remaining = std::make_unique<std::atomic<std::uint64_t>[]>(n_cells);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    remaining[c].store(cells[c].runs, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> done_runs{0};
+  const bool keep_records = sink.wants_records();
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t g = next.fetch_add(1, std::memory_order_relaxed);
+      if (g >= total_chunks) return;
+      // Cell owning global chunk g: the last c with chunks_before[c] <= g.
+      const std::size_t cell_pos = static_cast<std::size_t>(
+          std::upper_bound(chunks_before.begin(), chunks_before.end(), g) -
+          chunks_before.begin() - 1);
+      const ExperimentCell& cell = cells[cell_pos];
+      const std::uint64_t begin = (g - chunks_before[cell_pos]) * chunk;
+      const std::uint64_t end = std::min(begin + chunk, cell.runs);
+
+      CellAccumulator acc(opts_.reservoir_capacity, opts_.failure_capacity);
+      std::vector<RunRecord> records;
+      if (keep_records) records.reserve(static_cast<std::size_t>(end - begin));
+      for (std::uint64_t k = begin; k < end; ++k) {
+        const RunConfig cfg = cell.run_config(k);
+        const RunRecord rec = extract_record(k, cfg.seed, run_consensus(cfg));
+        acc.add(rec);
+        if (keep_records) records.push_back(rec);
+      }
+      sink.absorb(cell_pos, std::move(acc), std::move(records));
+      const std::uint64_t left = remaining[cell_pos].fetch_sub(
+          end - begin, std::memory_order_acq_rel);
+      if (left == end - begin) sink.on_cell_complete(cell_pos);
+      if (opts_.progress) {
+        const std::uint64_t d =
+            done_runs.fetch_add(end - begin, std::memory_order_relaxed) +
+            (end - begin);
+        opts_.progress(d, total_runs);
+      }
+    }
+  };
+
+  // total_chunks >= min(total_runs, 4 * pool) >= pool, so the pool is
+  // never starved of work units.
+  const unsigned n_threads = pool;
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
 }
 
 std::vector<CellResult> ParallelExecutor::run(
@@ -64,52 +124,11 @@ std::vector<CellResult> ParallelExecutor::run(
 
 std::vector<CellResult> ParallelExecutor::run(
     const std::vector<ExperimentCell>& cells) const {
-  if (cells.empty()) return {};
-  const std::size_t runs = static_cast<std::size_t>(cells.front().runs);
-  for (const auto& c : cells) {
-    HYCO_CHECK_MSG(static_cast<std::size_t>(c.runs) == runs,
-                   "all cells of one execution must share runs_per_cell");
-  }
-  const std::size_t total = cells.size() * runs;
-
-  // Slot per (cell, run) task, indexed globally: records[cell * runs + run].
-  std::vector<RunRecord> records(total);
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      const ExperimentCell& cell = cells[i / runs];
-      const int run = static_cast<int>(i % runs);
-      const RunConfig cfg = cell.run_config(run);
-      records[i] = extract_record(run, cfg.seed, run_consensus(cfg));
-      const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (opts_.progress) opts_.progress(d, total);
-    }
-  };
-
-  const unsigned n_threads = worker_count(total);
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(worker);
-    for (auto& t : threads) t.join();
-  }
-
-  // Serial fold in task order: the aggregate is independent of which worker
-  // produced which record.
-  std::vector<CellResult> results;
-  results.reserve(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    CellResult res(cells[c]);
-    for (std::size_t k = 0; k < runs; ++k) res.add(records[c * runs + k]);
-    results.push_back(std::move(res));
-  }
-  return results;
+  CollectingSink::Options sink_opts;
+  sink_opts.retain_records = true;
+  CollectingSink sink(cells, std::move(sink_opts));
+  run(cells, sink);
+  return sink.take_results();
 }
 
 }  // namespace hyco

@@ -1,66 +1,25 @@
-// Multi-threaded grid execution.
+// Multi-threaded grid execution over a streaming sink.
 //
 // Each run of each cell is an independent, single-threaded, seed-determined
-// run_consensus() call, so the executor fans (cell × run) tasks across
-// worker threads with an atomic-counter work queue. Per-run metrics land in
-// a slot preallocated by global task index, and aggregation folds those
-// slots serially in task order afterwards — so the aggregate (and any
-// report rendered from it) is bit-identical whether the grid ran on 1
-// thread or 64.
+// run_consensus() call. The executor divides every cell's 64-bit run index
+// range into fixed chunks and lets worker threads pull chunks from an
+// atomic cursor (work stealing without materializing per-run task lists —
+// the work queue is index arithmetic over prefix sums, O(cells) state for
+// grids of any run count). A worker folds its chunk into a fresh
+// CellAccumulator and hands it to the RunSink; because every accumulator
+// component is merge-order-invariant (see exp/sink.h), the per-cell
+// statistics — and any report rendered from them — are bit-identical
+// whether the grid ran on 1 thread or 64, streamed or batched.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
-#include "core/runner.h"
+#include "exp/sink.h"
 #include "exp/spec.h"
-#include "util/stats.h"
 
 namespace hyco {
-
-/// Compact per-run metrics extracted from a RunResult (a full RunResult per
-/// run would hold O(n) vectors; large grids only need these scalars).
-struct RunRecord {
-  int run = 0;                ///< run index within the cell
-  std::uint64_t seed = 0;
-  bool terminated = false;    ///< RunResult::all_correct_decided
-  bool safe_ok = true;        ///< RunResult::safe()
-  bool success = false;       ///< RunResult::success()
-  Round rounds = 0;           ///< deepest deciding round
-  SimTime decision_time = kSimTimeNever;
-  std::uint64_t msgs = 0;     ///< unicasts scheduled
-  std::uint64_t shm_proposals = 0;
-  std::uint64_t consensus_objects = 0;
-  std::uint64_t events = 0;
-  std::size_t crashed = 0;
-};
-
-RunRecord extract_record(int run, std::uint64_t seed, const RunResult& r);
-
-/// Aggregated outcome of one cell. Summaries cover terminated runs only
-/// (matching how the paper's tables report cost conditioned on deciding).
-struct CellResult {
-  explicit CellResult(ExperimentCell c) : cell(std::move(c)) {}
-
-  ExperimentCell cell;
-  int runs = 0;
-  int terminated = 0;
-  int violations = 0;  ///< runs where safety did not hold
-
-  Summary rounds;
-  Summary msgs;
-  Summary shm_proposals;
-  Summary objects;
-  Summary decision_time;
-  Histogram round_hist{0.0, 64.0, 16};  ///< decision-round distribution
-
-  /// Non-success() runs, in run order — the replay hook's work list.
-  std::vector<RunRecord> failures;
-
-  void add(const RunRecord& r);
-  [[nodiscard]] double termination_rate() const;
-};
 
 /// Fans a grid across worker threads; see file comment for the determinism
 /// contract.
@@ -70,24 +29,40 @@ class ParallelExecutor {
     /// Worker count; 0 = std::thread::hardware_concurrency() (min 1).
     /// Negative values are rejected (ContractViolation) when running.
     std::int64_t threads = 0;
+    /// Maximum runs per work unit. Chunks never span cells; the last chunk
+    /// of a cell may be short; and the executor shrinks the grain so small
+    /// grids still produce at least ~4 chunks per worker (a 300-run cell
+    /// must not serialize onto one thread). Chunking affects scheduling
+    /// only — the merge-order-invariant accumulators emit identical bytes
+    /// at any grain. Must be >= 1.
+    std::uint64_t chunk_size = 1024;
+    /// Quantile reservoir capacity per metric (exp/sink.h). Percentiles
+    /// are exact while a cell's terminated-run count stays within it.
+    std::size_t reservoir_capacity = MetricStats::kDefaultReservoir;
+    /// Worst-failing-seed ring size per cell.
+    std::size_t failure_capacity = CellAccumulator::kDefaultFailureCap;
     /// Optional progress callback, invoked from worker threads after each
-    /// completed run with (done, total). Must be thread-safe.
-    std::function<void(std::size_t done, std::size_t total)> progress;
+    /// completed *chunk* with (runs done, total runs). Must be thread-safe.
+    std::function<void(std::uint64_t done, std::uint64_t total)> progress;
   };
 
   ParallelExecutor() = default;
   explicit ParallelExecutor(Options opts) : opts_(std::move(opts)) {}
 
-  /// Runs every (cell × run) task and returns per-cell aggregates in cell
-  /// order. Deterministic for a fixed spec regardless of thread count.
-  [[nodiscard]] std::vector<CellResult> run(const ExperimentSpec& spec) const;
+  /// Streaming core: runs every (cell × run) task, folding chunks into
+  /// `sink`. Cells may have heterogeneous run counts. Memory stays
+  /// O(cells + threads × chunk accumulators) regardless of total runs.
+  void run(const std::vector<ExperimentCell>& cells, RunSink& sink) const;
 
-  /// Same, over an already-expanded grid.
+  /// Batch convenience: executes through a record-retaining CollectingSink
+  /// and returns per-cell aggregates in cell order. Deterministic for a
+  /// fixed spec regardless of thread count.
+  [[nodiscard]] std::vector<CellResult> run(const ExperimentSpec& spec) const;
   [[nodiscard]] std::vector<CellResult> run(
       const std::vector<ExperimentCell>& cells) const;
 
   /// Effective worker count for a task list of the given size.
-  [[nodiscard]] unsigned worker_count(std::size_t total_tasks) const;
+  [[nodiscard]] unsigned worker_count(std::uint64_t total_tasks) const;
 
  private:
   Options opts_;

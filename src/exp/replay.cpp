@@ -6,7 +6,7 @@ std::vector<ReplayReport> replay_failures(
     const std::vector<CellResult>& results, std::size_t max_replays) {
   std::vector<ReplayReport> reports;
   for (const auto& res : results) {
-    for (const auto& fail : res.failures) {
+    for (const auto& fail : res.failures()) {
       if (reports.size() >= max_replays) return reports;
       RunConfig cfg = res.cell.run_config(fail.run);
       cfg.enable_trace = true;

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "exp/executor.h"
+#include "exp/sink.h"
 
 namespace hyco {
 
@@ -18,7 +18,7 @@ namespace hyco {
 struct ReplayReport {
   std::size_t cell_index = 0;
   std::string cell_label;
-  int run = 0;
+  std::uint64_t run = 0;
   std::uint64_t seed = 0;
   bool terminated = false;
   bool safe_ok = true;
@@ -26,9 +26,11 @@ struct ReplayReport {
   std::string trace;  ///< RunResult::trace_dump of the traced re-run
 };
 
-/// Re-runs every failure recorded in `results` with enable_trace = true,
-/// up to `max_replays` total (traces are large; sweeps with expected
-/// non-termination — e.g. dead covering sets — can fail thousands of runs).
+/// Re-runs every failure captured in each cell's bounded worst-seed ring
+/// with enable_trace = true, up to `max_replays` total (traces are large;
+/// sweeps with expected non-termination — e.g. dead covering sets — can
+/// fail thousands of runs). Works under streaming execution: the ring
+/// survives without any retained per-run records.
 [[nodiscard]] std::vector<ReplayReport> replay_failures(
     const std::vector<CellResult>& results, std::size_t max_replays = 8);
 

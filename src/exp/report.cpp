@@ -1,9 +1,12 @@
 #include "exp/report.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
+#include "util/assert.h"
 #include "util/csv.h"
 
 namespace hyco {
@@ -44,7 +47,7 @@ std::string json_escape(const std::string& s) {
 namespace {
 
 void append_summary_fields(std::vector<std::string>& fields,
-                           const Summary& s) {
+                           const MetricStats& s) {
   fields.push_back(format_number(s.mean()));
   fields.push_back(format_number(s.percentile(50)));
   fields.push_back(format_number(s.percentile(95)));
@@ -52,7 +55,7 @@ void append_summary_fields(std::vector<std::string>& fields,
 }
 
 void write_summary_json(std::ostream& out, const char* key,
-                        const Summary& s) {
+                        const MetricStats& s) {
   out << '"' << key << "\":{\"count\":" << s.count()
       << ",\"mean\":" << format_number(s.mean())
       << ",\"sd\":" << format_number(s.stddev())
@@ -62,40 +65,70 @@ void write_summary_json(std::ostream& out, const char* key,
       << ",\"max\":" << format_number(s.max()) << '}';
 }
 
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> kHeader{
+      "cell", "algorithm", "n", "m", "layout", "delay", "crash",
+      "scenario", "coin_epsilon", "runs", "terminated", "violations",
+      "rounds_mean", "rounds_p50", "rounds_p95", "rounds_max",
+      "msgs_mean", "msgs_p50", "msgs_p95", "msgs_max",
+      "shm_proposals_mean", "shm_proposals_p50", "shm_proposals_p95",
+      "shm_proposals_max", "objects_mean", "objects_p50", "objects_p95",
+      "objects_max", "decision_time_mean", "decision_time_p50",
+      "decision_time_p95", "decision_time_max"};
+  return kHeader;
+}
+
+void write_csv_row(CsvWriter& w, const CellResult& r) {
+  std::vector<std::string> fields;
+  fields.push_back(std::to_string(r.cell.index));
+  fields.emplace_back(to_cstring(r.cell.alg));
+  fields.push_back(std::to_string(r.cell.layout.n()));
+  fields.push_back(std::to_string(r.cell.layout.m()));
+  fields.push_back(r.cell.layout.to_string());
+  fields.push_back(r.cell.delay.name);
+  fields.push_back(r.cell.crash.name);
+  fields.push_back(r.cell.scenario.name);
+  fields.push_back(format_number(r.cell.coin_epsilon));
+  fields.push_back(std::to_string(r.runs()));
+  fields.push_back(std::to_string(r.terminated()));
+  fields.push_back(std::to_string(r.violations()));
+  append_summary_fields(fields, r.rounds());
+  append_summary_fields(fields, r.msgs());
+  append_summary_fields(fields, r.shm_proposals());
+  append_summary_fields(fields, r.objects());
+  append_summary_fields(fields, r.decision_time());
+  w.row(fields);
+}
+
 }  // namespace
 
 void write_cell_csv(std::ostream& out,
                     const std::vector<CellResult>& results) {
   CsvWriter w(out);
-  w.header({"cell", "algorithm", "n", "m", "layout", "delay", "crash",
-            "scenario", "coin_epsilon", "runs", "terminated", "violations",
-            "rounds_mean", "rounds_p50", "rounds_p95", "rounds_max",
-            "msgs_mean", "msgs_p50", "msgs_p95", "msgs_max",
-            "shm_proposals_mean", "shm_proposals_p50", "shm_proposals_p95",
-            "shm_proposals_max", "objects_mean", "objects_p50", "objects_p95",
-            "objects_max", "decision_time_mean", "decision_time_p50",
-            "decision_time_p95", "decision_time_max"});
-  for (const auto& r : results) {
-    std::vector<std::string> fields;
-    fields.push_back(std::to_string(r.cell.index));
-    fields.emplace_back(to_cstring(r.cell.alg));
-    fields.push_back(std::to_string(r.cell.layout.n()));
-    fields.push_back(std::to_string(r.cell.layout.m()));
-    fields.push_back(r.cell.layout.to_string());
-    fields.push_back(r.cell.delay.name);
-    fields.push_back(r.cell.crash.name);
-    fields.push_back(r.cell.scenario.name);
-    fields.push_back(format_number(r.cell.coin_epsilon));
-    fields.push_back(std::to_string(r.runs));
-    fields.push_back(std::to_string(r.terminated));
-    fields.push_back(std::to_string(r.violations));
-    append_summary_fields(fields, r.rounds);
-    append_summary_fields(fields, r.msgs);
-    append_summary_fields(fields, r.shm_proposals);
-    append_summary_fields(fields, r.objects);
-    append_summary_fields(fields, r.decision_time);
-    w.row(fields);
+  w.header(csv_header());
+  for (const auto& r : results) write_csv_row(w, r);
+}
+
+std::vector<std::string> write_cell_csv_sharded(
+    const std::string& path, const std::vector<CellResult>& results,
+    std::size_t shard_size) {
+  HYCO_CHECK_MSG(shard_size >= 1, "CSV shard size must be >= 1");
+  std::vector<std::string> shards;
+  for (std::size_t begin = 0; begin == 0 || begin < results.size();
+       begin += shard_size) {
+    char suffix[8];
+    std::snprintf(suffix, sizeof(suffix), ".%03zu", shards.size());
+    const std::string shard_path = path + suffix;
+    std::ofstream out(shard_path);
+    HYCO_CHECK_MSG(out.good(),
+                   "cannot open \"" << shard_path << "\" for writing");
+    CsvWriter w(out);
+    w.header(csv_header());
+    const std::size_t end = std::min(begin + shard_size, results.size());
+    for (std::size_t i = begin; i < end; ++i) write_csv_row(w, results[i]);
+    shards.push_back(shard_path);
   }
+  return shards;
 }
 
 void write_cell_json(std::ostream& out, const std::string& experiment_name,
@@ -114,21 +147,21 @@ void write_cell_json(std::ostream& out, const std::string& experiment_name,
         << json_escape(r.cell.scenario.name)
         << "\",\"coin_epsilon\":" << format_number(r.cell.coin_epsilon)
         << ",\"inputs\":\"" << to_cstring(r.cell.inputs)
-        << "\",\"base_seed\":" << r.cell.base_seed << ",\"runs\":" << r.runs
-        << ",\"terminated\":" << r.terminated
-        << ",\"violations\":" << r.violations << ',';
-    write_summary_json(out, "rounds", r.rounds);
+        << "\",\"base_seed\":" << r.cell.base_seed << ",\"runs\":" << r.runs()
+        << ",\"terminated\":" << r.terminated()
+        << ",\"violations\":" << r.violations() << ',';
+    write_summary_json(out, "rounds", r.rounds());
     out << ',';
-    write_summary_json(out, "msgs", r.msgs);
+    write_summary_json(out, "msgs", r.msgs());
     out << ',';
-    write_summary_json(out, "shm_proposals", r.shm_proposals);
+    write_summary_json(out, "shm_proposals", r.shm_proposals());
     out << ',';
-    write_summary_json(out, "consensus_objects", r.objects);
+    write_summary_json(out, "consensus_objects", r.objects());
     out << ',';
-    write_summary_json(out, "decision_time", r.decision_time);
+    write_summary_json(out, "decision_time", r.decision_time());
     out << ",\"failures\":[";
-    for (std::size_t f = 0; f < r.failures.size(); ++f) {
-      const auto& fail = r.failures[f];
+    for (std::size_t f = 0; f < r.failures().size(); ++f) {
+      const auto& fail = r.failures()[f];
       if (f) out << ',';
       out << "{\"run\":" << fail.run << ",\"seed\":" << fail.seed
           << ",\"terminated\":" << (fail.terminated ? "true" : "false")
@@ -146,11 +179,12 @@ Table to_table(const std::string& title,
                  "p95 rounds", "mean msgs", "mean simtime"});
   for (const auto& r : results) {
     t.add_row_values(r.cell.label(),
-                     std::to_string(r.terminated) + "/" +
-                         std::to_string(r.runs),
-                     r.violations, fixed(r.rounds.mean()),
-                     fixed(r.rounds.percentile(95)), fixed(r.msgs.mean(), 0),
-                     fixed(r.decision_time.mean(), 0));
+                     std::to_string(r.terminated()) + "/" +
+                         std::to_string(r.runs()),
+                     r.violations(), fixed(r.rounds().mean()),
+                     fixed(r.rounds().percentile(95)),
+                     fixed(r.msgs().mean(), 0),
+                     fixed(r.decision_time().mean(), 0));
   }
   return t;
 }

@@ -9,13 +9,22 @@
 #include <string>
 #include <vector>
 
-#include "exp/executor.h"
+#include "exp/sink.h"
 #include "util/table.h"
 
 namespace hyco {
 
 /// One row per cell: axis labels, counts, and per-metric mean/p50/p95/max.
 void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results);
+
+/// Sharded CSV for huge grids: writes `ceil(results / shard_size)` files
+/// named "<path>.000", "<path>.001", … each with the full header and
+/// `shard_size` cells in cell order. Returns the shard paths. Concatenating
+/// the shards minus repeated headers reproduces write_cell_csv byte for
+/// byte. Throws ContractViolation when a shard cannot be opened.
+std::vector<std::string> write_cell_csv_sharded(
+    const std::string& path, const std::vector<CellResult>& results,
+    std::size_t shard_size);
 
 /// {"experiment": ..., "cells": [...]} with a stats object per metric and
 /// the failing seeds listed per cell (the replay work list survives into

@@ -1,0 +1,193 @@
+#include "exp/sink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+namespace {
+
+// Per-metric reservoir salts: each metric keys its priorities off the run
+// seed with a distinct stream id so the kept subsets are independent.
+constexpr std::uint64_t kSaltRounds = 0x9E1;
+constexpr std::uint64_t kSaltMsgs = 0x9E2;
+constexpr std::uint64_t kSaltShm = 0x9E3;
+constexpr std::uint64_t kSaltObjects = 0x9E4;
+constexpr std::uint64_t kSaltDecisionTime = 0x9E5;
+
+/// Max-heap order on run index: the *highest* retained run index sits at
+/// the top, so bounded rings deterministically keep the lowest indices.
+bool run_less(const RunRecord& a, const RunRecord& b) { return a.run < b.run; }
+
+/// Bounded insert keeping the `cap` records with the lowest run indices.
+void bounded_push(std::vector<RunRecord>& heap, const RunRecord& r,
+                  std::size_t cap) {
+  if (cap == 0) return;
+  if (heap.size() < cap) {
+    heap.push_back(r);
+    std::push_heap(heap.begin(), heap.end(), run_less);
+    return;
+  }
+  if (!(r.run < heap.front().run)) return;
+  std::pop_heap(heap.begin(), heap.end(), run_less);
+  heap.back() = r;
+  std::push_heap(heap.begin(), heap.end(), run_less);
+}
+
+}  // namespace
+
+RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
+                         const RunResult& r) {
+  RunRecord rec;
+  rec.run = run;
+  rec.seed = seed;
+  rec.terminated = r.all_correct_decided;
+  rec.safe_ok = r.safe();
+  rec.success = r.success();
+  rec.rounds = r.max_decision_round;
+  rec.decision_time = r.last_decision_time;
+  rec.msgs = r.net.unicasts_sent;
+  rec.shm_proposals = r.shm.consensus_proposals;
+  rec.consensus_objects = r.consensus_objects;
+  rec.events = r.events;
+  rec.crashed = r.crashed;
+  return rec;
+}
+
+void MetricStats::add(std::uint64_t value, std::uint64_t priority) {
+  moments_.add(value);
+  reservoir_.add(priority, static_cast<double>(value));
+}
+
+void MetricStats::merge(const MetricStats& other) {
+  moments_.merge(other.moments_);
+  reservoir_.merge(other.reservoir_);
+}
+
+double MetricStats::percentile(double q) const {
+  HYCO_CHECK_MSG(q >= 0.0 && q <= 100.0,
+                 "percentile " << q << " out of range");
+  const std::vector<double>& xs = reservoir_.sorted_values();
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+CellAccumulator::CellAccumulator(std::size_t reservoir_capacity,
+                                 std::size_t failure_cap)
+    : rounds(reservoir_capacity),
+      msgs(reservoir_capacity),
+      shm_proposals(reservoir_capacity),
+      objects(reservoir_capacity),
+      decision_time(reservoir_capacity),
+      failure_cap(failure_cap) {}
+
+void CellAccumulator::add(const RunRecord& r) {
+  ++runs;
+  if (r.terminated) {
+    ++terminated;
+    rounds.add(static_cast<std::uint64_t>(r.rounds),
+               mix64(r.seed, kSaltRounds));
+    msgs.add(r.msgs, mix64(r.seed, kSaltMsgs));
+    shm_proposals.add(r.shm_proposals, mix64(r.seed, kSaltShm));
+    objects.add(r.consensus_objects, mix64(r.seed, kSaltObjects));
+    decision_time.add(static_cast<std::uint64_t>(r.decision_time),
+                      mix64(r.seed, kSaltDecisionTime));
+    round_hist.add(static_cast<double>(r.rounds));
+  }
+  if (!r.safe_ok) ++violations;
+  if (!r.success) bounded_push(failures, r, failure_cap);
+}
+
+void CellAccumulator::merge(const CellAccumulator& other) {
+  runs += other.runs;
+  terminated += other.terminated;
+  violations += other.violations;
+  rounds.merge(other.rounds);
+  msgs.merge(other.msgs);
+  shm_proposals.merge(other.shm_proposals);
+  objects.merge(other.objects);
+  decision_time.merge(other.decision_time);
+  round_hist.merge(other.round_hist);
+  for (const RunRecord& r : other.failures) {
+    bounded_push(failures, r, failure_cap);
+  }
+}
+
+void CellAccumulator::finalize() {
+  std::sort(failures.begin(), failures.end(), run_less);
+}
+
+double CellAccumulator::termination_rate() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(terminated) /
+                         static_cast<double>(runs);
+}
+
+CollectingSink::CollectingSink(std::vector<ExperimentCell> cells, Options opts)
+    : cells_(std::move(cells)), opts_(std::move(opts)) {
+  slots_.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void CollectingSink::absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+                            std::vector<RunRecord>&& records) {
+  HYCO_CHECK_MSG(cell_pos < slots_.size(),
+                 "absorb: cell position " << cell_pos << " out of range");
+  Slot& slot = *slots_[cell_pos];
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.has_acc) {
+    slot.acc = std::move(chunk);
+    slot.has_acc = true;
+  } else {
+    slot.acc.merge(chunk);
+  }
+  if (opts_.retain_records) {
+    const auto cap = opts_.max_records_per_cell;
+    if (cap == std::numeric_limits<std::uint64_t>::max()) {
+      slot.records.insert(slot.records.end(), records.begin(), records.end());
+    } else {
+      for (const RunRecord& r : records) {
+        bounded_push(slot.records, r, static_cast<std::size_t>(cap));
+      }
+    }
+  }
+}
+
+void CollectingSink::on_cell_complete(std::uint64_t cell_pos) {
+  HYCO_CHECK_MSG(cell_pos < slots_.size(),
+                 "on_cell_complete: cell position " << cell_pos
+                                                    << " out of range");
+  Slot& slot = *slots_[cell_pos];
+  {
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    slot.acc.finalize();
+    std::sort(slot.records.begin(), slot.records.end(), run_less);
+  }
+  if (opts_.on_complete) {
+    const std::lock_guard<std::mutex> lock(complete_mu_);
+    opts_.on_complete(cells_[cell_pos], slot.acc);
+  }
+}
+
+std::vector<CellResult> CollectingSink::take_results() {
+  std::vector<CellResult> results;
+  results.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    CellResult res(std::move(cells_[i]), std::move(slots_[i]->acc));
+    res.records = std::move(slots_[i]->records);
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace hyco

@@ -1,0 +1,220 @@
+// Streaming run pipeline: where executed runs land.
+//
+// Workers fold each chunk of a cell's runs into a fresh CellAccumulator —
+// exact integer moments, deterministic bottom-k quantile reservoirs, a
+// round histogram, and a bounded worst-failure ring — and hand it to a
+// RunSink. Every accumulator component is a pure function of the run
+// *multiset* (integer sums; priority-keyed reservoirs; run-index-bounded
+// rings), so merging chunks in any order or grouping produces bit-identical
+// cell statistics: streaming execution is byte-identical to batch at any
+// thread count by construction, and memory stays O(cells), not O(runs).
+//
+// CollectingSink is the standard sink: it merges chunks per cell, can
+// optionally retain raw RunRecords (batch mode — the thin record-keeping
+// sink existing tests pin streaming-vs-batch equivalence against), and
+// invokes a completion hook per finished cell (checkpoint appends, live
+// progress).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/runner.h"
+#include "exp/spec.h"
+#include "util/stats.h"
+
+namespace hyco {
+
+/// Compact per-run metrics extracted from a RunResult (a full RunResult per
+/// run would hold O(n) vectors; large grids only need these scalars).
+struct RunRecord {
+  std::uint64_t run = 0;  ///< run index within the cell
+  std::uint64_t seed = 0;
+  bool terminated = false;  ///< RunResult::all_correct_decided
+  bool safe_ok = true;      ///< RunResult::safe()
+  bool success = false;     ///< RunResult::success()
+  Round rounds = 0;         ///< deepest deciding round
+  SimTime decision_time = kSimTimeNever;
+  std::uint64_t msgs = 0;  ///< unicasts scheduled
+  std::uint64_t shm_proposals = 0;
+  std::uint64_t consensus_objects = 0;
+  std::uint64_t events = 0;
+  std::uint64_t crashed = 0;
+};
+
+RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
+                         const RunResult& r);
+
+/// Online statistics for one metric: exact moments for count/mean/sd/min/max
+/// plus a deterministic reservoir for quantiles. Priorities fed to add()
+/// must be pure hashes of run identity (we use the run's seed) so the
+/// reservoir — and therefore every emitted percentile — is independent of
+/// execution order. While a cell has at most `reservoir capacity` samples,
+/// percentiles are exact (the reservoir holds every value).
+class MetricStats {
+ public:
+  static constexpr std::size_t kDefaultReservoir = 1024;
+
+  explicit MetricStats(std::size_t reservoir_capacity = kDefaultReservoir)
+      : reservoir_(reservoir_capacity) {}
+  MetricStats(ExactMoments moments, ReservoirSample reservoir)
+      : moments_(moments), reservoir_(std::move(reservoir)) {}
+
+  void add(std::uint64_t value, std::uint64_t priority);
+  void merge(const MetricStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return moments_.count(); }
+  [[nodiscard]] double mean() const { return moments_.mean(); }
+  [[nodiscard]] double stddev() const { return moments_.stddev(); }
+  [[nodiscard]] double min() const { return moments_.min(); }
+  [[nodiscard]] double max() const { return moments_.max(); }
+  /// Linear-interpolated percentile over the reservoir, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const ExactMoments& moments() const { return moments_; }
+  [[nodiscard]] const ReservoirSample& reservoir() const { return reservoir_; }
+
+ private:
+  ExactMoments moments_;
+  ReservoirSample reservoir_;
+};
+
+/// Aggregated outcome of one cell (or one chunk of it, pre-merge).
+/// Summaries cover terminated runs only (matching how the paper's tables
+/// report cost conditioned on deciding).
+struct CellAccumulator {
+  static constexpr std::size_t kDefaultFailureCap = 64;
+
+  explicit CellAccumulator(
+      std::size_t reservoir_capacity = MetricStats::kDefaultReservoir,
+      std::size_t failure_cap = kDefaultFailureCap);
+
+  std::uint64_t runs = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t violations = 0;  ///< runs where safety did not hold
+
+  MetricStats rounds;
+  MetricStats msgs;
+  MetricStats shm_proposals;
+  MetricStats objects;
+  MetricStats decision_time;
+  Histogram round_hist{0.0, 64.0, 16};  ///< decision-round distribution
+
+  /// Bounded ring of failing runs: the `failure_cap` non-success() runs
+  /// with the lowest run indices — a deterministic replay work list that
+  /// survives streaming execution (no retained records needed). Sorted by
+  /// run index after finalize().
+  std::vector<RunRecord> failures;
+  std::size_t failure_cap = kDefaultFailureCap;
+
+  void add(const RunRecord& r);
+  void merge(const CellAccumulator& other);
+  /// Sorts the failure ring into run order; call once per finished cell.
+  void finalize();
+
+  [[nodiscard]] double termination_rate() const;
+};
+
+/// One finished cell: its grid coordinates plus merged statistics, and —
+/// batch mode only — the retained per-run records.
+struct CellResult {
+  explicit CellResult(ExperimentCell c) : cell(std::move(c)) {}
+  CellResult(ExperimentCell c, CellAccumulator a)
+      : cell(std::move(c)), acc(std::move(a)) {}
+
+  ExperimentCell cell;
+  CellAccumulator acc;
+  /// Raw per-run metrics in run order; empty under streaming sinks.
+  std::vector<RunRecord> records;
+
+  [[nodiscard]] std::uint64_t runs() const { return acc.runs; }
+  [[nodiscard]] std::uint64_t terminated() const { return acc.terminated; }
+  [[nodiscard]] std::uint64_t violations() const { return acc.violations; }
+  [[nodiscard]] const MetricStats& rounds() const { return acc.rounds; }
+  [[nodiscard]] const MetricStats& msgs() const { return acc.msgs; }
+  [[nodiscard]] const MetricStats& shm_proposals() const {
+    return acc.shm_proposals;
+  }
+  [[nodiscard]] const MetricStats& objects() const { return acc.objects; }
+  [[nodiscard]] const MetricStats& decision_time() const {
+    return acc.decision_time;
+  }
+  [[nodiscard]] const Histogram& round_hist() const { return acc.round_hist; }
+  [[nodiscard]] const std::vector<RunRecord>& failures() const {
+    return acc.failures;
+  }
+  [[nodiscard]] double termination_rate() const {
+    return acc.termination_rate();
+  }
+};
+
+/// Executor-facing consumer of finished chunks. All methods may be called
+/// concurrently from worker threads.
+class RunSink {
+ public:
+  virtual ~RunSink() = default;
+
+  /// True when workers should also collect raw RunRecords per chunk
+  /// (batch mode); streaming sinks return false and never see a record.
+  [[nodiscard]] virtual bool wants_records() const { return false; }
+
+  /// Folds one finished chunk of cell `cell_pos` (position in the executed
+  /// cell list, not the spec-expansion index) into the sink.
+  virtual void absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+                      std::vector<RunRecord>&& records) = 0;
+
+  /// Every run of the cell has been absorbed. Cells complete in any order;
+  /// called from whichever worker finished the last chunk.
+  virtual void on_cell_complete(std::uint64_t cell_pos) { (void)cell_pos; }
+};
+
+/// The standard sink: merges chunks into one accumulator per cell and
+/// yields CellResults in cell order. With `retain_records` it is the thin
+/// batch-mode sink (records kept, bounded by `max_records_per_cell`, the
+/// lowest run indices winning — deterministic under any schedule); without,
+/// it is the bounded-memory streaming sink.
+class CollectingSink : public RunSink {
+ public:
+  struct Options {
+    bool retain_records = false;
+    std::uint64_t max_records_per_cell =
+        std::numeric_limits<std::uint64_t>::max();
+    /// Invoked once per finished cell (from a worker thread; completions
+    /// are serialized by the sink) with the cell and its final, finalized
+    /// accumulator — the checkpoint-append / live-emission hook.
+    std::function<void(const ExperimentCell&, const CellAccumulator&)>
+        on_complete;
+  };
+
+  CollectingSink(std::vector<ExperimentCell> cells, Options opts);
+
+  [[nodiscard]] bool wants_records() const override {
+    return opts_.retain_records;
+  }
+  void absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+              std::vector<RunRecord>&& records) override;
+  void on_cell_complete(std::uint64_t cell_pos) override;
+
+  /// Results in cell order; call after the executor returns.
+  [[nodiscard]] std::vector<CellResult> take_results();
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    bool has_acc = false;
+    CellAccumulator acc;
+    std::vector<RunRecord> records;
+  };
+
+  std::vector<ExperimentCell> cells_;
+  Options opts_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex complete_mu_;  ///< serializes on_complete invocations
+};
+
+}  // namespace hyco

@@ -1,5 +1,6 @@
 #include "exp/spec.h"
 
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -76,6 +77,16 @@ std::size_t ExperimentSpec::cell_count() const {
          scenarios.size() * coin_epsilons.size();
 }
 
+std::uint64_t ExperimentSpec::total_runs() const {
+  const auto cells = static_cast<std::uint64_t>(cell_count());
+  if (cells == 0 || runs_per_cell == 0) return 0;
+  HYCO_CHECK_MSG(runs_per_cell <=
+                     std::numeric_limits<std::uint64_t>::max() / cells,
+                 "grid size overflows: " << cells << " cells x "
+                                         << runs_per_cell << " runs");
+  return cells * runs_per_cell;
+}
+
 std::vector<ExperimentCell> ExperimentSpec::expand() const {
   HYCO_CHECK_MSG(!algorithms.empty(), "experiment needs >= 1 algorithm");
   HYCO_CHECK_MSG(!layouts.empty(), "experiment needs >= 1 layout");
@@ -118,14 +129,12 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
   return cells;
 }
 
-std::uint64_t ExperimentCell::seed_for(int run) const {
-  return mix64(base_seed,
-               mix64(static_cast<std::uint64_t>(index),
-                     static_cast<std::uint64_t>(run)));
+std::uint64_t ExperimentCell::seed_for(std::uint64_t run) const {
+  return mix64(base_seed, mix64(static_cast<std::uint64_t>(index), run));
 }
 
-RunConfig ExperimentCell::run_config(int run) const {
-  HYCO_CHECK_MSG(run >= 0 && run < runs,
+RunConfig ExperimentCell::run_config(std::uint64_t run) const {
+  HYCO_CHECK_MSG(run < runs,
                  "run index " << run << " out of range [0, " << runs << ")");
   RunConfig cfg(layout);
   cfg.alg = alg;

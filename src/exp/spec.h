@@ -84,7 +84,9 @@ struct ExperimentSpec {
   std::vector<ScenarioAxis> scenarios{ScenarioAxis{}};
   std::vector<double> coin_epsilons{0.0};
 
-  int runs_per_cell = 40;
+  /// Seeds per cell. 64-bit end to end: multi-million-run grids (and the
+  /// cells × runs product) must not wrap 32-bit counters anywhere.
+  std::uint64_t runs_per_cell = 40;
   std::uint64_t base_seed = 1;
   InputKind inputs = InputKind::Split;
   Round max_rounds = 5000;
@@ -93,6 +95,9 @@ struct ExperimentSpec {
 
   /// Cross-product size (cells, not runs).
   [[nodiscard]] std::size_t cell_count() const;
+
+  /// Total run count (cell_count() × runs_per_cell), overflow-checked.
+  [[nodiscard]] std::uint64_t total_runs() const;
 
   /// Expands the grid row-major in axis declaration order:
   /// algorithms ▸ layouts ▸ delays ▸ crashes ▸ scenarios ▸ coin_epsilons.
@@ -111,7 +116,7 @@ struct ExperimentCell {
   double coin_epsilon = 0.0;
 
   // Scalars snapshotted from the spec so a cell is self-contained.
-  int runs = 0;
+  std::uint64_t runs = 0;
   std::uint64_t base_seed = 1;
   InputKind inputs = InputKind::Split;
   Round max_rounds = 5000;
@@ -122,10 +127,10 @@ struct ExperimentCell {
 
   /// The seed of run k — a pure function of (base_seed, index, k), so
   /// results are replayable from the aggregate report alone.
-  [[nodiscard]] std::uint64_t seed_for(int run) const;
+  [[nodiscard]] std::uint64_t seed_for(std::uint64_t run) const;
 
   /// Mints the full RunConfig of run k (0 <= k < runs).
-  [[nodiscard]] RunConfig run_config(int run) const;
+  [[nodiscard]] RunConfig run_config(std::uint64_t run) const;
 
   /// "hybrid-CC n=16 m=4 delay=uniform(50,150) crash=none scn=none eps=0" —
   /// stable across runs; used in tables, CSV, and JSON.

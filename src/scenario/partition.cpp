@@ -12,6 +12,14 @@ PartitionSchedule::PartitionSchedule(const std::vector<PartitionSpec>& specs,
     cut.side_a = DynamicBitset(static_cast<std::size_t>(layout.n()));
     cut.start = spec.start;
     cut.heal = spec.heal;
+    cut.flap = spec.flap;
+    cut.period = spec.period;
+    HYCO_CHECK_MSG((spec.flap > 0) == (spec.period > 0),
+                   "partition " << spec.to_string()
+                                << ": flap and period must be set together");
+    HYCO_CHECK_MSG(spec.flap == 0 || spec.period > spec.flap,
+                   "partition " << spec.to_string()
+                                << ": period must exceed flap");
     switch (spec.kind) {
       case PartitionSpec::Kind::Clusters:
         for (const std::int32_t x : spec.ids) {
@@ -56,20 +64,39 @@ PartitionSchedule::PartitionSchedule(const std::vector<PartitionSpec>& specs,
 SimTime PartitionSchedule::release_time(ProcId from, ProcId to,
                                         SimTime now) const {
   SimTime release = now;
-  // Fixed point: a message released by one healing cut may immediately be
-  // captured by another whose window contains the new release time. Each
-  // pass either terminates or strictly advances `release` past one cut's
-  // heal time, so the loop runs at most |cuts| passes.
+  // Fixed point: a message released by one healing cut (or pulse) may
+  // immediately be captured by another whose window contains the new
+  // release time. One-shot cuts advance `release` at most once each, but
+  // interleaved flapping cuts can hand a message back and forth across
+  // many pulses, and pathological schedules (pulses whose union covers all
+  // time) never open a joint gap — bound the hops and treat overflow as a
+  // permanent cut. The bound keeps the query deterministic and total.
+  constexpr int kMaxHops = 1024;
+  int hops = 0;
   bool moved = true;
   while (moved) {
     moved = false;
     for (const Cut& cut : cuts_) {
       if (!cut.crosses(from, to)) continue;
       if (release < cut.start) continue;
+      if (cut.flap > 0) {
+        // Square wave: cut during [start + k*period, start + k*period + flap).
+        if (cut.heal != kSimTimeNever && release >= cut.heal) continue;
+        const SimTime phase = (release - cut.start) % cut.period;
+        if (phase >= cut.flap) continue;  // inside the healed gap
+        SimTime edge = release - phase + cut.flap;
+        // A pulse truncated by the end of the schedule heals there instead.
+        if (cut.heal != kSimTimeNever && edge > cut.heal) edge = cut.heal;
+        release = edge;
+        moved = true;
+        if (++hops >= kMaxHops) return kSimTimeNever;
+        continue;
+      }
       if (cut.heal == kSimTimeNever) return kSimTimeNever;
       if (release < cut.heal) {
         release = cut.heal;
         moved = true;
+        if (++hops >= kMaxHops) return kSimTimeNever;
       }
     }
   }

@@ -5,8 +5,11 @@
 // `now`, when may a message from `from` to `to` cross? A cut with a finite
 // heal time holds crossing messages until it heals (asynchrony, not loss);
 // a cut that never heals blocks them forever (the network drops and counts
-// them). Overlapping cuts cascade: a message released by one cut can be
-// captured by a later one.
+// them). A *flapping* cut (spec.flap > 0) is a square wave: closed for
+// `flap` at the top of every `period` from `start` until `heal`; each pulse
+// heals, so messages are held to the pulse's trailing edge, never dropped.
+// Overlapping cuts cascade: a message released by one cut can be captured
+// by a later one (or a later pulse).
 #pragma once
 
 #include <vector>
@@ -38,6 +41,8 @@ class PartitionSchedule {
     DynamicBitset side_a;
     SimTime start = 0;
     SimTime heal = kSimTimeNever;
+    SimTime flap = 0;  ///< > 0: square-wave pulse width within `period`
+    SimTime period = 0;
 
     [[nodiscard]] bool crosses(ProcId from, ProcId to) const {
       return side_a.test(static_cast<std::size_t>(from)) !=

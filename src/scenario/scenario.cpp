@@ -102,14 +102,16 @@ SimTime parse_sim_time(const std::string& text) {
 }
 
 PartitionSpec parse_partition_spec(const std::string& text) {
-  const std::size_t colon = text.find(':');
-  HYCO_CHECK_MSG(colon != std::string::npos,
+  // Split off the optional "@START..HEAL" window first; what precedes it is
+  // "KIND:IDS" optionally followed by ":flap=DUR:period=DUR" segments.
+  const std::size_t at = text.find('@');
+  const std::string head =
+      at == std::string::npos ? text : text.substr(0, at);
+  const std::vector<std::string> segs = split(head, ':');
+  HYCO_CHECK_MSG(segs.size() >= 2,
                  "--partition: missing \":\" in \"" << text
-                 << "\" (want KIND:IDS@START..HEAL)");
-  const std::string kind = text.substr(0, colon);
-  const std::size_t at = text.find('@', colon);
-  HYCO_CHECK_MSG(at != std::string::npos,
-                 "--partition: missing \"@\" in \"" << text << '"');
+                 << "\" (want KIND:IDS[:flap=..:period=..][@START..HEAL])");
+  const std::string& kind = segs[0];
 
   PartitionSpec spec;
   if (kind == "cluster" || kind == "clusters") {
@@ -122,15 +124,51 @@ PartitionSpec parse_partition_spec(const std::string& text) {
     HYCO_CHECK_MSG(false, "--partition: unknown kind \"" << kind
                           << "\" (want cluster | procs | split)");
   }
-  spec.ids = parse_ids(text.substr(colon + 1, at - colon - 1), "--partition");
+  spec.ids = parse_ids(segs[1], "--partition");
   HYCO_CHECK_MSG(!spec.ids.empty(), "--partition: no ids in \"" << text << '"');
   HYCO_CHECK_MSG(spec.kind != PartitionSpec::Kind::SplitCluster ||
                      spec.ids.size() == 1,
                  "--partition: split takes exactly one cluster id, got \""
                      << text << '"');
-  const auto [start, heal] = parse_window(text.substr(at + 1), "--partition");
-  spec.start = start;
-  spec.heal = heal;
+
+  for (std::size_t i = 2; i < segs.size(); ++i) {
+    const std::size_t eq = segs[i].find('=');
+    HYCO_CHECK_MSG(eq != std::string::npos,
+                   "--partition: expected key=value segment, got \""
+                       << segs[i] << "\" in \"" << text << '"');
+    const std::string key = segs[i].substr(0, eq);
+    const std::string val = segs[i].substr(eq + 1);
+    if (key == "flap") {
+      spec.flap = parse_sim_time(val);
+      HYCO_CHECK_MSG(spec.flap > 0, "--partition: flap duration must be > 0"
+                                    " in \"" << text << '"');
+    } else if (key == "period") {
+      spec.period = parse_sim_time(val);
+    } else {
+      HYCO_CHECK_MSG(false, "--partition: unknown key \""
+                                << key << "\" in \"" << text
+                                << "\" (want flap | period)");
+    }
+  }
+  HYCO_CHECK_MSG((spec.flap > 0) == (spec.period > 0),
+                 "--partition: flap and period must be given together in \""
+                     << text << '"');
+  HYCO_CHECK_MSG(spec.flap == 0 || spec.period > spec.flap,
+                 "--partition: period must exceed flap (the cut must heal"
+                 " within each cycle) in \"" << text << '"');
+
+  if (at == std::string::npos) {
+    HYCO_CHECK_MSG(spec.flapping(),
+                   "--partition: missing \"@START..HEAL\" window in \""
+                       << text << "\" (only flapping cuts may omit it)");
+    spec.start = 0;
+    spec.heal = kSimTimeNever;
+  } else {
+    const auto [start, heal] =
+        parse_window(text.substr(at + 1), "--partition");
+    spec.start = start;
+    spec.heal = heal;
+  }
   return spec;
 }
 
@@ -170,6 +208,7 @@ std::string PartitionSpec::to_string() const {
   for (std::size_t i = 0; i < ids.size(); ++i) {
     os << (i > 0 ? "-" : "") << ids[i];
   }
+  if (flapping()) os << ":flap=" << flap << ":period=" << period;
   os << '@' << window_to_string(start, heal);
   return os.str();
 }

@@ -48,7 +48,19 @@ struct PartitionSpec {
   Kind kind = Kind::Clusters;
   std::vector<std::int32_t> ids;  ///< cluster ids / proc ids / {cluster id}
   SimTime start = 0;
-  SimTime heal = kSimTimeNever;  ///< kSimTimeNever = permanent (drops)
+  SimTime heal = kSimTimeNever;  ///< kSimTimeNever = permanent (drops).
+                                 ///< For flapping cuts: end of the whole
+                                 ///< schedule (never = flap forever).
+
+  /// Flapping (square-wave) cut: starting at `start`, the cut is closed for
+  /// `flap` then open for `period - flap`, repeating every `period` until
+  /// `heal`. Each pulse heals, so crossing messages are held (asynchrony),
+  /// never dropped — the ROADMAP livelock probe. flap = 0 disables
+  /// (one-shot cut, the default); otherwise period > flap is required.
+  SimTime flap = 0;
+  SimTime period = 0;
+
+  [[nodiscard]] bool flapping() const { return flap > 0; }
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -111,9 +123,14 @@ struct ScenarioConfig {
 /// ContractViolation on malformed or negative input.
 SimTime parse_sim_time(const std::string& text);
 
-/// Parses "KIND:IDS@START..HEAL" where KIND is cluster | procs | split,
-/// IDS is dash-separated (e.g. "0-1"), and HEAL may be "never".
-/// Examples: "cluster:0-1@5ms..20ms", "procs:0-3-7@0..never", "split:2@1ms..4ms".
+/// Parses "KIND:IDS[:flap=DUR:period=DUR][@START..HEAL]" where KIND is
+/// cluster | procs | split, IDS is dash-separated (e.g. "0-1"), and HEAL
+/// may be "never". The window is required for one-shot cuts and optional
+/// for flapping ones (default 0..never). Examples:
+///   "cluster:0-1@5ms..20ms"            one-shot cut, heals at 20ms
+///   "procs:0-3-7@0..never"             permanent cut (drops)
+///   "cluster:0:flap=2ms:period=4ms"    square wave: 2ms cut / 2ms healed
+///   "split:1:flap=1ms:period=3ms@5ms..50ms"  flapping inside a window
 PartitionSpec parse_partition_spec(const std::string& text);
 
 /// Parses "PID@DOWN..UP" or "cluster:X@DOWN..UP"; UP may be "never".

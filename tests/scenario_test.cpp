@@ -66,6 +66,38 @@ TEST(ScenarioParse, PartitionSpec) {
   EXPECT_THROW(parse_partition_spec("cluster:0@20..10"), ContractViolation);
 }
 
+TEST(ScenarioParse, FlappingPartitionSpec) {
+  // Windowless flapping: the square wave runs from t=0 forever.
+  const PartitionSpec p = parse_partition_spec("cluster:0:flap=2ms:period=4ms");
+  EXPECT_TRUE(p.flapping());
+  EXPECT_EQ(p.flap, 2'000'000);
+  EXPECT_EQ(p.period, 4'000'000);
+  EXPECT_EQ(p.start, 0);
+  EXPECT_EQ(p.heal, kSimTimeNever);
+  EXPECT_EQ(p.to_string(), "cluster:0:flap=2000000:period=4000000@0..never");
+  // to_string round-trips through the parser.
+  const PartitionSpec rt = parse_partition_spec(p.to_string());
+  EXPECT_EQ(rt.flap, p.flap);
+  EXPECT_EQ(rt.period, p.period);
+  EXPECT_EQ(rt.heal, p.heal);
+
+  // Flapping inside an explicit window.
+  const PartitionSpec w =
+      parse_partition_spec("split:1:flap=1ms:period=3ms@5ms..50ms");
+  EXPECT_EQ(w.kind, PartitionSpec::Kind::SplitCluster);
+  EXPECT_EQ(w.start, 5'000'000);
+  EXPECT_EQ(w.heal, 50'000'000);
+
+  // flap without period, period <= flap, unknown keys: rejected.
+  EXPECT_THROW(parse_partition_spec("cluster:0:flap=2ms"), ContractViolation);
+  EXPECT_THROW(parse_partition_spec("cluster:0:period=2ms"),
+               ContractViolation);
+  EXPECT_THROW(parse_partition_spec("cluster:0:flap=2ms:period=2ms"),
+               ContractViolation);
+  EXPECT_THROW(parse_partition_spec("cluster:0:blink=2ms:period=4ms"),
+               ContractViolation);
+}
+
 TEST(ScenarioParse, RecoverySpec) {
   const RecoverySpec r = parse_recovery_spec("3@2ms..8ms");
   EXPECT_FALSE(r.whole_cluster);
@@ -220,6 +252,50 @@ TEST(PartitionSchedule, RejectsOutOfRangeIds) {
       ContractViolation);
 }
 
+TEST(PartitionSchedule, FlappingSquareWave) {
+  const auto layout = ClusterLayout::even(8, 4);
+  // Cut during [0,100), [400,500), [800,900), … healed in between.
+  const PartitionSchedule sched(
+      {parse_partition_spec("cluster:0:flap=100:period=400@0..never")},
+      layout);
+  // Inside a pulse: held to its trailing edge.
+  EXPECT_EQ(sched.release_time(0, 4, 0), 100);
+  EXPECT_EQ(sched.release_time(0, 4, 99), 100);
+  EXPECT_EQ(sched.release_time(0, 4, 450), 500);
+  // Inside a healed gap: passes immediately.
+  EXPECT_EQ(sched.release_time(0, 4, 100), 100);
+  EXPECT_EQ(sched.release_time(0, 4, 250), 250);
+  EXPECT_EQ(sched.release_time(0, 4, 399), 399);
+  // Same side: never affected.
+  EXPECT_EQ(sched.release_time(0, 1, 50), 50);
+}
+
+TEST(PartitionSchedule, FlappingWindowAndStartOffset) {
+  const auto layout = ClusterLayout::even(8, 4);
+  // Wave starts at 1000 and the whole schedule ends at 1850 — the last
+  // pulse [1800, 1900) is truncated to heal at 1850.
+  const PartitionSchedule sched(
+      {parse_partition_spec("cluster:0:flap=100:period=400@1000..1850")},
+      layout);
+  EXPECT_EQ(sched.release_time(0, 4, 500), 500);    // before the schedule
+  EXPECT_EQ(sched.release_time(0, 4, 1000), 1100);  // first pulse
+  EXPECT_EQ(sched.release_time(0, 4, 1450), 1500);  // second pulse
+  EXPECT_EQ(sched.release_time(0, 4, 1820), 1850);  // truncated last pulse
+  EXPECT_EQ(sched.release_time(0, 4, 1900), 1900);  // after the schedule
+}
+
+TEST(PartitionSchedule, InterlockedFlappingThatNeverOpensIsPermanent) {
+  const auto layout = ClusterLayout::even(8, 4);
+  // Two waves in perfect anti-phase covering all time: cut A closed on
+  // [0,200) of each 400, cut B closed on [200,400). Their joint gap never
+  // opens, so the query must settle on "never" instead of hopping forever.
+  const PartitionSchedule sched(
+      {parse_partition_spec("cluster:0:flap=200:period=400@0..never"),
+       parse_partition_spec("cluster:0:flap=200:period=400@200..never")},
+      layout);
+  EXPECT_EQ(sched.release_time(0, 4, 0), kSimTimeNever);
+}
+
 // ---- CrashTracker recovery ---------------------------------------------------
 
 TEST(CrashRecovery, TrackerRoundTrips) {
@@ -262,6 +338,27 @@ TEST(ScenarioEndToEnd, PartitionThenHealLiveness) {
       for (std::uint64_t seed = 1; seed <= 8; ++seed) {
         const RunResult r = run_consensus(scenario_run(alg, seed, scn));
         EXPECT_TRUE(r.success()) << to_cstring(alg) << " cut=" << cut
+                                 << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ScenarioEndToEnd, FlappingPartitionStillTerminates) {
+  // The ROADMAP livelock probe: a square-wave cut/heal cycle on one cluster
+  // (and on a half cut) holds messages during every pulse but always heals —
+  // that is repeated asynchrony, not loss, so every correct process must
+  // still decide and safety must hold.
+  const char* waves[] = {"cluster:0:flap=200us:period=500us",
+                         "cluster:0-1:flap=100us:period=400us@0..3ms"};
+  for (const Algorithm alg :
+       {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
+    for (const char* wave : waves) {
+      ScenarioConfig scn;
+      scn.partitions.push_back(parse_partition_spec(wave));
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const RunResult r = run_consensus(scenario_run(alg, seed, scn));
+        EXPECT_TRUE(r.success()) << to_cstring(alg) << " wave=" << wave
                                  << " seed=" << seed;
       }
     }
