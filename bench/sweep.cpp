@@ -34,13 +34,39 @@
 //   --chunk=N         max runs per work unit (auto-shrunk so every worker
 //                     has chunks to steal; grain never changes output bytes)
 //                     [1024]
-//   --checkpoint=PATH append each completed cell's exact accumulator state
-//                     to PATH (flushed per cell; an existing checkpoint is
-//                     never truncated without --resume)
-//   --resume          load PATH first and skip its completed cells; the
-//                     final artifacts are byte-identical to an
-//                     uninterrupted run of the same grid
+//   --checkpoint=PATH append each completed chunk's and cell's exact
+//                     accumulator state to PATH (flushed per block; an
+//                     existing checkpoint is never truncated without
+//                     --resume)
+//   --resume          load PATH first and skip its completed work. Resume
+//                     is *chunk-granular*: a cell interrupted mid-flight
+//                     re-runs only its uncovered run ranges, so even a
+//                     single monster cell resumes where it left off. Final
+//                     artifacts are byte-identical to an uninterrupted run.
 //   --progress        1 Hz stderr line: runs & cells done, runs/s, ETA
+//
+// Distributed sweeps (src/dist/; see README "Distributed sweeps"):
+//   --serve=PORT      coordinate: listen on PORT, lease chunk-sized run
+//                     ranges to connecting workers, and merge their
+//                     accumulators. Emits the same artifacts as a local
+//                     run — byte-identical at any worker count, lease
+//                     grain, or arrival order. Combines with --checkpoint
+//                     (the work ledger doubles as the chunk checkpoint).
+//   --connect=HOST:PORT  work for a coordinator started with the *same
+//                     grid flags* (the handshake verifies the grid
+//                     fingerprint). Emits no artifacts locally.
+//                     Local-executor knobs (--threads/--chunk/--stream/
+//                     --max-records) are rejected in both modes: workers
+//                     parallelize with --workers, coordinators shape work
+//                     units with --lease.
+//   --workers=N       with --connect: parallel worker sessions [1]
+//   --lease=N         with --serve: runs per lease chunk [4096]
+//   --lease-ttl=SEC   with --serve: re-queue leases not folded in SEC [60].
+//                     Size --lease so a chunk comfortably finishes within
+//                     the TTL: an expired lease is re-executed elsewhere
+//                     (late results are dropped as duplicates — output is
+//                     unaffected, but the work is done twice and the
+//                     coordinator warns on stderr).
 //
 // Adversarial scenario flags (src/scenario/; all default off — combined
 // into one scenario axis value applied to every cell):
@@ -54,6 +80,9 @@
 //   --recover=S,... crash-recovery cycles, PID@DOWN..UP or
 //                   cluster:X@DOWN..UP (e.g. 3@2ms..8ms)
 //   --coin-attack=BIT:BOOST delay round>=2 phase-1 carriers of BIT by BOOST
+//   --skew=S,...    clock skew / slow processes: proc:ID:xF or
+//                   cluster:ID:xF step-speed multipliers (e.g. proc:3:x4
+//                   makes p3's steps 4x slower; x0.5 makes a fast process)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +94,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 #include "exp/checkpoint.h"
 #include "exp/executor.h"
 #include "exp/replay.h"
@@ -183,6 +214,11 @@ ScenarioConfig parse_scenario(const Options& opts) {
       scn.recoveries.push_back(parse_recovery_spec(s));
     }
   }
+  if (opts.has("skew")) {
+    for (const auto& s : opts.get_string_list("skew")) {
+      scn.skews.push_back(parse_skew_spec(s));
+    }
+  }
   if (opts.has("coin-attack")) {
     const std::string spec = opts.get_string("coin-attack");
     const std::size_t colon = spec.find(':');
@@ -207,6 +243,82 @@ void write_report(const std::string& path,
   std::ofstream out(path);
   HYCO_CHECK_MSG(out.good(), "cannot open \"" << path << "\" for writing");
   emit(out);
+}
+
+/// Validated distributed-mode flags; parsed on the main thread before any
+/// socket or worker thread exists, so bad input exits 2 with an actionable
+/// message instead of aborting a thread (same pattern as
+/// validate_scenario()).
+struct DistFlags {
+  bool serve = false;
+  bool connect = false;
+  std::uint16_t serve_port = 0;
+  dist::HostPort target;
+  unsigned workers = 1;
+  std::uint64_t lease_grain = 4096;
+  std::chrono::milliseconds lease_ttl{60'000};
+};
+
+DistFlags parse_dist_flags(const Options& opts) {
+  DistFlags f;
+  f.serve = opts.has("serve");
+  f.connect = opts.has("connect");
+  HYCO_CHECK_MSG(!(f.serve && f.connect),
+                 "--serve and --connect are mutually exclusive (a process"
+                 " either coordinates a grid or works for one)");
+  if (f.serve) {
+    f.serve_port = dist::validate_port(opts.get_int("serve"), "--serve");
+  }
+  if (f.connect) {
+    f.target = dist::parse_host_port(opts.get_string("connect"));
+  }
+  if (opts.has("workers")) {
+    HYCO_CHECK_MSG(f.connect, "--workers only applies to --connect mode");
+    const auto w = opts.get_int("workers");
+    HYCO_CHECK_MSG(w >= 1 && w <= 4096,
+                   "--workers must be in [1, 4096], got " << w);
+    f.workers = static_cast<unsigned>(w);
+  }
+  if (opts.has("lease")) {
+    HYCO_CHECK_MSG(f.serve, "--lease only applies to --serve mode");
+    const auto grain = opts.get_int("lease");
+    HYCO_CHECK_MSG(grain >= 1, "--lease must be >= 1, got " << grain);
+    f.lease_grain = static_cast<std::uint64_t>(grain);
+  }
+  if (opts.has("lease-ttl")) {
+    HYCO_CHECK_MSG(f.serve, "--lease-ttl only applies to --serve mode");
+    const auto ttl = opts.get_int("lease-ttl");
+    HYCO_CHECK_MSG(ttl >= 1 && ttl <= 86'400,
+                   "--lease-ttl must be in [1, 86400] seconds, got " << ttl);
+    f.lease_ttl = std::chrono::seconds(ttl);
+  }
+  if (f.connect) {
+    for (const char* banned :
+         {"json", "csv", "csv-shard", "checkpoint", "resume", "replay"}) {
+      HYCO_CHECK_MSG(!opts.has(banned),
+                     "--" << banned << " cannot combine with --connect"
+                          << " (artifacts are emitted by the --serve"
+                             " coordinator)");
+    }
+    for (const char* banned :
+         {"threads", "chunk", "stream", "max-records", "progress"}) {
+      HYCO_CHECK_MSG(!opts.has(banned),
+                     "--" << banned << " cannot combine with --connect"
+                          << " (worker parallelism is --workers=N; the"
+                             " coordinator owns execution and reporting)");
+    }
+  }
+  if (f.serve) {
+    // These shape the *local* executor, which never runs in coordinator
+    // mode — reject them so a silently dead knob can't mislead anyone.
+    for (const char* banned : {"threads", "chunk", "stream", "max-records"}) {
+      HYCO_CHECK_MSG(!opts.has(banned),
+                     "--" << banned << " cannot combine with --serve"
+                          << " (workers execute the runs; use --lease to"
+                             " shape work units)");
+    }
+  }
+  return f;
 }
 
 }  // namespace
@@ -267,6 +379,9 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Distributed-mode flags get the same main-thread validation.
+    const DistFlags dist_flags = parse_dist_flags(opts);
+
     ParallelExecutor::Options exec_opts;
     exec_opts.threads = opts.get_int("threads", 0);
     const auto chunk_flag = opts.get_int("chunk", 1024);
@@ -279,37 +394,125 @@ int main(int argc, char** argv) {
     const std::uint64_t fingerprint = grid_fingerprint(
         cells, exec_opts.reservoir_capacity, exec_opts.failure_capacity);
 
-    // Checkpoint/resume: completed cells are reloaded bit-exactly and their
-    // runs skipped; resume granularity is a whole cell.
+    // Worker mode: lease chunks from the coordinator and ship accumulators
+    // back; the grid definition stays local (fingerprint-checked).
+    if (dist_flags.connect) {
+      dist::WorkerOptions wopts;
+      wopts.target = dist_flags.target;
+      wopts.sessions = dist_flags.workers;
+      wopts.reservoir_capacity = exec_opts.reservoir_capacity;
+      wopts.failure_capacity = exec_opts.failure_capacity;
+      std::cerr << "sweep: worker connecting to " << wopts.target.host << ':'
+                << wopts.target.port << " with " << wopts.sessions
+                << " session(s)\n";
+      const dist::WorkerReport report =
+          dist::run_worker(cells, fingerprint, wopts);
+      std::cerr << "sweep: worker executed " << report.runs_executed
+                << " run(s) in " << report.chunks_executed << " chunk(s)\n";
+      if (!report.completed) {
+        std::cerr << "sweep: worker did not finish cleanly: " << report.error
+                  << '\n';
+        return 1;
+      }
+      return 0;
+    }
+
+    // Checkpoint/resume, chunk-granular: completed cells reload bit-exactly
+    // and skip entirely; a partially-completed cell reloads its folded
+    // chunk ranges and re-runs only the complement.
     const std::string ckpt_path = opts.get_string("checkpoint");
-    std::map<std::uint64_t, CellAccumulator> resumed;
+    CheckpointData loaded;
     if (opts.get_bool("resume")) {
       HYCO_CHECK_MSG(!ckpt_path.empty(),
                      "--resume needs --checkpoint=PATH to read from");
       std::ifstream in(ckpt_path);
       if (in.good()) {
-        resumed = load_checkpoint(in, fingerprint);
-        // A corrupted block could carry an out-of-grid index; drop it and
-        // re-run that work instead of indexing out of bounds below.
-        for (auto it = resumed.begin(); it != resumed.end();) {
-          it = it->first >= cells.size() ? resumed.erase(it) : std::next(it);
+        loaded = load_checkpoint_data(in, fingerprint);
+        // A corrupted block could carry an out-of-grid index or range;
+        // drop it and re-run that work instead of indexing out of bounds.
+        for (auto it = loaded.cells.begin(); it != loaded.cells.end();) {
+          it = it->first >= cells.size() ? loaded.cells.erase(it)
+                                         : std::next(it);
         }
-        std::cerr << "sweep: resumed " << resumed.size() << " of "
-                  << cells.size() << " cells from " << ckpt_path << "\n";
+        for (auto it = loaded.chunks.begin(); it != loaded.chunks.end();) {
+          if (it->first >= cells.size()) {
+            it = loaded.chunks.erase(it);
+            continue;
+          }
+          auto& list = it->second;
+          const std::uint64_t cell_runs = cells[it->first].runs;
+          list.erase(std::remove_if(list.begin(), list.end(),
+                                    [&](const ChunkCheckpoint& c) {
+                                      return c.end > cell_runs;
+                                    }),
+                     list.end());
+          it = list.empty() ? loaded.chunks.erase(it) : std::next(it);
+        }
+        std::size_t partial_chunks = 0;
+        for (const auto& [index, list] : loaded.chunks) {
+          (void)index;
+          partial_chunks += list.size();
+        }
+        std::cerr << "sweep: resumed " << loaded.cells.size() << " of "
+                  << cells.size() << " cells";
+        if (partial_chunks > 0) {
+          std::cerr << " + " << partial_chunks << " mid-cell chunk(s) across "
+                    << loaded.chunks.size() << " cell(s)";
+        }
+        std::cerr << " from " << ckpt_path << "\n";
       } else {
         std::cerr << "sweep: no checkpoint at " << ckpt_path
                   << ", starting fresh\n";
       }
     }
+
+    std::map<std::uint64_t, CellAccumulator>& resumed = loaded.cells;
+
+    // Merge each partial cell's chunk accumulators into one prior per cell
+    // (merge-order-invariant, so any fold order lands on the same bytes)
+    // and derive the complement spans still to execute. A cell whose
+    // chunks cover everything (killed between the last chunk and its cell
+    // block) completes right here.
+    std::map<std::uint64_t, CellAccumulator> prior;  // cell.index → acc
+    std::vector<std::uint64_t> chunk_covered_cells;
     std::vector<ExperimentCell> todo;
+    std::vector<RunSpan> todo_spans;
     todo.reserve(cells.size() - resumed.size());
     for (const auto& c : cells) {
-      if (resumed.find(c.index) == resumed.end()) todo.push_back(c);
+      if (resumed.find(c.index) != resumed.end()) continue;
+      const auto chunk_it = loaded.chunks.find(c.index);
+      if (chunk_it == loaded.chunks.end()) {
+        todo_spans.push_back({todo.size(), 0, c.runs});
+        todo.push_back(c);
+        continue;
+      }
+      CellAccumulator acc(exec_opts.reservoir_capacity,
+                          exec_opts.failure_capacity);
+      std::vector<RunSpan> gaps;
+      std::uint64_t cursor = 0;
+      for (const ChunkCheckpoint& chunk : chunk_it->second) {
+        if (chunk.begin > cursor) gaps.push_back({0, cursor, chunk.begin});
+        acc.merge(chunk.acc);
+        cursor = chunk.end;
+      }
+      if (cursor < c.runs) gaps.push_back({0, cursor, c.runs});
+      if (gaps.empty()) {
+        acc.finalize();
+        resumed.emplace(c.index, std::move(acc));
+        chunk_covered_cells.push_back(c.index);
+        continue;
+      }
+      for (RunSpan g : gaps) {
+        g.cell_pos = todo.size();
+        todo_spans.push_back(g);
+      }
+      prior.emplace(c.index, std::move(acc));
+      todo.push_back(c);
     }
 
     std::ofstream ckpt_out;
     if (!ckpt_path.empty()) {
-      if (resumed.empty()) {
+      if (resumed.empty() && prior.empty()) {
         // Never silently destroy an earlier session's progress: a file
         // that already carries a checkpoint header needs an explicit
         // --resume (or manual removal) before we truncate it.
@@ -336,84 +539,183 @@ int main(int argc, char** argv) {
         // line; the loader skips it once terminated.
         ckpt_out << '\n';
       }
+      // Compact cells whose chunk blocks covered the whole range into cell
+      // blocks so the next resume loads them directly.
+      for (const std::uint64_t index : chunk_covered_cells) {
+        append_checkpoint_cell(ckpt_out, index, resumed.at(index));
+      }
     }
 
-    const bool stream = opts.get_bool("stream");
-    CollectingSink::Options sink_opts;
-    sink_opts.retain_records = !stream;
-    if (opts.has("max-records")) {
-      const auto cap = opts.get_int("max-records");
-      HYCO_CHECK_MSG(cap >= 0, "--max-records must be >= 0, got " << cap);
-      sink_opts.max_records_per_cell = static_cast<std::uint64_t>(cap);
-    }
-    std::atomic<std::uint64_t> cells_done{resumed.size()};
-    sink_opts.on_complete = [&](const ExperimentCell& cell,
-                                const CellAccumulator& acc) {
-      cells_done.fetch_add(1, std::memory_order_relaxed);
-      if (ckpt_out.is_open()) {
-        append_checkpoint_cell(ckpt_out, cell.index, acc);
-      }
+    // The cell-complete checkpoint block must hold the *full* accumulator;
+    // for a cell resumed mid-flight that is prior + the freshly executed
+    // complement.
+    const auto full_accumulator = [&](std::uint64_t index,
+                                      const CellAccumulator& fresh) {
+      const auto it = prior.find(index);
+      if (it == prior.end()) return fresh;
+      CellAccumulator full = it->second;
+      full.merge(fresh);
+      full.finalize();
+      return full;
     };
 
-    // --progress: throttled stderr heartbeat. Runs already restored from a
-    // checkpoint count as done for the ETA.
     const std::uint64_t resumed_runs = total - [&] {
       std::uint64_t left = 0;
-      for (const auto& c : todo) left += c.runs;
+      for (const auto& s : todo_spans) left += s.length();
       return left;
     }();
+
+    const bool stream = opts.get_bool("stream");
     const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> cells_done{resumed.size()};
     std::atomic<std::int64_t> last_print_ms{-1000};
-    if (opts.get_bool("progress")) {
-      exec_opts.progress = [&](std::uint64_t done, std::uint64_t) {
-        const auto elapsed_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-        auto last = last_print_ms.load(std::memory_order_relaxed);
-        if (elapsed_ms - last < 1000 ||
-            !last_print_ms.compare_exchange_strong(last, elapsed_ms)) {
-          return;
+    const bool want_progress = opts.get_bool("progress");
+    // Throttled stderr heartbeat shared by the local executor and the
+    // coordinator loop. Runs restored from a checkpoint count as done.
+    const auto print_progress = [&](std::uint64_t done_runs,
+                                    std::uint64_t total_runs,
+                                    std::size_t workers) {
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      auto last = last_print_ms.load(std::memory_order_relaxed);
+      if (elapsed_ms - last < 1000 ||
+          !last_print_ms.compare_exchange_strong(last, elapsed_ms)) {
+        return;
+      }
+      const double secs = static_cast<double>(elapsed_ms) / 1000.0 + 1e-9;
+      const double rate =
+          static_cast<double>(done_runs - resumed_runs) / secs;
+      const double eta =
+          rate > 0.0 ? static_cast<double>(total_runs - done_runs) / rate
+                     : 0.0;
+      std::fprintf(stderr,
+                   "sweep: %llu/%llu runs | %llu/%zu cells | %.0f runs/s"
+                   " | eta %.1fs",
+                   static_cast<unsigned long long>(done_runs),
+                   static_cast<unsigned long long>(total_runs),
+                   static_cast<unsigned long long>(
+                       cells_done.load(std::memory_order_relaxed)),
+                   cells.size(), rate, eta);
+      if (workers > 0) {
+        std::fprintf(stderr, " | %zu worker(s)", workers);
+      }
+      std::fprintf(stderr, "\n");
+    };
+
+    std::vector<CellResult> results;
+    results.reserve(cells.size());
+
+    if (dist_flags.serve) {
+      // Coordinator mode: the ledger leases the todo spans to TCP workers
+      // and merges what they fold back. prior accumulators slide under the
+      // same cells they would in a local resume.
+      std::map<std::size_t, CellAccumulator> prior_by_pos;
+      for (std::size_t pos = 0; pos < todo.size(); ++pos) {
+        auto it = prior.find(todo[pos].index);
+        if (it != prior.end()) prior_by_pos.emplace(pos, it->second);
+      }
+      dist::CoordinatorOptions copts;
+      copts.port = dist_flags.serve_port;
+      copts.lease_grain = dist_flags.lease_grain;
+      copts.lease_ttl = dist_flags.lease_ttl;
+      copts.reservoir_capacity = exec_opts.reservoir_capacity;
+      copts.failure_capacity = exec_opts.failure_capacity;
+      if (ckpt_out.is_open()) {
+        copts.on_chunk = [&](const ExperimentCell& cell, std::uint64_t begin,
+                             std::uint64_t end, const CellAccumulator& acc) {
+          append_checkpoint_chunk(ckpt_out, cell.index, begin, end, acc);
+        };
+      }
+      copts.on_cell_complete = [&](const ExperimentCell& cell,
+                                   const CellAccumulator& acc) {
+        cells_done.fetch_add(1, std::memory_order_relaxed);
+        if (ckpt_out.is_open()) {
+          // The coordinator's slot already merged prior chunks: acc is the
+          // full cell.
+          append_checkpoint_cell(ckpt_out, cell.index, acc);
         }
-        const double secs =
-            static_cast<double>(elapsed_ms) / 1000.0 + 1e-9;
-        const double rate = static_cast<double>(done) / secs;
-        const std::uint64_t all_done = resumed_runs + done;
-        const double eta =
-            rate > 0.0 ? static_cast<double>(total - all_done) / rate : 0.0;
-        std::fprintf(stderr,
-                     "sweep: %llu/%llu runs | %llu/%zu cells | %.0f runs/s"
-                     " | eta %.1fs\n",
-                     static_cast<unsigned long long>(all_done),
-                     static_cast<unsigned long long>(total),
-                     static_cast<unsigned long long>(
-                         cells_done.load(std::memory_order_relaxed)),
-                     cells.size(), rate, eta);
       };
+      if (want_progress) {
+        // The coordinator's `folded` already includes the prior chunk runs
+        // it was constructed with; add only the cell-block-resumed part of
+        // resumed_runs to get the grid-wide figure.
+        std::uint64_t prior_runs = 0;
+        for (const auto& [index, acc] : prior) {
+          (void)index;
+          prior_runs += acc.runs;
+        }
+        copts.progress = [&, prior_runs](std::uint64_t folded, std::uint64_t,
+                                         std::size_t workers) {
+          print_progress(resumed_runs - prior_runs + folded, total, workers);
+        };
+      }
+      dist::Coordinator coordinator(todo, todo_spans, std::move(prior_by_pos),
+                                    fingerprint, std::move(copts));
+      coordinator.bind();
+      std::cerr << "sweep: coordinating " << cells.size() << " cells x "
+                << spec.runs_per_cell << " seeds = " << total
+                << " runs on port " << coordinator.port() << " (lease grain "
+                << dist_flags.lease_grain << ")\n";
+      for (auto& r : coordinator.serve()) results.push_back(std::move(r));
+    } else {
+      CollectingSink::Options sink_opts;
+      sink_opts.retain_records = !stream;
+      if (opts.has("max-records")) {
+        const auto cap = opts.get_int("max-records");
+        HYCO_CHECK_MSG(cap >= 0, "--max-records must be >= 0, got " << cap);
+        sink_opts.max_records_per_cell = static_cast<std::uint64_t>(cap);
+      }
+      if (ckpt_out.is_open()) {
+        sink_opts.on_chunk = [&](const ExperimentCell& cell,
+                                 std::uint64_t begin, std::uint64_t end,
+                                 const CellAccumulator& acc) {
+          append_checkpoint_chunk(ckpt_out, cell.index, begin, end, acc);
+        };
+      }
+      sink_opts.on_complete = [&](const ExperimentCell& cell,
+                                  const CellAccumulator& acc) {
+        cells_done.fetch_add(1, std::memory_order_relaxed);
+        if (ckpt_out.is_open()) {
+          append_checkpoint_cell(ckpt_out, cell.index,
+                                 full_accumulator(cell.index, acc));
+        }
+      };
+      if (want_progress) {
+        exec_opts.progress = [&](std::uint64_t done, std::uint64_t) {
+          print_progress(resumed_runs + done, total, 0);
+        };
+      }
+
+      const ParallelExecutor exec(exec_opts);
+      // The executor spawns worker_count(residual runs) workers (it
+      // shrinks the chunk grain so the pool is never starved), so this
+      // banner is exact even mid-resume.
+      const unsigned workers = exec.worker_count(total - resumed_runs);
+      std::cerr << "sweep: " << cells.size() << " cells x "
+                << spec.runs_per_cell << " seeds = " << total << " runs on "
+                << workers << " threads"
+                << (stream ? " [streaming]" : "") << "\n";
+
+      CollectingSink sink(todo, std::move(sink_opts));
+      exec.run(todo, todo_spans, sink);
+      for (auto& r : sink.take_results()) {
+        // A mid-cell resume: the sink only saw the complement; fold the
+        // checkpointed prior back in for the in-memory artifacts.
+        if (prior.find(r.cell.index) != prior.end()) {
+          r.acc = full_accumulator(r.cell.index, r.acc);
+        }
+        results.push_back(std::move(r));
+      }
     }
-
-    const ParallelExecutor exec(exec_opts);
-    // The executor spawns worker_count(residual runs) workers (it shrinks
-    // the chunk grain so the pool is never starved), so this banner is
-    // exact even mid-resume.
-    const unsigned workers = exec.worker_count(total - resumed_runs);
-    std::cerr << "sweep: " << cells.size() << " cells x "
-              << spec.runs_per_cell << " seeds = " << total << " runs on "
-              << workers << " threads"
-              << (stream ? " [streaming]" : "") << "\n";
-
-    CollectingSink sink(todo, std::move(sink_opts));
-    exec.run(todo, sink);
 
     // Assemble the full grid in cell order: resumed cells + fresh ones.
     // Everything downstream (table, CSV, JSON, replay) is agnostic to how
     // a cell's accumulator was produced.
-    std::vector<CellResult> results;
-    results.reserve(cells.size());
     for (auto& [index, acc] : resumed) {
       results.emplace_back(cells[index], std::move(acc));
     }
-    for (auto& r : sink.take_results()) results.push_back(std::move(r));
     std::sort(results.begin(), results.end(),
               [](const CellResult& a, const CellResult& b) {
                 return a.cell.index < b.cell.index;

@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "baseline/ben_or.h"
@@ -190,11 +191,19 @@ RunResult run_consensus(const RunConfig& cfg) {
     for (auto& proc : procs) proc->set_scenario_assist(true);
   }
 
-  // Every live process invokes propose(v_p) at its own start time.
+  // Every live process invokes propose(v_p) at its own start time. Clock
+  // skew (scenario) stretches a slow process's start the same way it
+  // stretches its per-message handling.
   Rng start_rng(mix64(cfg.seed, 0x57A7));
   for (ProcId p = 0; p < n; ++p) {
-    const SimTime at =
+    SimTime at =
         cfg.start_jitter > 0 ? start_rng.uniform(0, cfg.start_jitter) : 0;
+    if (scenario != nullptr) {
+      const double f = scenario->speed_factor(p);
+      if (f != 1.0) {
+        at = static_cast<SimTime>(std::llround(static_cast<double>(at) * f));
+      }
+    }
     sim.schedule_at(at, [&, p] {
       const auto idx = static_cast<std::size_t>(p);
       if (tracker.is_crashed(p) || started[idx] != 0) return;

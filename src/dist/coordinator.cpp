@@ -1,0 +1,288 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hyco::dist {
+
+struct Coordinator::Conn {
+  int fd = -1;
+  std::uint64_t owner = 0;
+  bool welcomed = false;
+  FrameBuffer buf;
+};
+
+Coordinator::Coordinator(std::vector<ExperimentCell> cells,
+                         std::vector<RunSpan> spans,
+                         std::map<std::size_t, CellAccumulator> prior,
+                         std::uint64_t fingerprint, CoordinatorOptions opts)
+    : cells_(std::move(cells)),
+      opts_(std::move(opts)),
+      fingerprint_(fingerprint),
+      ledger_(cells_.size(), opts_.lease_grain),
+      completed_(cells_.size(), 0) {
+  slots_.reserve(cells_.size());
+  for (std::size_t pos = 0; pos < cells_.size(); ++pos) {
+    index_to_pos_.emplace(cells_[pos].index, pos);
+    const auto it = prior.find(pos);
+    if (it != prior.end()) {
+      resumed_runs_ += it->second.runs;
+      slots_.push_back(std::move(it->second));
+    } else {
+      slots_.emplace_back(opts_.reservoir_capacity, opts_.failure_capacity);
+    }
+  }
+  for (const RunSpan& s : spans) {
+    ledger_.add_span(s.cell_pos, s.begin, s.end);
+  }
+}
+
+Coordinator::~Coordinator() {
+  for (const auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Coordinator::bind() {
+  HYCO_CHECK_MSG(listen_fd_ < 0, "coordinator already bound");
+  listen_fd_ = listen_on(opts_.port, &bound_port_);
+}
+
+void Coordinator::complete_cell(std::size_t cell_pos) {
+  CellAccumulator& acc = slots_[cell_pos];
+  acc.finalize();
+  completed_[cell_pos] = 1;
+  if (opts_.on_cell_complete) {
+    opts_.on_cell_complete(cells_[cell_pos], acc);
+  }
+}
+
+bool Coordinator::handle_frame(Conn& conn, const Frame& frame) {
+  if (!conn.welcomed) {
+    if (frame.type != MsgType::kHello) return false;
+    HelloMsg hello;
+    if (!decode_hello(frame.payload, hello)) return false;
+    std::ostringstream why;
+    if (hello.version != kProtocolVersion) {
+      why << "protocol version " << hello.version << " != "
+          << kProtocolVersion;
+    } else if (hello.fingerprint != fingerprint_) {
+      why << "grid fingerprint mismatch (worker " << hello.fingerprint
+          << ", coordinator " << fingerprint_
+          << ") — start the worker with the same grid flags";
+    } else if (hello.reservoir_capacity != opts_.reservoir_capacity ||
+               hello.failure_capacity != opts_.failure_capacity) {
+      why << "accumulator capacities differ";
+    }
+    const std::string reason = why.str();
+    if (!reason.empty()) {
+      (void)send_frame(conn.fd, MsgType::kReject, encode_reject(reason));
+      return false;
+    }
+    conn.welcomed = true;
+    return send_frame(conn.fd, MsgType::kWelcome, "");
+  }
+
+  switch (frame.type) {
+    case MsgType::kLeaseReq: {
+      if (ledger_.all_folded()) {
+        return send_frame(conn.fd, MsgType::kDone, "");
+      }
+      const auto lease = ledger_.acquire(
+          conn.owner, WorkLedger::Clock::now(), opts_.lease_ttl);
+      if (!lease.has_value()) {
+        // Everything is leased out; the worker retries after a tick.
+        return send_frame(
+            conn.fd, MsgType::kWait,
+            encode_wait(static_cast<std::uint32_t>(
+                opts_.poll_interval.count() * 2)));
+      }
+      LeaseMsg msg;
+      msg.cell_index = cells_[static_cast<std::size_t>(lease->cell_pos)].index;
+      msg.begin = lease->begin;
+      msg.end = lease->end;
+      return send_frame(conn.fd, MsgType::kLease, encode_lease(msg));
+    }
+    case MsgType::kResult: {
+      ResultMsg result;
+      if (!decode_result(frame.payload, result)) return false;
+      const auto it = index_to_pos_.find(result.cell_index);
+      if (it == index_to_pos_.end()) return false;
+      const std::size_t pos = it->second;
+      // An accumulator built with foreign capacities would merge into a
+      // different statistic — refuse it (the handshake pinned these).
+      if (result.acc.failure_cap != opts_.failure_capacity ||
+          result.acc.rounds.reservoir().capacity() !=
+              opts_.reservoir_capacity) {
+        return false;
+      }
+      const auto fold = ledger_.fold(pos, result.begin, result.end);
+      switch (fold.outcome) {
+        case WorkLedger::FoldOutcome::kUnknown:
+          return false;  // never leased that range — protocol violation
+        case WorkLedger::FoldOutcome::kDuplicate:
+          return true;  // raced an expired lease; first result won
+        case WorkLedger::FoldOutcome::kAccepted:
+          break;
+      }
+      if (opts_.on_chunk) {
+        opts_.on_chunk(cells_[pos], result.begin, result.end, result.acc);
+      }
+      slots_[pos].merge(result.acc);
+      if (fold.cell_completed) complete_cell(pos);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<CellResult> Coordinator::serve() {
+  HYCO_CHECK_MSG(listen_fd_ >= 0, "coordinator: call bind() before serve()");
+
+  // Cells whose whole run range came out of the checkpoint have nothing to
+  // execute; complete them up front so their cell blocks/results exist even
+  // though no worker will ever touch them.
+  for (std::size_t pos = 0; pos < cells_.size(); ++pos) {
+    if (!completed_[pos] && ledger_.cell_folded(pos)) complete_cell(pos);
+  }
+
+  const auto started = WorkLedger::Clock::now();
+  std::vector<pollfd> pfds;
+  std::vector<char> rdbuf(1 << 16);
+  while (!ledger_.all_folded()) {
+    if (opts_.max_wait.count() > 0) {
+      HYCO_CHECK_MSG(WorkLedger::Clock::now() - started < opts_.max_wait,
+                     "coordinator: grid incomplete after "
+                         << opts_.max_wait.count() << " ms ("
+                         << ledger_.folded_runs() << '/'
+                         << ledger_.total_runs() << " runs folded)");
+    }
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& c : conns_) pfds.push_back({c->fd, POLLIN, 0});
+    const int rc = ::poll(pfds.data(), pfds.size(),
+                          static_cast<int>(opts_.poll_interval.count()));
+    if (rc < 0) {
+      HYCO_CHECK_MSG(errno == EINTR,
+                     "coordinator: poll() failed: " << errno);
+      continue;
+    }
+
+    // One accept per readiness; further backlog surfaces on the next tick
+    // (the listener stays blocking, so accept() is only safe when poll
+    // reported it readable).
+    if ((pfds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        // Bounded sends: a peer that writes requests without ever reading
+        // replies would otherwise block the single-threaded loop forever
+        // once its receive window fills. After the timeout send_frame
+        // fails and the connection is dropped like any other dead worker.
+        timeval tv{};
+        tv.tv_sec = 10;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->owner = next_owner_++;
+        conns_.push_back(std::move(conn));
+      }
+    }
+
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
+      Conn& conn = *conns_[i];
+      const short re = pfds[i + 1].revents;
+      if (re == 0) continue;
+      bool ok = (re & (POLLERR | POLLNVAL)) == 0;
+      if (ok && (re & (POLLIN | POLLHUP)) != 0) {
+        const ssize_t n = ::recv(conn.fd, rdbuf.data(), rdbuf.size(), 0);
+        if (n <= 0) {
+          ok = false;
+        } else {
+          conn.buf.feed(rdbuf.data(), static_cast<std::size_t>(n));
+          while (ok) {
+            const auto frame = conn.buf.next();
+            if (!frame.has_value()) {
+              ok = !conn.buf.error();
+              break;
+            }
+            ok = handle_frame(conn, *frame);
+          }
+        }
+      }
+      if (!ok) dead.push_back(i);
+    }
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      Conn& conn = *conns_[*it];
+      ledger_.release_owner(conn.owner);
+      ::close(conn.fd);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+
+    const std::size_t expired = ledger_.expire(WorkLedger::Clock::now());
+    if (expired > 0) {
+      // Expiry cannot tell a wedged worker from a healthy-but-slow one;
+      // the re-executed work is dropped as a duplicate either way, but
+      // recurring expiries mean the lease is mis-sized — say so.
+      std::cerr << "coordinator: " << expired
+                << " lease(s) expired and re-queued (if workers are healthy,"
+                   " raise --lease-ttl or lower --lease so a chunk finishes"
+                   " within its lease)\n";
+    }
+    if (opts_.progress) {
+      opts_.progress(resumed_runs_ + ledger_.folded_runs(),
+                     resumed_runs_ + ledger_.total_runs(), conns_.size());
+    }
+  }
+
+  // Unsolicited Done so workers parked on a Wait disconnect cleanly. Then
+  // half-close and *drain* until each peer closes (bounded): closing with
+  // a worker's final Result/LeaseReq still unread would send an RST that
+  // can discard the Done out of the worker's receive buffer, turning a
+  // successful grid into a spurious worker-side failure.
+  for (const auto& c : conns_) {
+    (void)send_frame(c->fd, MsgType::kDone, "");
+    ::shutdown(c->fd, SHUT_WR);
+  }
+  const auto drain_deadline =
+      WorkLedger::Clock::now() + std::chrono::seconds(2);
+  while (!conns_.empty() && WorkLedger::Clock::now() < drain_deadline) {
+    pfds.clear();
+    for (const auto& c : conns_) pfds.push_back({c->fd, POLLIN, 0});
+    if (::poll(pfds.data(), pfds.size(), 100) <= 0) continue;
+    for (std::size_t i = pfds.size(); i-- > 0;) {
+      if (pfds[i].revents == 0) continue;
+      const ssize_t n =
+          ::recv(conns_[i]->fd, rdbuf.data(), rdbuf.size(), 0);
+      if (n <= 0) {
+        ::close(conns_[i]->fd);
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      }  // else: discard — the grid is complete, frames no longer matter
+    }
+  }
+  for (const auto& c : conns_) ::close(c->fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<CellResult> results;
+  results.reserve(cells_.size());
+  for (std::size_t pos = 0; pos < cells_.size(); ++pos) {
+    results.emplace_back(std::move(cells_[pos]), std::move(slots_[pos]));
+  }
+  return results;
+}
+
+}  // namespace hyco::dist

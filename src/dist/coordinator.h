@@ -1,0 +1,113 @@
+// Coordinator — owns one grid execution and farms its chunks to TCP
+// workers (src/dist/worker.h), folding their accumulators through the
+// chunk-granular WorkLedger.
+//
+// Determinism contract: the per-cell accumulator the coordinator emits is
+// the merge of exactly-once chunk accumulators over the cell's full run
+// range (plus any checkpoint-resumed prior chunks). Because every
+// accumulator component is merge-order-invariant (exp/sink.h), the merged
+// result — and every CSV/JSON byte rendered from it — is identical to a
+// single-machine `--stream` run at any worker count, lease grain, arrival
+// order, or worker failure pattern.
+//
+// Fault handling: a worker disconnect re-queues its leased chunks; a lease
+// older than lease_ttl is re-queued even without a disconnect (a wedged
+// worker); a result arriving for an already-folded chunk (the original
+// worker raced its re-issued lease) is dropped as a duplicate. The
+// coordinator is single-threaded (one poll loop) — no locks, and the
+// on_chunk/on_cell_complete hooks (checkpoint appends) run serialized.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dist/ledger.h"
+#include "dist/proto.h"
+#include "exp/sink.h"
+#include "exp/spec.h"
+
+namespace hyco::dist {
+
+struct CoordinatorOptions {
+  /// TCP port to listen on; 0 = kernel-assigned (query with port()).
+  std::uint16_t port = 0;
+  /// Runs per lease chunk. Smaller = finer failure granularity and better
+  /// load balance; larger = less protocol overhead. Never changes output
+  /// bytes.
+  std::uint64_t lease_grain = 4096;
+  /// A lease not folded within this window is re-queued for other workers.
+  std::chrono::milliseconds lease_ttl{60'000};
+  /// Poll-loop tick (lease expiry + progress cadence), and the retry hint
+  /// sent with Wait replies.
+  std::chrono::milliseconds poll_interval{100};
+  /// Hard deadline for serve(); 0 = wait forever. Tests set it so a
+  /// regression fails loudly instead of hanging CI.
+  std::chrono::milliseconds max_wait{0};
+  std::size_t reservoir_capacity = MetricStats::kDefaultReservoir;
+  std::size_t failure_capacity = CellAccumulator::kDefaultFailureCap;
+  /// Accepted-chunk hook (cell, begin, end, chunk accumulator) — the chunk
+  /// checkpoint append.
+  std::function<void(const ExperimentCell&, std::uint64_t, std::uint64_t,
+                     const CellAccumulator&)>
+      on_chunk;
+  /// Completed-cell hook with the final, finalized accumulator.
+  std::function<void(const ExperimentCell&, const CellAccumulator&)>
+      on_cell_complete;
+  /// Progress hook, called at most once per poll tick:
+  /// (folded runs, total runs incl. nothing-to-do cells, connected workers).
+  std::function<void(std::uint64_t, std::uint64_t, std::size_t)> progress;
+};
+
+class Coordinator {
+ public:
+  /// `cells` are the cells this execution must produce (typically the
+  /// not-yet-completed subset of a grid); `spans` the run ranges still to
+  /// execute (cells absent from spans are fully covered by `prior`);
+  /// `prior` holds per-cell-position accumulators resumed from a chunk
+  /// checkpoint, merged under the emitted results. `fingerprint` is the
+  /// full grid's identity that worker Hellos must match.
+  Coordinator(std::vector<ExperimentCell> cells, std::vector<RunSpan> spans,
+              std::map<std::size_t, CellAccumulator> prior,
+              std::uint64_t fingerprint, CoordinatorOptions opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds + listens; after this port() is valid (call before starting
+  /// workers). Throws ContractViolation when the port is unavailable.
+  void bind();
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  /// Runs the accept/lease/fold loop until every run has folded (or
+  /// max_wait expires → ContractViolation). Returns the finalized results
+  /// in cell order. Call bind() first.
+  [[nodiscard]] std::vector<CellResult> serve();
+
+ private:
+  struct Conn;
+
+  void complete_cell(std::size_t cell_pos);
+  /// Returns false when the connection must be dropped.
+  [[nodiscard]] bool handle_frame(Conn& conn, const Frame& frame);
+
+  std::vector<ExperimentCell> cells_;
+  std::map<std::uint64_t, std::size_t> index_to_pos_;  ///< cell.index → pos
+  CoordinatorOptions opts_;
+  std::uint64_t fingerprint_;
+  WorkLedger ledger_;
+  std::vector<CellAccumulator> slots_;
+  std::vector<char> completed_;
+  std::uint64_t resumed_runs_ = 0;  ///< runs carried by `prior`
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_owner_ = 1;
+};
+
+}  // namespace hyco::dist

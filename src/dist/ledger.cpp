@@ -1,0 +1,114 @@
+#include "dist/ledger.h"
+
+#include "util/assert.h"
+
+namespace hyco::dist {
+
+WorkLedger::WorkLedger(std::size_t n_cells, std::uint64_t grain)
+    : grain_(grain), cell_outstanding_(n_cells, 0) {
+  HYCO_CHECK_MSG(grain >= 1, "ledger grain must be >= 1, got " << grain);
+}
+
+void WorkLedger::add_span(std::uint64_t cell_pos, std::uint64_t begin,
+                          std::uint64_t end) {
+  HYCO_CHECK_MSG(cell_pos < cell_outstanding_.size(),
+                 "ledger span cell " << cell_pos << " out of range");
+  HYCO_CHECK_MSG(begin < end, "ledger span [" << begin << ", " << end
+                                              << ") is empty");
+  // Reject overlap with any chunk already registered for this cell: the
+  // successor chunk must start at or after `end`, the predecessor must end
+  // at or before `begin`.
+  const auto next = index_.lower_bound(std::make_pair(cell_pos, begin));
+  const bool next_clash = next != index_.end() &&
+                          next->first.first == cell_pos &&
+                          next->first.second < end;
+  bool prev_clash = false;
+  if (next != index_.begin()) {
+    const auto prev = std::prev(next);
+    prev_clash = prev->first.first == cell_pos &&
+                 chunks_[static_cast<std::size_t>(prev->second)].end > begin;
+  }
+  HYCO_CHECK_MSG(!next_clash && !prev_clash,
+                 "ledger spans overlap at cell " << cell_pos << " range ["
+                                                 << begin << ", " << end
+                                                 << ')');
+  for (std::uint64_t b = begin; b < end; b += grain_) {
+    const std::uint64_t e = std::min(b + grain_, end);
+    const std::uint64_t id = chunks_.size();
+    index_.emplace(std::make_pair(cell_pos, b), id);
+    chunks_.push_back({cell_pos, b, e, State::kPending, 0, {}});
+    queue_.push_back(id);
+    cell_outstanding_[static_cast<std::size_t>(cell_pos)] += e - b;
+    total_runs_ += e - b;
+  }
+}
+
+std::optional<WorkLedger::Lease> WorkLedger::acquire(std::uint64_t owner,
+                                                     Clock::time_point now,
+                                                     Clock::duration ttl) {
+  while (!queue_.empty()) {
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    Chunk& c = chunks_[static_cast<std::size_t>(id)];
+    if (c.state != State::kPending) continue;  // stale queue entry
+    c.state = State::kLeased;
+    c.owner = owner;
+    c.deadline = now + ttl;
+    ++leased_count_;
+    return Lease{id, c.cell_pos, c.begin, c.end};
+  }
+  return std::nullopt;
+}
+
+WorkLedger::FoldResult WorkLedger::fold(std::uint64_t cell_pos,
+                                        std::uint64_t begin,
+                                        std::uint64_t end) {
+  const auto it = index_.find(std::make_pair(cell_pos, begin));
+  if (it == index_.end()) return {FoldOutcome::kUnknown, false};
+  Chunk& c = chunks_[static_cast<std::size_t>(it->second)];
+  if (c.end != end) return {FoldOutcome::kUnknown, false};
+  if (c.state == State::kFolded) return {FoldOutcome::kDuplicate, false};
+  if (c.state == State::kLeased) --leased_count_;
+  c.state = State::kFolded;
+  const std::uint64_t len = end - begin;
+  cell_outstanding_[static_cast<std::size_t>(cell_pos)] -= len;
+  folded_runs_ += len;
+  return {FoldOutcome::kAccepted,
+          cell_outstanding_[static_cast<std::size_t>(cell_pos)] == 0};
+}
+
+std::size_t WorkLedger::release_owner(std::uint64_t owner) {
+  std::size_t released = 0;
+  for (std::uint64_t id = 0; id < chunks_.size(); ++id) {
+    Chunk& c = chunks_[static_cast<std::size_t>(id)];
+    if (c.state == State::kLeased && c.owner == owner) {
+      c.state = State::kPending;
+      --leased_count_;
+      queue_.push_back(id);
+      ++released;
+    }
+  }
+  return released;
+}
+
+std::size_t WorkLedger::expire(Clock::time_point now) {
+  std::size_t expired = 0;
+  for (std::uint64_t id = 0; id < chunks_.size(); ++id) {
+    Chunk& c = chunks_[static_cast<std::size_t>(id)];
+    if (c.state == State::kLeased && c.deadline <= now) {
+      c.state = State::kPending;
+      --leased_count_;
+      queue_.push_back(id);
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+std::size_t WorkLedger::pending_chunks() const {
+  std::size_t n = 0;
+  for (const Chunk& c : chunks_) n += c.state == State::kPending ? 1 : 0;
+  return n;
+}
+
+}  // namespace hyco::dist

@@ -1,0 +1,227 @@
+#include "dist/worker.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/runner.h"
+
+namespace hyco::dist {
+
+namespace {
+
+struct SessionResult {
+  std::uint64_t runs = 0;
+  std::uint64_t chunks = 0;
+  bool done = false;
+  /// Never reached the coordinator at all. Benign when a sibling session
+  /// saw the grid complete (a fast grid can drain and tear down before
+  /// every session connects); fatal when nobody did.
+  bool connect_failed = false;
+  std::string error;
+};
+
+/// One last look for the coordinator's final Done after a socket hiccup
+/// mid-protocol (bounded by a 2 s receive timeout): the grid finishing
+/// concurrently with our send is success, not failure, and the Done may
+/// already sit in our receive buffer.
+bool drain_for_done(int fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  Frame f;
+  while (recv_frame(fd, f)) {
+    if (f.type == MsgType::kDone) return true;
+  }
+  return false;
+}
+
+int connect_with_retry(const HostPort& target,
+                       std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int fd = connect_once(target);
+    if (fd >= 0) return fd;
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+SessionResult run_session(const std::vector<ExperimentCell>& cells,
+                          std::uint64_t fingerprint,
+                          const WorkerOptions& opts) {
+  SessionResult out;
+  const int fd = connect_with_retry(opts.target, opts.connect_timeout);
+  if (fd < 0) {
+    std::ostringstream os;
+    os << "cannot connect to " << opts.target.host << ':' << opts.target.port
+       << " within " << opts.connect_timeout.count() << " ms";
+    out.error = os.str();
+    out.connect_failed = true;
+    return out;
+  }
+
+  const auto fail = [&](const std::string& why) {
+    out.error = why;
+    ::close(fd);
+    return out;
+  };
+
+  HelloMsg hello;
+  hello.fingerprint = fingerprint;
+  hello.cells = cells.size();
+  hello.reservoir_capacity = opts.reservoir_capacity;
+  hello.failure_capacity = opts.failure_capacity;
+  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) {
+    // A connection that dies before Welcome never joined the grid — the
+    // same class as a connect failure (benign when a sibling session saw
+    // the grid complete, e.g. the coordinator tore down as we dialed in).
+    out.connect_failed = true;
+    return fail("connection lost during handshake");
+  }
+  Frame frame;
+  if (!recv_frame(fd, frame)) {
+    out.connect_failed = true;
+    return fail("connection lost during handshake");
+  }
+  if (frame.type == MsgType::kReject) {
+    return fail("coordinator rejected us: " + frame.payload);
+  }
+  if (frame.type == MsgType::kDone) {
+    // The grid drained before our Hello was processed — the coordinator
+    // broadcasts its final Done to every connection. Nothing to do.
+    out.done = true;
+    ::close(fd);
+    return out;
+  }
+  if (frame.type != MsgType::kWelcome) {
+    return fail("unexpected handshake reply");
+  }
+
+  for (;;) {
+    if (!send_frame(fd, MsgType::kLeaseReq, "")) {
+      if (drain_for_done(fd)) {
+        out.done = true;
+        ::close(fd);
+        return out;
+      }
+      return fail("connection lost requesting a lease");
+    }
+  receive:
+    if (!recv_frame(fd, frame)) {
+      return fail("connection lost awaiting a lease");
+    }
+    switch (frame.type) {
+      case MsgType::kDone:
+        out.done = true;
+        ::close(fd);
+        return out;
+      case MsgType::kWait: {
+        std::uint32_t ms = 0;
+        if (!decode_wait(frame.payload, ms)) {
+          return fail("malformed wait frame");
+        }
+        // Park on the socket instead of sleeping blind: the coordinator's
+        // final unsolicited Done must interrupt the wait.
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, static_cast<int>(ms));
+        if (rc > 0) goto receive;  // Done (or any reply) arrived
+        continue;                  // timeout — ask again
+      }
+      case MsgType::kLease: {
+        LeaseMsg lease;
+        if (!decode_lease(frame.payload, lease)) {
+          return fail("malformed lease frame");
+        }
+        if (lease.cell_index >= cells.size()) {
+          return fail("lease names a cell outside the grid");
+        }
+        const ExperimentCell& cell =
+            cells[static_cast<std::size_t>(lease.cell_index)];
+        if (lease.end > cell.runs) {
+          return fail("lease range exceeds the cell's run count");
+        }
+        ResultMsg result;
+        result.cell_index = lease.cell_index;
+        result.begin = lease.begin;
+        result.end = lease.end;
+        result.acc = CellAccumulator(opts.reservoir_capacity,
+                                     opts.failure_capacity);
+        for (std::uint64_t k = lease.begin; k < lease.end; ++k) {
+          const RunConfig cfg = cell.run_config(k);
+          result.acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+        }
+        if (!send_frame(fd, MsgType::kResult, encode_result(result))) {
+          // The grid may have completed without this chunk (an expired
+          // lease re-executed elsewhere): a Done sitting in our receive
+          // buffer means flawless participation, not failure.
+          if (drain_for_done(fd)) {
+            out.runs += lease.end - lease.begin;
+            out.chunks += 1;
+            out.done = true;
+            ::close(fd);
+            return out;
+          }
+          return fail("connection lost shipping a result");
+        }
+        out.runs += lease.end - lease.begin;
+        out.chunks += 1;
+        continue;
+      }
+      default:
+        return fail("unexpected frame from coordinator");
+    }
+  }
+}
+
+}  // namespace
+
+WorkerReport run_worker(const std::vector<ExperimentCell>& cells,
+                        std::uint64_t fingerprint,
+                        const WorkerOptions& opts) {
+  const unsigned sessions = opts.sessions == 0 ? 1 : opts.sessions;
+  std::vector<SessionResult> results(sessions);
+  if (sessions == 1) {
+    results[0] = run_session(cells, fingerprint, opts);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (unsigned s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        results[s] = run_session(cells, fingerprint, opts);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  WorkerReport report;
+  bool any_done = false;
+  bool hard_error = false;
+  for (const SessionResult& r : results) {
+    report.runs_executed += r.runs;
+    report.chunks_executed += r.chunks;
+    any_done = any_done || r.done;
+    hard_error = hard_error || (!r.done && !r.connect_failed);
+  }
+  // A session that merely failed to connect is benign when a sibling saw
+  // the grid complete — on a fast grid the coordinator can finish and
+  // tear down before every session joins. With no sibling success it is
+  // indistinguishable from a wrong address and stays fatal.
+  report.completed = any_done && !hard_error;
+  if (!report.completed) {
+    for (const SessionResult& r : results) {
+      if (!r.error.empty()) {
+        report.error = r.error;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace hyco::dist

@@ -1,0 +1,58 @@
+// Worker side of the distributed sweep engine: connects to a coordinator,
+// leases chunk-sized run ranges, executes them through the exact same
+// run_consensus()/CellAccumulator pipeline a local sweep uses, and ships
+// the accumulator state back over the wire.
+//
+// A worker is launched with the *same grid flags* as the coordinator (the
+// grid itself never crosses the wire); the Hello handshake compares grid
+// fingerprints so a mismatched worker is rejected before any run executes.
+// `sessions` independent connections give a worker process N-way
+// parallelism — each session is its own socket + thread with a strictly
+// request/response protocol, which keeps the coordinator trivially
+// single-threaded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/proto.h"
+#include "exp/sink.h"
+#include "exp/spec.h"
+
+namespace hyco::dist {
+
+struct WorkerOptions {
+  HostPort target;
+  /// Parallel protocol sessions (threads). Each leases and executes
+  /// independently.
+  unsigned sessions = 1;
+  /// How long to keep retrying the initial connect (the coordinator may
+  /// still be starting).
+  std::chrono::milliseconds connect_timeout{10'000};
+  std::size_t reservoir_capacity = MetricStats::kDefaultReservoir;
+  std::size_t failure_capacity = CellAccumulator::kDefaultFailureCap;
+};
+
+struct WorkerReport {
+  std::uint64_t runs_executed = 0;
+  std::uint64_t chunks_executed = 0;
+  /// True when the grid completed from this worker's point of view: at
+  /// least one session received the coordinator's Done, and no session hit
+  /// a protocol or mid-work failure. A session that never managed to
+  /// *connect* is tolerated when a sibling saw Done — a fast grid can
+  /// drain and tear the coordinator down before every session joins.
+  bool completed = false;
+  /// First failure (empty when completed).
+  std::string error;
+};
+
+/// Runs worker sessions against a coordinator until the grid is done (or a
+/// session fails). `cells` must be the full grid expansion; `fingerprint`
+/// its grid_fingerprint() with the same capacities the coordinator uses.
+WorkerReport run_worker(const std::vector<ExperimentCell>& cells,
+                        std::uint64_t fingerprint,
+                        const WorkerOptions& opts);
+
+}  // namespace hyco::dist

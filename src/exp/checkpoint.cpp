@@ -1,9 +1,10 @@
 #include "exp/checkpoint.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
-#include <string>
+#include <utility>
 
 #include "exp/report.h"
 #include "util/assert.h"
@@ -103,6 +104,13 @@ bool parse_metric_lines(std::istringstream& mline, std::istringstream& rline,
   return true;
 }
 
+/// True when `l` opens a new block (the resync anchors of the loader).
+bool is_block_header(const std::string& l) {
+  std::istringstream probe(l);
+  std::string k;
+  return (probe >> k) && (k == "cell" || k == "chunk");
+}
+
 }  // namespace
 
 std::uint64_t grid_fingerprint(const std::vector<ExperimentCell>& cells,
@@ -129,10 +137,7 @@ void write_checkpoint_header(std::ostream& out, std::uint64_t fingerprint) {
   out.flush();
 }
 
-void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
-                            const CellAccumulator& acc) {
-  out << "cell " << cell_index << ' ' << acc.runs << ' ' << acc.terminated
-      << ' ' << acc.violations << '\n';
+void write_accumulator_state(std::ostream& out, const CellAccumulator& acc) {
   write_metric(out, "rounds", acc.rounds);
   write_metric(out, "msgs", acc.msgs);
   write_metric(out, "shm", acc.shm_proposals);
@@ -154,12 +159,134 @@ void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
         << ',' << r.crashed;
   }
   out << '\n';
+}
+
+void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
+                            const CellAccumulator& acc) {
+  out << "cell " << cell_index << ' ' << acc.runs << ' ' << acc.terminated
+      << ' ' << acc.violations << '\n';
+  write_accumulator_state(out, acc);
   out << "done " << cell_index << '\n';
   out.flush();
 }
 
-std::map<std::uint64_t, CellAccumulator> load_checkpoint(
-    std::istream& in, std::uint64_t expected_fingerprint) {
+void append_checkpoint_chunk(std::ostream& out, std::uint64_t cell_index,
+                             std::uint64_t begin, std::uint64_t end,
+                             const CellAccumulator& acc) {
+  out << "chunk " << cell_index << ' ' << begin << ' ' << end << ' '
+      << acc.runs << ' ' << acc.terminated << ' ' << acc.violations << '\n';
+  write_accumulator_state(out, acc);
+  out << "done " << cell_index << ' ' << begin << ' ' << end << '\n';
+  out.flush();
+}
+
+bool read_accumulator_state(std::istream& in, CellAccumulator& out,
+                            std::string* stop_line) {
+  std::string line;
+  if (stop_line != nullptr) stop_line->clear();
+  // Reads the next line and checks its keyword (and tag when asked); stores
+  // the line in `line` so a mismatch can be handed back for resync.
+  const auto next_line = [&](const char* want, std::istringstream& out_ls,
+                             std::string* tag = nullptr) {
+    if (!std::getline(in, line)) {
+      line.clear();
+      return false;
+    }
+    out_ls.clear();
+    out_ls.str(line);
+    std::string k;
+    if (!(out_ls >> k) || k != want) return false;
+    if (tag != nullptr && !(out_ls >> *tag)) return false;
+    return true;
+  };
+  const auto bail = [&] {
+    if (stop_line != nullptr) *stop_line = line;
+    return false;
+  };
+
+  // The reservoir capacity is read off the first metric's r-line and the
+  // failure cap off the f-line, so metrics parse into temporaries and the
+  // accumulator is assembled at the end.
+  std::size_t rcap = 0;
+  const char* names[5] = {"rounds", "msgs", "shm", "objects", "dtime"};
+  MetricStats parsed[5] = {MetricStats(1), MetricStats(1), MetricStats(1),
+                           MetricStats(1), MetricStats(1)};
+  for (int i = 0; i < 5; ++i) {
+    std::istringstream mls, rls;
+    std::string mtag, rtag;
+    if (!(next_line("m", mls, &mtag) && mtag == names[i] &&
+          next_line("r", rls, &rtag) && rtag == names[i])) {
+      return bail();
+    }
+    if (i == 0) {
+      // Reservoir capacity is the token after the tag.
+      std::istringstream probe(rls.str());
+      std::string k, t;
+      probe >> k >> t >> rcap;
+      if (rcap < 1 || rcap > kMaxReservoirCapacity) return bail();
+    }
+    if (!parse_metric_lines(mls, rls, parsed[i], rcap)) return bail();
+  }
+
+  std::istringstream hls;
+  if (!next_line("h", hls)) return bail();
+  double lo = 0.0, hi = 0.0;
+  std::size_t buckets = 0;
+  if (!(hls >> lo >> hi >> buckets) || buckets == 0 ||
+      buckets > kMaxHistogramBuckets || !std::isfinite(lo) ||
+      !std::isfinite(hi) || !(hi > lo)) {
+    return bail();
+  }
+  std::vector<std::uint64_t> counts(buckets, 0);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (!(hls >> counts[i])) return bail();
+  }
+
+  std::istringstream fls;
+  if (!next_line("f", fls)) return bail();
+  std::size_t fcap = 0, fcount = 0;
+  if (!(fls >> fcap >> fcount) || fcount > fcap ||
+      fcap > kMaxFailureCapacity) {
+    return bail();
+  }
+  std::vector<RunRecord> fails;
+  for (std::size_t i = 0; i < fcount; ++i) {
+    std::string tok;
+    if (!(fls >> tok)) return bail();
+    RunRecord r;
+    int t = 0, s = 0, su = 0;
+    std::istringstream ts(tok);
+    const auto eat = [&](auto& field) {
+      if (!(ts >> field)) return false;
+      if (ts.peek() == ',') ts.get();
+      return true;
+    };
+    if (!(eat(r.run) && eat(r.seed) && eat(t) && eat(s) && eat(su) &&
+          eat(r.rounds) && eat(r.decision_time) && eat(r.msgs) &&
+          eat(r.shm_proposals) && eat(r.consensus_objects) &&
+          eat(r.events) && eat(r.crashed))) {
+      return bail();
+    }
+    r.terminated = t != 0;
+    r.safe_ok = s != 0;
+    r.success = su != 0;
+    fails.push_back(r);
+  }
+
+  CellAccumulator built(rcap, fcap);
+  built.rounds = parsed[0];
+  built.msgs = parsed[1];
+  built.shm_proposals = parsed[2];
+  built.objects = parsed[3];
+  built.decision_time = parsed[4];
+  built.round_hist = Histogram::from_counts(lo, hi, std::move(counts));
+  built.failures = std::move(fails);
+  out = std::move(built);
+  return true;
+}
+
+CheckpointData load_checkpoint_data(std::istream& in,
+                                    std::uint64_t expected_fingerprint) {
   std::string line;
   // Header: skip blank/garbage prefix lines (append-mode guard newlines).
   bool have_header = false;
@@ -181,158 +308,95 @@ std::map<std::uint64_t, CellAccumulator> load_checkpoint(
   }
   HYCO_CHECK_MSG(have_header, "checkpoint stream is empty");
 
-  std::map<std::uint64_t, CellAccumulator> cells;
-  // Blocks. A block is accepted only when fully parsed through its
-  // "done <index>" trailer; anything malformed drops the current block and
-  // resyncs on the next "cell" line. A bail-out may have just read the
-  // *next* block's "cell" header (e.g. a partial block cut before its
-  // trailer, appended to by a later session) — `carry` re-processes that
-  // line instead of discarding the complete block that follows it.
-  const auto is_cell_header = [](const std::string& l) {
-    std::istringstream probe(l);
-    std::string k;
-    return (probe >> k) && k == "cell";
-  };
+  CheckpointData data;
+  // Blocks. A block is accepted only when fully parsed through its "done"
+  // trailer; anything malformed drops the current block and resyncs on the
+  // next "cell"/"chunk" line. A bail-out may have just read the *next*
+  // block's header (e.g. a partial block cut before its trailer, appended
+  // to by a later session) — `carry` re-processes that line instead of
+  // discarding the complete block that follows it.
   bool carry = false;
   for (;;) {
     if (!carry && !std::getline(in, line)) break;
     carry = false;
     std::istringstream ls(line);
     std::string kw;
-    if (!(ls >> kw) || kw != "cell") continue;
-    std::uint64_t index = 0, runs = 0, term = 0, viol = 0;
-    if (!(ls >> index >> runs >> term >> viol)) continue;
+    if (!(ls >> kw) || (kw != "cell" && kw != "chunk")) continue;
+    const bool is_chunk = kw == "chunk";
 
-    // The five metric (m+r line pairs), then h, f, done — read eagerly;
-    // bail to resync on any mismatch.
-    const auto next_line = [&](const char* want, std::istringstream& out_ls,
-                               std::string* tag = nullptr) {
-      if (!std::getline(in, line)) return false;
-      out_ls.clear();
-      out_ls.str(line);
-      std::string k;
-      if (!(out_ls >> k) || k != want) return false;
-      if (tag != nullptr && !(out_ls >> *tag)) return false;
-      return true;
-    };
-
-    // The reservoir capacity is read off the first metric's r-line and the
-    // failure cap off the f-line, so metrics parse into temporaries and the
-    // accumulator is assembled at the end.
-    std::size_t rcap = 0;
-    bool ok = true;
-    const char* names[5] = {"rounds", "msgs", "shm", "objects", "dtime"};
-    MetricStats parsed[5] = {MetricStats(1), MetricStats(1), MetricStats(1),
-                             MetricStats(1), MetricStats(1)};
-    for (int i = 0; i < 5 && ok; ++i) {
-      std::istringstream mls, rls;
-      std::string mtag, rtag;
-      ok = next_line("m", mls, &mtag) && mtag == names[i] &&
-           next_line("r", rls, &rtag) && rtag == names[i];
-      if (!ok) break;
-      if (i == 0) {
-        // Reservoir capacity is the token after the tag.
-        std::istringstream probe(rls.str());
-        std::string k, t;
-        probe >> k >> t >> rcap;
-        ok = rcap >= 1 && rcap <= kMaxReservoirCapacity;
-        if (!ok) break;
-      }
-      ok = parse_metric_lines(mls, rls, parsed[i], rcap);
+    std::uint64_t index = 0, begin = 0, end = 0;
+    std::uint64_t runs = 0, term = 0, viol = 0;
+    if (is_chunk) {
+      if (!(ls >> index >> begin >> end >> runs >> term >> viol)) continue;
+      if (begin >= end) continue;
+    } else {
+      if (!(ls >> index >> runs >> term >> viol)) continue;
     }
-    if (!ok) {
-      carry = is_cell_header(line);
+
+    CellAccumulator acc(1, 1);
+    std::string stop;
+    if (!read_accumulator_state(in, acc, &stop)) {
+      carry = is_block_header(stop);
+      line = stop;
       continue;
     }
 
-    std::istringstream hls;
-    if (!next_line("h", hls)) {
-      carry = is_cell_header(line);
-      continue;
-    }
-    double lo = 0.0, hi = 0.0;
-    std::size_t buckets = 0;
-    if (!(hls >> lo >> hi >> buckets) || buckets == 0 ||
-        buckets > kMaxHistogramBuckets || !std::isfinite(lo) ||
-        !std::isfinite(hi) || !(hi > lo)) {
-      continue;
-    }
-    std::vector<std::uint64_t> counts(buckets, 0);
-    bool hist_ok = true;
-    for (std::size_t i = 0; i < buckets; ++i) {
-      if (!(hls >> counts[i])) {
-        hist_ok = false;
-        break;
-      }
-    }
-    if (!hist_ok) continue;
-
-    std::istringstream fls;
-    if (!next_line("f", fls)) {
-      carry = is_cell_header(line);
-      continue;
-    }
-    std::size_t fcap = 0, fcount = 0;
-    if (!(fls >> fcap >> fcount) || fcount > fcap ||
-        fcap > kMaxFailureCapacity) {
-      continue;
-    }
-    std::vector<RunRecord> fails;
-    bool fails_ok = true;
-    for (std::size_t i = 0; i < fcount; ++i) {
-      std::string tok;
-      if (!(fls >> tok)) {
-        fails_ok = false;
-        break;
-      }
-      RunRecord r;
-      int t = 0, s = 0, su = 0;
-      std::istringstream ts(tok);
-      const auto eat = [&](auto& field) {
-        if (!(ts >> field)) return false;
-        if (ts.peek() == ',') ts.get();
-        return true;
-      };
-      if (!(eat(r.run) && eat(r.seed) && eat(t) && eat(s) && eat(su) &&
-            eat(r.rounds) && eat(r.decision_time) && eat(r.msgs) &&
-            eat(r.shm_proposals) && eat(r.consensus_objects) &&
-            eat(r.events) && eat(r.crashed))) {
-        fails_ok = false;
-        break;
-      }
-      r.terminated = t != 0;
-      r.safe_ok = s != 0;
-      r.success = su != 0;
-      fails.push_back(r);
-    }
-    if (!fails_ok) continue;
-
-    std::istringstream dls;
     if (!std::getline(in, line)) break;
-    dls.str(line);
+    std::istringstream dls(line);
     std::string done_kw;
     std::uint64_t done_idx = 0;
-    if (!(dls >> done_kw >> done_idx) || done_kw != "done" ||
-        done_idx != index) {
-      carry = is_cell_header(line);
+    bool trailer_ok = (dls >> done_kw >> done_idx) && done_kw == "done" &&
+                      done_idx == index;
+    if (trailer_ok && is_chunk) {
+      std::uint64_t db = 0, de = 0;
+      trailer_ok = (dls >> db >> de) && db == begin && de == end;
+    }
+    if (!trailer_ok) {
+      carry = is_block_header(line);
       continue;
     }
 
-    CellAccumulator built(rcap, fcap);
-    built.runs = runs;
-    built.terminated = term;
-    built.violations = viol;
-    built.rounds = parsed[0];
-    built.msgs = parsed[1];
-    built.shm_proposals = parsed[2];
-    built.objects = parsed[3];
-    built.decision_time = parsed[4];
-    built.round_hist = Histogram::from_counts(lo, hi, std::move(counts));
-    built.failures = std::move(fails);
-    built.finalize();
-    cells.insert_or_assign(index, std::move(built));
+    acc.runs = runs;
+    acc.terminated = term;
+    acc.violations = viol;
+    if (is_chunk) {
+      data.chunks[index].push_back({begin, end, std::move(acc)});
+    } else {
+      acc.finalize();
+      data.cells.insert_or_assign(index, std::move(acc));
+    }
   }
-  return cells;
+
+  // Chunk blocks of completed cells are redundant: the cell block holds the
+  // merged whole.
+  for (const auto& [index, acc] : data.cells) {
+    (void)acc;
+    data.chunks.erase(index);
+  }
+  // Per cell: sort chunk ranges and drop overlaps (a re-executed chunk that
+  // raced its expired lease, or file corruption — folding both would count
+  // runs twice). First writer wins, matching the coordinator's
+  // exactly-once ledger.
+  for (auto& [index, list] : data.chunks) {
+    (void)index;
+    std::stable_sort(list.begin(), list.end(),
+                     [](const ChunkCheckpoint& a, const ChunkCheckpoint& b) {
+                       return a.begin != b.begin ? a.begin < b.begin
+                                                 : a.end < b.end;
+                     });
+    std::vector<ChunkCheckpoint> kept;
+    for (auto& c : list) {
+      if (!kept.empty() && c.begin < kept.back().end) continue;
+      kept.push_back(std::move(c));
+    }
+    list = std::move(kept);
+  }
+  return data;
+}
+
+std::map<std::uint64_t, CellAccumulator> load_checkpoint(
+    std::istream& in, std::uint64_t expected_fingerprint) {
+  return load_checkpoint_data(in, expected_fingerprint).cells;
 }
 
 }  // namespace hyco

@@ -2,22 +2,34 @@
 //
 // A checkpoint file is an append-only text log: a header binding it to one
 // specific grid (a fingerprint over every cell's label, run count, seeds,
-// and the accumulator capacities), followed by one self-delimited block per
-// *completed* cell holding the cell's full CellAccumulator state — exact
-// 128-bit moment sums, reservoir entries, histogram counts, and the failure
-// ring. Because the accumulator is exact integer state, a resumed sweep
-// reconstructs completed cells bit-for-bit and its final CSV/JSON artifacts
-// are byte-identical to an uninterrupted run.
+// and the accumulator capacities), followed by self-delimited blocks. Two
+// block kinds exist:
+//  * a *cell* block holds the full, final CellAccumulator of one completed
+//    cell;
+//  * a *chunk* block holds the accumulator of one executed run range
+//    [begin, end) of a cell still in flight — the chunk-granular trail that
+//    lets a single monster cell resume mid-cell instead of from zero.
+// Both carry exact 128-bit moment sums, reservoir entries, histogram
+// counts, and the failure ring. Because the accumulator is exact integer
+// state and merge-order-invariant, a resumed sweep reconstructs completed
+// cells bit-for-bit, re-runs only the uncovered ranges of partial cells,
+// and its final CSV/JSON artifacts are byte-identical to an uninterrupted
+// run.
 //
-// Resume granularity is a cell: a cell interrupted mid-flight is re-run
-// from scratch (its block was never appended). The loader ignores trailing
-// partial blocks — a process killed mid-append loses at most one cell.
+// The loader ignores trailing partial blocks — a process killed mid-append
+// loses at most one cell (or, with chunk blocks, one chunk). Chunk blocks
+// of a cell that also has a cell block are redundant and dropped on load.
+//
+// The same accumulator-state encoding doubles as the wire format of the
+// distributed sweep protocol (src/dist/proto.h): workers ship chunk
+// accumulators to the coordinator as exactly these lines.
 #pragma once
 
 #include <cstdint>
 #include <istream>
 #include <map>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "exp/sink.h"
@@ -32,6 +44,21 @@ namespace hyco {
     const std::vector<ExperimentCell>& cells, std::size_t reservoir_capacity,
     std::size_t failure_capacity);
 
+/// Serializes an accumulator's statistical state (metric moments +
+/// reservoirs, histogram, failure ring — everything except the run counts,
+/// which block headers carry). Shared by cell blocks, chunk blocks, and the
+/// distributed wire protocol.
+void write_accumulator_state(std::ostream& out, const CellAccumulator& acc);
+
+/// Parses the lines written by write_accumulator_state into `out`
+/// (reconstructing reservoir/failure capacities from the stream; the caller
+/// sets runs/terminated/violations from its own header). Returns true on
+/// success; on failure returns false and, when `stop_line` is non-null,
+/// stores the offending line (empty at end of stream) so block loaders can
+/// resync on a following block header. Never throws on malformed input.
+bool read_accumulator_state(std::istream& in, CellAccumulator& out,
+                            std::string* stop_line = nullptr);
+
 /// Writes the one-line header; call once on a fresh checkpoint stream.
 void write_checkpoint_header(std::ostream& out, std::uint64_t fingerprint);
 
@@ -40,10 +67,38 @@ void write_checkpoint_header(std::ostream& out, std::uint64_t fingerprint);
 void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
                             const CellAccumulator& acc);
 
-/// Parses a checkpoint stream, returning completed cells keyed by their
-/// spec-expansion index. Throws ContractViolation when the header is
-/// missing or the fingerprint does not match `expected_fingerprint`;
-/// silently drops malformed or truncated trailing blocks.
+/// Appends one executed chunk's block: the accumulator of runs
+/// [begin, end) of cell `cell_index`. Flushed like cell blocks.
+void append_checkpoint_chunk(std::ostream& out, std::uint64_t cell_index,
+                             std::uint64_t begin, std::uint64_t end,
+                             const CellAccumulator& acc);
+
+/// One folded run range of a partially-completed cell.
+struct ChunkCheckpoint {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  CellAccumulator acc;
+};
+
+/// Everything a checkpoint stream holds: completed cells keyed by their
+/// spec-expansion index, plus — for cells with no cell block — the folded
+/// chunk ranges, sorted by begin, overlap-free (later conflicting blocks
+/// are dropped).
+struct CheckpointData {
+  std::map<std::uint64_t, CellAccumulator> cells;
+  std::map<std::uint64_t, std::vector<ChunkCheckpoint>> chunks;
+};
+
+/// Parses a checkpoint stream, cell and chunk blocks both. Throws
+/// ContractViolation when the header is missing or the fingerprint does not
+/// match `expected_fingerprint`; silently drops malformed or truncated
+/// trailing blocks.
+[[nodiscard]] CheckpointData load_checkpoint_data(
+    std::istream& in, std::uint64_t expected_fingerprint);
+
+/// Cell-granular view of load_checkpoint_data (chunk blocks are parsed but
+/// not returned) — the pre-chunk-checkpoint interface, kept for callers
+/// that resume at cell granularity only.
 [[nodiscard]] std::map<std::uint64_t, CellAccumulator> load_checkpoint(
     std::istream& in, std::uint64_t expected_fingerprint);
 

@@ -25,18 +25,37 @@ unsigned ParallelExecutor::worker_count(std::uint64_t total_tasks) const {
 
 void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
                            RunSink& sink) const {
-  if (cells.empty()) return;
+  std::vector<RunSpan> spans;
+  spans.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    HYCO_CHECK_MSG(cells[c].runs >= 1,
+                   "cell " << cells[c].index << " has zero runs");
+    spans.push_back({c, 0, cells[c].runs});
+  }
+  run(cells, spans, sink);
+}
+
+void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
+                           const std::vector<RunSpan>& spans,
+                           RunSink& sink) const {
+  if (cells.empty() || spans.empty()) return;
   HYCO_CHECK_MSG(opts_.chunk_size >= 1, "chunk_size must be >= 1");
 
   const std::size_t n_cells = cells.size();
+  const std::size_t n_spans = spans.size();
   std::uint64_t total_runs = 0;
-  for (std::size_t c = 0; c < n_cells; ++c) {
-    const std::uint64_t runs = cells[c].runs;
-    HYCO_CHECK_MSG(runs >= 1, "cell " << cells[c].index << " has zero runs");
+  for (const RunSpan& s : spans) {
+    HYCO_CHECK_MSG(s.cell_pos < n_cells,
+                   "span cell position " << s.cell_pos << " out of range");
+    HYCO_CHECK_MSG(s.begin < s.end && s.end <= cells[s.cell_pos].runs,
+                   "span [" << s.begin << ", " << s.end
+                            << ") invalid for cell "
+                            << cells[s.cell_pos].index << " ("
+                            << cells[s.cell_pos].runs << " runs)");
     HYCO_CHECK_MSG(total_runs <=
-                       std::numeric_limits<std::uint64_t>::max() - runs,
+                       std::numeric_limits<std::uint64_t>::max() - s.length(),
                    "grid run count overflows 64 bits");
-    total_runs += runs;
+    total_runs += s.length();
   }
 
   // Effective grain: the configured chunk size, shrunk so the pool sized
@@ -48,22 +67,27 @@ void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
       opts_.chunk_size,
       std::max<std::uint64_t>(1, total_runs / target_chunks));
 
-  // Prefix sums over per-cell chunk counts: a global chunk index maps to
-  // (cell, run range) by binary search — no per-run or per-chunk task
+  // Prefix sums over per-span chunk counts: a global chunk index maps to
+  // (span, run range) by binary search — no per-run or per-chunk task
   // list exists, so the index space may hold billions of runs.
-  std::vector<std::uint64_t> chunks_before(n_cells + 1, 0);
-  for (std::size_t c = 0; c < n_cells; ++c) {
-    // (runs - 1) / chunk + 1 is ceil-divide without the runs + chunk
-    // overflow (chunk may be huge relative to runs).
-    chunks_before[c + 1] = chunks_before[c] + (cells[c].runs - 1) / chunk + 1;
+  std::vector<std::uint64_t> chunks_before(n_spans + 1, 0);
+  for (std::size_t s = 0; s < n_spans; ++s) {
+    // (length - 1) / chunk + 1 is ceil-divide without the length + chunk
+    // overflow (chunk may be huge relative to the span).
+    chunks_before[s + 1] =
+        chunks_before[s] + (spans[s].length() - 1) / chunk + 1;
   }
-  const std::uint64_t total_chunks = chunks_before[n_cells];
+  const std::uint64_t total_chunks = chunks_before[n_spans];
 
   // Per-cell countdown of unabsorbed runs; the worker that drops a cell's
-  // count to zero reports its completion.
+  // count to zero reports its completion. Cells with no spans never
+  // complete here (their runs live in a checkpoint, not this execution).
   auto remaining = std::make_unique<std::atomic<std::uint64_t>[]>(n_cells);
   for (std::size_t c = 0; c < n_cells; ++c) {
-    remaining[c].store(cells[c].runs, std::memory_order_relaxed);
+    remaining[c].store(0, std::memory_order_relaxed);
+  }
+  for (const RunSpan& s : spans) {
+    remaining[s.cell_pos].fetch_add(s.length(), std::memory_order_relaxed);
   }
 
   std::atomic<std::uint64_t> next{0};
@@ -74,13 +98,16 @@ void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
     for (;;) {
       const std::uint64_t g = next.fetch_add(1, std::memory_order_relaxed);
       if (g >= total_chunks) return;
-      // Cell owning global chunk g: the last c with chunks_before[c] <= g.
-      const std::size_t cell_pos = static_cast<std::size_t>(
+      // Span owning global chunk g: the last s with chunks_before[s] <= g.
+      const std::size_t span_pos = static_cast<std::size_t>(
           std::upper_bound(chunks_before.begin(), chunks_before.end(), g) -
           chunks_before.begin() - 1);
+      const RunSpan& span = spans[span_pos];
+      const std::size_t cell_pos = static_cast<std::size_t>(span.cell_pos);
       const ExperimentCell& cell = cells[cell_pos];
-      const std::uint64_t begin = (g - chunks_before[cell_pos]) * chunk;
-      const std::uint64_t end = std::min(begin + chunk, cell.runs);
+      const std::uint64_t begin =
+          span.begin + (g - chunks_before[span_pos]) * chunk;
+      const std::uint64_t end = std::min(begin + chunk, span.end);
 
       CellAccumulator acc(opts_.reservoir_capacity, opts_.failure_capacity);
       std::vector<RunRecord> records;
@@ -91,7 +118,7 @@ void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
         acc.add(rec);
         if (keep_records) records.push_back(rec);
       }
-      sink.absorb(cell_pos, std::move(acc), std::move(records));
+      sink.absorb(cell_pos, begin, end, std::move(acc), std::move(records));
       const std::uint64_t left = remaining[cell_pos].fetch_sub(
           end - begin, std::memory_order_acq_rel);
       if (left == end - begin) sink.on_cell_complete(cell_pos);

@@ -54,6 +54,16 @@ class ParallelExecutor {
   /// O(cells + threads × chunk accumulators) regardless of total runs.
   void run(const std::vector<ExperimentCell>& cells, RunSink& sink) const;
 
+  /// Partial-grid core: executes only the listed run spans (chunks never
+  /// cross a span). Spans must be non-empty, within their cell's run range,
+  /// and — per cell — disjoint; a cell "completes" when all of *its spans*
+  /// have been absorbed. This is the mid-cell resume path: the complement
+  /// of a chunk checkpoint's folded ranges runs here and, because the
+  /// accumulators are merge-order-invariant, merging the result with the
+  /// checkpointed chunks is byte-identical to an uninterrupted run.
+  void run(const std::vector<ExperimentCell>& cells,
+           const std::vector<RunSpan>& spans, RunSink& sink) const;
+
   /// Batch convenience: executes through a record-retaining CollectingSink
   /// and returns per-cell aggregates in cell order. Deterministic for a
   /// fixed spec regardless of thread count.

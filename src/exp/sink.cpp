@@ -139,10 +139,15 @@ CollectingSink::CollectingSink(std::vector<ExperimentCell> cells, Options opts)
   }
 }
 
-void CollectingSink::absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+void CollectingSink::absorb(std::uint64_t cell_pos, std::uint64_t begin,
+                            std::uint64_t end, CellAccumulator&& chunk,
                             std::vector<RunRecord>&& records) {
   HYCO_CHECK_MSG(cell_pos < slots_.size(),
                  "absorb: cell position " << cell_pos << " out of range");
+  if (opts_.on_chunk) {
+    const std::lock_guard<std::mutex> lock(complete_mu_);
+    opts_.on_chunk(cells_[cell_pos], begin, end, chunk);
+  }
   Slot& slot = *slots_[cell_pos];
   const std::lock_guard<std::mutex> lock(slot.mu);
   if (!slot.has_acc) {

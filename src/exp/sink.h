@@ -153,6 +153,18 @@ struct CellResult {
   }
 };
 
+/// A contiguous range of one cell's run indices, [begin, end). The executor
+/// and the distributed work ledger both speak spans: a whole cell is the
+/// span [0, runs), and a mid-cell resume executes only the spans a chunk
+/// checkpoint has not folded yet.
+struct RunSpan {
+  std::uint64_t cell_pos = 0;  ///< position in the executed cell list
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t length() const { return end - begin; }
+};
+
 /// Executor-facing consumer of finished chunks. All methods may be called
 /// concurrently from worker threads.
 class RunSink {
@@ -163,13 +175,15 @@ class RunSink {
   /// (batch mode); streaming sinks return false and never see a record.
   [[nodiscard]] virtual bool wants_records() const { return false; }
 
-  /// Folds one finished chunk of cell `cell_pos` (position in the executed
-  /// cell list, not the spec-expansion index) into the sink.
-  virtual void absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+  /// Folds one finished chunk — runs [begin, end) of cell `cell_pos`
+  /// (position in the executed cell list, not the spec-expansion index) —
+  /// into the sink.
+  virtual void absorb(std::uint64_t cell_pos, std::uint64_t begin,
+                      std::uint64_t end, CellAccumulator&& chunk,
                       std::vector<RunRecord>&& records) = 0;
 
-  /// Every run of the cell has been absorbed. Cells complete in any order;
-  /// called from whichever worker finished the last chunk.
+  /// Every scheduled run of the cell has been absorbed. Cells complete in
+  /// any order; called from whichever worker finished the last chunk.
   virtual void on_cell_complete(std::uint64_t cell_pos) { (void)cell_pos; }
 };
 
@@ -189,6 +203,13 @@ class CollectingSink : public RunSink {
     /// accumulator — the checkpoint-append / live-emission hook.
     std::function<void(const ExperimentCell&, const CellAccumulator&)>
         on_complete;
+    /// Invoked once per absorbed chunk (serialized by the sink) with the
+    /// cell, the chunk's run range [begin, end), and the chunk accumulator
+    /// *before* it merges into the cell slot — the chunk-granular
+    /// checkpoint-append hook that lets a monster cell resume mid-flight.
+    std::function<void(const ExperimentCell&, std::uint64_t begin,
+                       std::uint64_t end, const CellAccumulator&)>
+        on_chunk;
   };
 
   CollectingSink(std::vector<ExperimentCell> cells, Options opts);
@@ -196,7 +217,8 @@ class CollectingSink : public RunSink {
   [[nodiscard]] bool wants_records() const override {
     return opts_.retain_records;
   }
-  void absorb(std::uint64_t cell_pos, CellAccumulator&& chunk,
+  void absorb(std::uint64_t cell_pos, std::uint64_t begin, std::uint64_t end,
+              CellAccumulator&& chunk,
               std::vector<RunRecord>&& records) override;
   void on_cell_complete(std::uint64_t cell_pos) override;
 
@@ -214,7 +236,7 @@ class CollectingSink : public RunSink {
   std::vector<ExperimentCell> cells_;
   Options opts_;
   std::vector<std::unique_ptr<Slot>> slots_;
-  std::mutex complete_mu_;  ///< serializes on_complete invocations
+  std::mutex complete_mu_;  ///< serializes on_complete/on_chunk invocations
 };
 
 }  // namespace hyco

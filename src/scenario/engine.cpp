@@ -1,6 +1,7 @@
 #include "scenario/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -47,12 +48,38 @@ std::vector<ScenarioEngine::Rejoin> resolve_recoveries(
   return rejoins;
 }
 
+std::vector<double> resolve_skews(const std::vector<SkewSpec>& specs,
+                                  const ClusterLayout& layout) {
+  if (specs.empty()) return {};
+  std::vector<double> speed(static_cast<std::size_t>(layout.n()), 1.0);
+  for (const SkewSpec& spec : specs) {
+    HYCO_CHECK_MSG(std::isfinite(spec.factor) && spec.factor > 0.0,
+                   "skew " << spec.to_string()
+                           << ": factor must be positive and finite");
+    if (spec.whole_cluster) {
+      HYCO_CHECK_MSG(spec.id >= 0 && spec.id < layout.m(),
+                     "skew " << spec.to_string() << ": cluster " << spec.id
+                             << " out of range (m=" << layout.m() << ')');
+      for (const ProcId p : layout.members(static_cast<ClusterId>(spec.id))) {
+        speed[static_cast<std::size_t>(p)] = spec.factor;
+      }
+    } else {
+      HYCO_CHECK_MSG(spec.id >= 0 && spec.id < layout.n(),
+                     "skew " << spec.to_string() << ": process " << spec.id
+                             << " out of range (n=" << layout.n() << ')');
+      speed[static_cast<std::size_t>(spec.id)] = spec.factor;
+    }
+  }
+  return speed;
+}
+
 void validate_scenario(const ScenarioConfig& cfg,
                        const ClusterLayout& layout) {
   ConstantDelay probe(0);
   FaultyChannel channel(probe, cfg.link, cfg.coin_attack);
   PartitionSchedule partitions(cfg.partitions, layout);
   resolve_recoveries(cfg.recoveries, layout);
+  resolve_skews(cfg.skews, layout);
 }
 
 namespace {
@@ -68,8 +95,11 @@ ScenarioEngine::ScenarioEngine(const ScenarioConfig& cfg,
                                const ClusterLayout& layout,
                                std::unique_ptr<DelayModel> base_delays)
     : base_(checked(std::move(base_delays))),
+      speed_(resolve_skews(cfg.skews, layout)),
       channel_(*base_, cfg.link, cfg.coin_attack),
       partitions_(cfg.partitions, layout),
-      rejoins_(resolve_recoveries(cfg.recoveries, layout)) {}
+      rejoins_(resolve_recoveries(cfg.recoveries, layout)) {
+  if (!speed_.empty()) channel_.set_speed_factors(&speed_);
+}
 
 }  // namespace hyco

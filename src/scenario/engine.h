@@ -36,8 +36,12 @@ class ScenarioEngine {
   ScenarioEngine(const ScenarioConfig& cfg, const ClusterLayout& layout,
                  std::unique_ptr<DelayModel> base_delays);
 
+  // Not movable either: channel_ holds a pointer into speed_ (a
+  // self-reference a move would dangle).
   ScenarioEngine(const ScenarioEngine&) = delete;
   ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+  ScenarioEngine(ScenarioEngine&&) = delete;
+  ScenarioEngine& operator=(ScenarioEngine&&) = delete;
 
   /// The faulty channel the network should draw delays from.
   [[nodiscard]] DelayModel& channel() { return channel_; }
@@ -57,12 +61,27 @@ class ScenarioEngine {
     return rejoins_;
   }
 
+  /// Step-speed multiplier of process p (clock skew; 1.0 = nominal). The
+  /// runner scales p's propose() start time by this; the channel scales the
+  /// latency of every delivery to p (see SkewSpec).
+  [[nodiscard]] double speed_factor(ProcId p) const {
+    return speed_.empty() ? 1.0 : speed_[static_cast<std::size_t>(p)];
+  }
+
  private:
   std::unique_ptr<DelayModel> base_;
+  std::vector<double> speed_;  ///< per-proc skew; empty = no skew anywhere
   FaultyChannel channel_;
   PartitionSchedule partitions_;
   std::vector<Rejoin> rejoins_;
 };
+
+/// Resolves skew specs against a layout (cluster specs expand to their
+/// members; the last spec naming a process wins) into a per-process factor
+/// vector — or an empty vector when no spec is given. Throws
+/// ContractViolation on out-of-range ids or non-positive factors.
+std::vector<double> resolve_skews(const std::vector<SkewSpec>& specs,
+                                  const ClusterLayout& layout);
 
 /// Resolves recovery specs against a layout (cluster specs expand to their
 /// members) and validates them: ids in range, and windows for the same

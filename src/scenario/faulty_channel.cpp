@@ -1,5 +1,7 @@
 #include "scenario/faulty_channel.h"
 
+#include <cmath>
+
 #include "util/assert.h"
 
 namespace hyco {
@@ -34,6 +36,13 @@ SimTime FaultyChannel::delay(ProcId from, ProcId to, const Message& m,
   }
   if (is_targeted_coin_carrier(m)) {
     d += coin_attack_.boost;
+  }
+  if (speed_ != nullptr) {
+    const double f = (*speed_)[static_cast<std::size_t>(to)];
+    // f == 1.0 must leave the delay bit-identical (no float round-trip).
+    if (f != 1.0) {
+      d = static_cast<SimTime>(std::llround(static_cast<double>(d) * f));
+    }
   }
   return d;
 }

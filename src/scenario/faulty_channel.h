@@ -11,6 +11,8 @@
 //    per surviving copy, all from the run's seeded Rng.
 #pragma once
 
+#include <vector>
+
 #include "net/delay_model.h"
 #include "scenario/scenario.h"
 
@@ -23,9 +25,19 @@ class FaultyChannel final : public DelayModel {
   FaultyChannel(DelayModel& inner, const LinkFaultConfig& link,
                 const CoinAttackConfig& coin_attack);
 
-  /// Inner delay + reorder jitter + coin-attack boost.
+  /// Inner delay + reorder jitter + coin-attack boost, the sum scaled by
+  /// the receiver's step-speed factor when clock skew is installed.
   SimTime delay(ProcId from, ProcId to, const Message& m, SimTime now,
                 Rng& rng) override;
+
+  /// Installs per-process step-speed multipliers (clock skew): the total
+  /// transit of every message to process p is scaled by (*factors)[p] — a
+  /// slow process finishes handling each delivery that much later. The
+  /// vector must outlive the channel and hold one entry per process;
+  /// nullptr (the default) disables skew.
+  void set_speed_factors(const std::vector<double>* factors) {
+    speed_ = factors;
+  }
 
   /// Delivery copies for one send: 0 (lost), 1, or 2 (duplicated). Loss
   /// wins over duplication when both fire.
@@ -38,6 +50,7 @@ class FaultyChannel final : public DelayModel {
   DelayModel& inner_;
   LinkFaultConfig link_;
   CoinAttackConfig coin_attack_;
+  const std::vector<double>* speed_ = nullptr;  ///< per-proc skew factors
 };
 
 }  // namespace hyco

@@ -198,6 +198,42 @@ RecoverySpec parse_recovery_spec(const std::string& text) {
   return spec;
 }
 
+SkewSpec parse_skew_spec(const std::string& text) {
+  const std::vector<std::string> segs = split(text, ':');
+  HYCO_CHECK_MSG(segs.size() == 3,
+                 "--skew: want proc:ID:xFACTOR or cluster:ID:xFACTOR, got \""
+                     << text << '"');
+  SkewSpec spec;
+  if (segs[0] == "proc" || segs[0] == "procs") {
+    spec.whole_cluster = false;
+  } else if (segs[0] == "cluster") {
+    spec.whole_cluster = true;
+  } else {
+    HYCO_CHECK_MSG(false, "--skew: unknown target kind \"" << segs[0]
+                          << "\" in \"" << text
+                          << "\" (want proc | cluster)");
+  }
+  const auto ids = parse_ids(segs[1], "--skew");
+  HYCO_CHECK_MSG(ids.size() == 1,
+                 "--skew: exactly one target id expected in \"" << text
+                                                                << '"');
+  spec.id = ids[0];
+  HYCO_CHECK_MSG(!segs[2].empty() && segs[2][0] == 'x',
+                 "--skew: factor must start with \"x\" (e.g. x4) in \""
+                     << text << '"');
+  const std::string num = segs[2].substr(1);
+  char* end = nullptr;
+  spec.factor = std::strtod(num.c_str(), &end);
+  HYCO_CHECK_MSG(!num.empty() && end != num.c_str() && *end == '\0',
+                 "--skew: \"" << num << "\" is not a number in \"" << text
+                              << '"');
+  HYCO_CHECK_MSG(std::isfinite(spec.factor) && spec.factor > 0.0 &&
+                     spec.factor <= 1024.0,
+                 "--skew: factor must be in (0, 1024], got \"" << text
+                                                               << '"');
+  return spec;
+}
+
 std::string PartitionSpec::to_string() const {
   std::ostringstream os;
   switch (kind) {
@@ -217,6 +253,12 @@ std::string RecoverySpec::to_string() const {
   std::ostringstream os;
   if (whole_cluster) os << "cluster:";
   os << id << '@' << window_to_string(down_at, up_at);
+  return os.str();
+}
+
+std::string SkewSpec::to_string() const {
+  std::ostringstream os;
+  os << (whole_cluster ? "cluster:" : "proc:") << id << ":x" << factor;
   return os.str();
 }
 
@@ -252,6 +294,10 @@ std::string ScenarioConfig::label() const {
   }
   if (coin_attack.enabled) {
     os << sep << "coin-attack=" << coin_attack.to_string();
+    sep = ",";
+  }
+  for (const SkewSpec& s : skews) {
+    os << sep << "skew=" << s.to_string();
     sep = ",";
   }
   return os.str();

@@ -88,6 +88,21 @@ struct RecoverySpec {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// One step-speed multiplier: clock skew / slow processes. The paper's
+/// asynchrony lets every process run at its own speed; a skew of x4 makes
+/// the target's processing steps take 4x longer, modeled as scaling the
+/// delivery latency of every message *to* it (its handling of each event
+/// completes that much later) and its propose() start time. Factors below
+/// 1 model fast processes. Safety must be unaffected; termination must
+/// survive any finite skew (a liveness probe rides the test suite).
+struct SkewSpec {
+  bool whole_cluster = false;  ///< id is a ClusterId (every member slows)
+  std::int32_t id = 0;         ///< ProcId or ClusterId
+  double factor = 1.0;         ///< step-speed multiplier, > 0
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Adversarial scheduler hook targeting coin-carrying messages: PHASE
 /// messages of rounds >= 2 in phase 1 carry the previous round's
 /// coin-derived estimates; the attack delays the ones championing `bit` by
@@ -107,10 +122,11 @@ struct ScenarioConfig {
   LinkFaultConfig link;
   std::vector<RecoverySpec> recoveries;
   CoinAttackConfig coin_attack;
+  std::vector<SkewSpec> skews;
 
   [[nodiscard]] bool empty() const {
     return partitions.empty() && !link.any() && recoveries.empty() &&
-           !coin_attack.enabled;
+           !coin_attack.enabled && skews.empty();
   }
 
   /// Compact single-token label ("loss=0.05,part=cluster:0-1@5ms..20ms");
@@ -136,5 +152,11 @@ PartitionSpec parse_partition_spec(const std::string& text);
 /// Parses "PID@DOWN..UP" or "cluster:X@DOWN..UP"; UP may be "never".
 /// Examples: "3@2ms..8ms", "cluster:0@100..5000".
 RecoverySpec parse_recovery_spec(const std::string& text);
+
+/// Parses "proc:ID:xFACTOR" or "cluster:ID:xFACTOR" (FACTOR a positive
+/// decimal, "x" required). Examples: "proc:3:x4", "cluster:0:x2.5",
+/// "proc:1:x0.5" (a fast process). Throws ContractViolation on malformed
+/// input or a factor outside (0, 1024].
+SkewSpec parse_skew_spec(const std::string& text);
 
 }  // namespace hyco

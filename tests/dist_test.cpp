@@ -1,0 +1,557 @@
+// Distributed sweep engine (src/dist/): the chunk-granular work ledger's
+// state machine (lease → expire → re-lease → fold exactly-once), the wire
+// protocol (framing, host:port validation, accumulator round-trip), and
+// end-to-end coordinator/worker grids over localhost TCP — including a
+// worker killed mid-chunk and a lease that expires on a wedged worker —
+// all of which must leave the merged artifacts byte-identical to a
+// single-machine streaming run. Mid-cell chunk-checkpoint resume rides the
+// same accumulator encoding and is pinned here too.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/ledger.h"
+#include "dist/proto.h"
+#include "dist/worker.h"
+#include "exp/checkpoint.h"
+#include "exp/executor.h"
+#include "exp/report.h"
+#include "util/assert.h"
+
+namespace hyco {
+namespace {
+
+using dist::Coordinator;
+using dist::CoordinatorOptions;
+using dist::WorkLedger;
+
+ExperimentSpec dist_spec() {
+  ExperimentSpec spec;
+  spec.name = "dist-test";
+  spec.algorithms = {Algorithm::HybridLocalCoin};
+  spec.layouts = {ClusterLayout::even(4, 2), ClusterLayout::even(6, 2)};
+  spec.runs_per_cell = 40;
+  spec.base_seed = 77;
+  return spec;
+}
+
+std::string render_artifacts(const std::string& name,
+                             const std::vector<CellResult>& results) {
+  std::ostringstream os;
+  write_cell_csv(os, results);
+  write_cell_json(os, name, results);
+  return os.str();
+}
+
+/// Single-machine streaming reference for a grid.
+std::string reference_artifacts(const ExperimentSpec& spec) {
+  const auto cells = spec.expand();
+  CollectingSink sink(cells, {});
+  ParallelExecutor::Options opts;
+  opts.threads = 2;
+  ParallelExecutor(opts).run(cells, sink);
+  return render_artifacts(spec.name, sink.take_results());
+}
+
+CoordinatorOptions test_coordinator_options() {
+  CoordinatorOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.lease_grain = 7;
+  opts.poll_interval = std::chrono::milliseconds(20);
+  opts.max_wait = std::chrono::minutes(2);  // fail loudly, never hang CI
+  return opts;
+}
+
+std::vector<RunSpan> full_spans(const std::vector<ExperimentCell>& cells) {
+  std::vector<RunSpan> spans;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    spans.push_back({c, 0, cells[c].runs});
+  }
+  return spans;
+}
+
+// ---- work ledger ------------------------------------------------------------
+
+TEST(WorkLedger, LeaseExpireReleaseFoldExactlyOnce) {
+  WorkLedger ledger(1, 10);
+  ledger.add_span(0, 0, 25);  // chunks [0,10) [10,20) [20,25)
+  EXPECT_EQ(ledger.chunk_count(), 3u);
+  EXPECT_EQ(ledger.total_runs(), 25u);
+  EXPECT_FALSE(ledger.all_folded());
+
+  const auto t0 = WorkLedger::Clock::now();
+  const auto ttl = std::chrono::milliseconds(100);
+
+  const auto l1 = ledger.acquire(1, t0, ttl);
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->begin, 0u);
+  EXPECT_EQ(l1->end, 10u);
+  EXPECT_EQ(ledger.leased_chunks(), 1u);
+
+  // The lease expires; the chunk re-queues and re-leases to someone else.
+  EXPECT_EQ(ledger.expire(t0 + std::chrono::milliseconds(50)), 0u);
+  EXPECT_EQ(ledger.expire(t0 + std::chrono::milliseconds(150)), 1u);
+  EXPECT_EQ(ledger.leased_chunks(), 0u);
+  const auto l2 = ledger.acquire(2, t0, ttl);
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->begin, 10u);  // FIFO: next fresh chunk first
+  const auto l3 = ledger.acquire(2, t0, ttl);
+  ASSERT_TRUE(l3.has_value());
+  EXPECT_EQ(l3->begin, 20u);
+  const auto l4 = ledger.acquire(3, t0, ttl);
+  ASSERT_TRUE(l4.has_value());
+  EXPECT_EQ(l4->begin, 0u);  // the expired chunk came back around
+  EXPECT_FALSE(ledger.acquire(3, t0, ttl).has_value());
+
+  // First fold wins; the late original result is a duplicate.
+  const auto f1 = ledger.fold(0, 0, 10);
+  EXPECT_EQ(f1.outcome, WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_FALSE(f1.cell_completed);
+  const auto dup = ledger.fold(0, 0, 10);
+  EXPECT_EQ(dup.outcome, WorkLedger::FoldOutcome::kDuplicate);
+  EXPECT_EQ(ledger.folded_runs(), 10u);
+
+  // Unknown ranges are rejected outright.
+  EXPECT_EQ(ledger.fold(0, 0, 5).outcome, WorkLedger::FoldOutcome::kUnknown);
+  EXPECT_EQ(ledger.fold(0, 3, 10).outcome,
+            WorkLedger::FoldOutcome::kUnknown);
+
+  const auto f2 = ledger.fold(0, 10, 20);
+  EXPECT_EQ(f2.outcome, WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_FALSE(f2.cell_completed);
+  const auto f3 = ledger.fold(0, 20, 25);
+  EXPECT_EQ(f3.outcome, WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_TRUE(f3.cell_completed);
+  EXPECT_TRUE(ledger.all_folded());
+  EXPECT_TRUE(ledger.cell_folded(0));
+}
+
+TEST(WorkLedger, ReleaseOwnerRequeuesItsLeases) {
+  WorkLedger ledger(2, 8);
+  ledger.add_span(0, 0, 16);
+  ledger.add_span(1, 0, 8);
+  const auto t0 = WorkLedger::Clock::now();
+  const auto ttl = std::chrono::seconds(60);
+  (void)ledger.acquire(7, t0, ttl);
+  (void)ledger.acquire(7, t0, ttl);
+  (void)ledger.acquire(9, t0, ttl);
+  EXPECT_EQ(ledger.leased_chunks(), 3u);
+  EXPECT_EQ(ledger.release_owner(7), 2u);  // worker 7 disconnected
+  EXPECT_EQ(ledger.leased_chunks(), 1u);
+  EXPECT_EQ(ledger.pending_chunks(), 2u);
+  // The released chunks can be folded by whoever re-executes them.
+  EXPECT_EQ(ledger.fold(0, 0, 8).outcome,
+            WorkLedger::FoldOutcome::kAccepted);
+}
+
+TEST(WorkLedger, SpansRespectGrainAndCells) {
+  WorkLedger ledger(3, 1000);
+  ledger.add_span(0, 0, 5);
+  ledger.add_span(2, 100, 104);  // mid-cell span (resume complement)
+  EXPECT_EQ(ledger.chunk_count(), 2u);
+  EXPECT_TRUE(ledger.cell_folded(1));  // no registered work
+  EXPECT_FALSE(ledger.cell_folded(2));
+  EXPECT_EQ(ledger.fold(2, 100, 104).outcome,
+            WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_TRUE(ledger.cell_folded(2));
+  EXPECT_THROW(ledger.add_span(0, 3, 7), ContractViolation);  // overlap
+  EXPECT_THROW(ledger.add_span(0, 9, 9), ContractViolation);  // empty
+}
+
+// ---- protocol ---------------------------------------------------------------
+
+TEST(Proto, HostPortValidation) {
+  const auto hp = dist::parse_host_port("127.0.0.1:7600");
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 7600);
+  EXPECT_EQ(dist::parse_host_port("example.com:1").port, 1);
+  EXPECT_THROW((void)dist::parse_host_port("localhost"), ContractViolation);
+  EXPECT_THROW((void)dist::parse_host_port(":80"), ContractViolation);
+  EXPECT_THROW((void)dist::parse_host_port("h:0"), ContractViolation);
+  EXPECT_THROW((void)dist::parse_host_port("h:65536"), ContractViolation);
+  EXPECT_THROW((void)dist::parse_host_port("h:80x"), ContractViolation);
+  EXPECT_THROW((void)dist::validate_port(0, "--serve"), ContractViolation);
+  EXPECT_THROW((void)dist::validate_port(99999, "--serve"),
+               ContractViolation);
+}
+
+TEST(Proto, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(dist::send_frame(fds[0], dist::MsgType::kWait,
+                               dist::encode_wait(250)));
+  ASSERT_TRUE(dist::send_frame(fds[0], dist::MsgType::kLeaseReq, ""));
+  dist::Frame f;
+  ASSERT_TRUE(dist::recv_frame(fds[1], f));
+  EXPECT_EQ(f.type, dist::MsgType::kWait);
+  std::uint32_t ms = 0;
+  EXPECT_TRUE(dist::decode_wait(f.payload, ms));
+  EXPECT_EQ(ms, 250u);
+  ASSERT_TRUE(dist::recv_frame(fds[1], f));
+  EXPECT_EQ(f.type, dist::MsgType::kLeaseReq);
+  EXPECT_TRUE(f.payload.empty());
+  ::close(fds[0]);
+  EXPECT_FALSE(dist::recv_frame(fds[1], f));  // EOF
+  ::close(fds[1]);
+}
+
+TEST(Proto, FrameBufferReassemblesSplitFrames) {
+  const std::string one = dist::encode_lease({3, 10, 20});
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(dist::send_frame(fds[0], dist::MsgType::kLease, one));
+  ASSERT_TRUE(dist::send_frame(fds[0], dist::MsgType::kDone, ""));
+  std::string wire(4096, '\0');
+  const ssize_t n = ::recv(fds[1], wire.data(), wire.size(), 0);
+  ASSERT_GT(n, 0);
+  wire.resize(static_cast<std::size_t>(n));
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  dist::FrameBuffer buf;
+  // Drip-feed one byte at a time: frames must surface exactly when whole.
+  std::size_t yielded = 0;
+  for (const char c : wire) {
+    buf.feed(&c, 1);
+    while (const auto f = buf.next()) {
+      if (yielded == 0) {
+        EXPECT_EQ(f->type, dist::MsgType::kLease);
+        dist::LeaseMsg lease;
+        ASSERT_TRUE(dist::decode_lease(f->payload, lease));
+        EXPECT_EQ(lease.cell_index, 3u);
+        EXPECT_EQ(lease.begin, 10u);
+        EXPECT_EQ(lease.end, 20u);
+      } else {
+        EXPECT_EQ(f->type, dist::MsgType::kDone);
+      }
+      ++yielded;
+    }
+  }
+  EXPECT_EQ(yielded, 2u);
+  EXPECT_FALSE(buf.error());
+}
+
+TEST(Proto, ResultEncodingRoundTripsAccumulatorExactly) {
+  // A real accumulator (reservoirs, histogram, failure ring populated by
+  // actual runs) must survive the wire byte-exactly — the distributed
+  // determinism contract reduces to this round-trip plus merge invariance.
+  const auto cells = dist_spec().expand();
+  const ExperimentCell& cell = cells[0];
+  CellAccumulator acc(MetricStats::kDefaultReservoir, 4);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    const RunConfig cfg = cell.run_config(k);
+    acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+  }
+
+  dist::ResultMsg msg;
+  msg.cell_index = cell.index;
+  msg.begin = 0;
+  msg.end = 12;
+  msg.acc = acc;
+  const std::string payload = dist::encode_result(msg);
+
+  dist::ResultMsg back;
+  ASSERT_TRUE(dist::decode_result(payload, back));
+  EXPECT_EQ(back.cell_index, cell.index);
+  EXPECT_EQ(back.begin, 0u);
+  EXPECT_EQ(back.end, 12u);
+  EXPECT_EQ(back.acc.runs, acc.runs);
+  EXPECT_EQ(back.acc.terminated, acc.terminated);
+  EXPECT_EQ(back.acc.violations, acc.violations);
+  // Exactness: every rendered statistic (moments, percentiles, histogram,
+  // failure list) of the decoded accumulator matches the original's byte
+  // for byte. (Reservoir heap *layout* may legally differ — the kept set
+  // and everything derived from it may not.)
+  CellAccumulator fa = acc;
+  fa.finalize();
+  CellAccumulator fb = back.acc;
+  fb.finalize();
+  std::vector<CellResult> ra, rb;
+  ra.emplace_back(cell, std::move(fa));
+  rb.emplace_back(cell, std::move(fb));
+  EXPECT_EQ(render_artifacts("roundtrip", ra),
+            render_artifacts("roundtrip", rb));
+
+  dist::ResultMsg bad;
+  EXPECT_FALSE(dist::decode_result("result 0 5 5 0 0 0\n", bad));
+  EXPECT_FALSE(dist::decode_result("garbage", bad));
+}
+
+// ---- end-to-end over localhost TCP -----------------------------------------
+
+/// Runs a coordinator for `spec` on an ephemeral port and hands its port to
+/// `drive` (which runs workers / rogue clients); returns the rendered
+/// artifacts of the coordinator's merged results.
+std::string serve_grid(const ExperimentSpec& spec, CoordinatorOptions opts,
+                       const std::function<void(std::uint16_t)>& drive) {
+  const auto cells = spec.expand();
+  Coordinator coordinator(cells, full_spans(cells), {},
+                          grid_fingerprint(cells, opts.reservoir_capacity,
+                                           opts.failure_capacity),
+                          std::move(opts));
+  coordinator.bind();
+  const std::uint16_t port = coordinator.port();
+  std::vector<CellResult> results;
+  std::thread server([&] { results = coordinator.serve(); });
+  drive(port);
+  server.join();
+  return render_artifacts(spec.name, results);
+}
+
+dist::WorkerOptions worker_options(std::uint16_t port, unsigned sessions) {
+  dist::WorkerOptions w;
+  w.target = {"127.0.0.1", port};
+  w.sessions = sessions;
+  return w;
+}
+
+TEST(DistributedSweep, TwoWorkersMatchLocalByteForByte) {
+  const ExperimentSpec spec = dist_spec();
+  const std::string reference = reference_artifacts(spec);
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  const std::string distributed =
+      serve_grid(spec, test_coordinator_options(), [&](std::uint16_t port) {
+        std::thread w1([&] {
+          const auto r = dist::run_worker(cells, fp, worker_options(port, 2));
+          EXPECT_TRUE(r.completed) << r.error;
+          EXPECT_GT(r.runs_executed, 0u);
+        });
+        const auto r2 = dist::run_worker(cells, fp, worker_options(port, 1));
+        EXPECT_TRUE(r2.completed) << r2.error;
+        w1.join();
+      });
+  EXPECT_EQ(distributed, reference);
+}
+
+TEST(DistributedSweep, RejectsForeignGridFingerprint) {
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  const std::string distributed =
+      serve_grid(spec, test_coordinator_options(), [&](std::uint16_t port) {
+        // Wrong fingerprint first: rejected before any run executes.
+        const auto bad =
+            dist::run_worker(cells, fp + 1, worker_options(port, 1));
+        EXPECT_FALSE(bad.completed);
+        EXPECT_NE(bad.error.find("rejected"), std::string::npos) << bad.error;
+        EXPECT_EQ(bad.runs_executed, 0u);
+        // A correct worker still completes the grid afterwards.
+        const auto good =
+            dist::run_worker(cells, fp, worker_options(port, 2));
+        EXPECT_TRUE(good.completed) << good.error;
+      });
+  EXPECT_EQ(distributed, reference_artifacts(spec));
+}
+
+TEST(DistributedSweep, WorkerKilledMidChunkLeavesOutputIdentical) {
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  const std::string distributed =
+      serve_grid(spec, test_coordinator_options(), [&](std::uint16_t port) {
+        // The "killed" worker: completes the handshake, takes a lease, and
+        // vanishes without folding it. Its chunk must re-queue.
+        const int fd = dist::connect_once({"127.0.0.1", port});
+        ASSERT_GE(fd, 0);
+        dist::HelloMsg hello;
+        hello.fingerprint = fp;
+        hello.cells = cells.size();
+        hello.reservoir_capacity = MetricStats::kDefaultReservoir;
+        hello.failure_capacity = CellAccumulator::kDefaultFailureCap;
+        ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kHello,
+                                     dist::encode_hello(hello)));
+        dist::Frame f;
+        ASSERT_TRUE(dist::recv_frame(fd, f));
+        ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+        ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kLeaseReq, ""));
+        ASSERT_TRUE(dist::recv_frame(fd, f));
+        ASSERT_EQ(f.type, dist::MsgType::kLease);
+        ::close(fd);  // SIGKILL equivalent: the TCP connection just dies
+
+        const auto r = dist::run_worker(cells, fp, worker_options(port, 2));
+        EXPECT_TRUE(r.completed) << r.error;
+      });
+  EXPECT_EQ(distributed, reference_artifacts(spec));
+}
+
+TEST(DistributedSweep, ExpiredLeaseOnWedgedWorkerIsReassigned) {
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CoordinatorOptions opts = test_coordinator_options();
+  opts.lease_ttl = std::chrono::milliseconds(150);
+
+  int wedged_fd = -1;
+  const std::string distributed =
+      serve_grid(spec, std::move(opts), [&](std::uint16_t port) {
+        // The wedged worker: leases a chunk and then sits on it, connection
+        // alive, well past the lease TTL.
+        wedged_fd = dist::connect_once({"127.0.0.1", port});
+        ASSERT_GE(wedged_fd, 0);
+        dist::HelloMsg hello;
+        hello.fingerprint = fp;
+        hello.cells = cells.size();
+        hello.reservoir_capacity = MetricStats::kDefaultReservoir;
+        hello.failure_capacity = CellAccumulator::kDefaultFailureCap;
+        ASSERT_TRUE(dist::send_frame(wedged_fd, dist::MsgType::kHello,
+                                     dist::encode_hello(hello)));
+        dist::Frame f;
+        ASSERT_TRUE(dist::recv_frame(wedged_fd, f));
+        ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+        ASSERT_TRUE(dist::send_frame(wedged_fd, dist::MsgType::kLeaseReq, ""));
+        ASSERT_TRUE(dist::recv_frame(wedged_fd, f));
+        ASSERT_EQ(f.type, dist::MsgType::kLease);
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+        // A live worker drains the grid, the expired chunk included.
+        const auto r = dist::run_worker(cells, fp, worker_options(port, 1));
+        EXPECT_TRUE(r.completed) << r.error;
+      });
+  if (wedged_fd >= 0) ::close(wedged_fd);
+  EXPECT_EQ(distributed, reference_artifacts(spec));
+}
+
+// ---- mid-cell chunk-checkpoint resume --------------------------------------
+
+TEST(ChunkCheckpoint, MidCellResumeMatchesUninterruptedByteForByte) {
+  // One monster cell. The interrupted session executes only [0, 120) +
+  // [200, 260), appending chunk blocks; the resumed session loads them,
+  // runs the complement spans, merges, and must land on identical bytes.
+  ExperimentSpec spec;
+  spec.name = "monster";
+  spec.algorithms = {Algorithm::HybridLocalCoin};
+  spec.layouts = {ClusterLayout::even(4, 2)};
+  spec.runs_per_cell = 300;
+  spec.base_seed = 11;
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+  const std::string reference = reference_artifacts(spec);
+
+  std::stringstream file;
+  write_checkpoint_header(file, fp);
+  {
+    std::mutex mu;
+    CollectingSink::Options sink_opts;
+    sink_opts.on_chunk = [&](const ExperimentCell& cell, std::uint64_t begin,
+                             std::uint64_t end, const CellAccumulator& acc) {
+      const std::lock_guard<std::mutex> lock(mu);
+      append_checkpoint_chunk(file, cell.index, begin, end, acc);
+    };
+    CollectingSink sink(cells, std::move(sink_opts));
+    ParallelExecutor::Options opts;
+    opts.threads = 2;
+    opts.chunk_size = 32;
+    ParallelExecutor(opts).run(cells, {{0, 0, 120}, {0, 200, 260}}, sink);
+  }
+
+  const CheckpointData loaded = load_checkpoint_data(file, fp);
+  EXPECT_TRUE(loaded.cells.empty());
+  ASSERT_EQ(loaded.chunks.size(), 1u);
+  const auto& chunk_list = loaded.chunks.at(0);
+  ASSERT_FALSE(chunk_list.empty());
+
+  // Merge the prior and derive the complement spans.
+  CellAccumulator prior(MetricStats::kDefaultReservoir,
+                        CellAccumulator::kDefaultFailureCap);
+  std::vector<RunSpan> gaps;
+  std::uint64_t cursor = 0;
+  for (const ChunkCheckpoint& c : chunk_list) {
+    if (c.begin > cursor) gaps.push_back({0, cursor, c.begin});
+    prior.merge(c.acc);
+    cursor = c.end;
+  }
+  if (cursor < cells[0].runs) gaps.push_back({0, cursor, cells[0].runs});
+  EXPECT_EQ(prior.runs, 180u);
+  ASSERT_EQ(gaps.size(), 2u);  // [120, 200) and [260, 300)
+
+  CollectingSink sink(cells, {});
+  ParallelExecutor::Options opts;
+  opts.threads = 2;
+  opts.chunk_size = 57;  // a different grain must not change the bytes
+  ParallelExecutor(opts).run(cells, gaps, sink);
+  auto results = sink.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  prior.merge(results[0].acc);
+  prior.finalize();
+  results[0].acc = std::move(prior);
+  EXPECT_EQ(render_artifacts(spec.name, results), reference);
+}
+
+TEST(ChunkCheckpoint, LoaderDropsOverlapsTruncationAndCoveredChunks) {
+  const auto cells = dist_spec().expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CellAccumulator acc(MetricStats::kDefaultReservoir,
+                      CellAccumulator::kDefaultFailureCap);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const RunConfig cfg = cells[0].run_config(k);
+    acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+  }
+
+  // Cell 0 has a cell block → its chunk blocks are redundant. Cell 1 keeps
+  // [0,10) and [10,20); an overlapping [5,15) (a raced duplicate) drops.
+  std::stringstream file;
+  write_checkpoint_header(file, fp);
+  append_checkpoint_chunk(file, 0, 0, 10, acc);
+  CellAccumulator whole = acc;
+  whole.finalize();
+  append_checkpoint_cell(file, 0, whole);
+  append_checkpoint_chunk(file, 1, 0, 10, acc);
+  append_checkpoint_chunk(file, 1, 5, 15, acc);
+  append_checkpoint_chunk(file, 1, 10, 20, acc);
+
+  const CheckpointData data = load_checkpoint_data(file, fp);
+  EXPECT_EQ(data.cells.size(), 1u);
+  EXPECT_TRUE(data.cells.count(0));
+  ASSERT_EQ(data.chunks.size(), 1u);
+  const auto& list = data.chunks.at(1);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].begin, 0u);
+  EXPECT_EQ(list[0].end, 10u);
+  EXPECT_EQ(list[1].begin, 10u);
+  EXPECT_EQ(list[1].end, 20u);
+
+  // A truncated trailing chunk block is dropped; the complete blocks before
+  // it survive.
+  std::stringstream file2;
+  write_checkpoint_header(file2, fp);
+  append_checkpoint_chunk(file2, 1, 0, 10, acc);
+  append_checkpoint_chunk(file2, 1, 10, 20, acc);
+  const std::string text = file2.str();
+  std::istringstream cut(text.substr(0, text.size() - 30));
+  const CheckpointData partial = load_checkpoint_data(cut, fp);
+  ASSERT_EQ(partial.chunks.count(1), 1u);
+  EXPECT_EQ(partial.chunks.at(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hyco

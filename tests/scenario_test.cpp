@@ -125,6 +125,36 @@ TEST(ScenarioParse, LabelAndEmpty) {
   EXPECT_EQ(scn.label(), "loss=0.05,part=cluster:0-1@100..200");
 }
 
+TEST(ScenarioParse, SkewSpec) {
+  const SkewSpec p = parse_skew_spec("proc:3:x4");
+  EXPECT_FALSE(p.whole_cluster);
+  EXPECT_EQ(p.id, 3);
+  EXPECT_DOUBLE_EQ(p.factor, 4.0);
+  EXPECT_EQ(p.to_string(), "proc:3:x4");
+
+  const SkewSpec c = parse_skew_spec("cluster:0:x2.5");
+  EXPECT_TRUE(c.whole_cluster);
+  EXPECT_EQ(c.id, 0);
+  EXPECT_DOUBLE_EQ(c.factor, 2.5);
+
+  const SkewSpec fast = parse_skew_spec("proc:1:x0.5");
+  EXPECT_DOUBLE_EQ(fast.factor, 0.5);
+
+  EXPECT_THROW(parse_skew_spec("proc:3"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("node:3:x4"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:3:4"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:3:x"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:3:x0"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:3:x-2"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:3:x2000"), ContractViolation);
+  EXPECT_THROW(parse_skew_spec("proc:1-2:x4"), ContractViolation);
+
+  ScenarioConfig scn;
+  scn.skews.push_back(p);
+  EXPECT_FALSE(scn.empty());
+  EXPECT_EQ(scn.label(), "skew=proc:3:x4");
+}
+
 // ---- FaultyChannel ----------------------------------------------------------
 
 TEST(FaultyChannel, CopiesFollowLossAndDup) {
@@ -195,6 +225,18 @@ TEST(FaultyChannel, CoinAttackTargetsCarriers) {
                      0, rng),
             100);
   EXPECT_EQ(ch.delay(0, 1, Message::decide_msg(Estimate::One), 0, rng), 100);
+}
+
+TEST(FaultyChannel, SkewScalesDeliveryToTarget) {
+  ConstantDelay inner(100);
+  FaultyChannel ch(inner, LinkFaultConfig{}, CoinAttackConfig{});
+  const std::vector<double> speed{1.0, 4.0, 0.5};
+  ch.set_speed_factors(&speed);
+  Rng rng(5);
+  const Message m = Message::phase_msg(1, Phase::One, Estimate::One);
+  EXPECT_EQ(ch.delay(1, 0, m, 0, rng), 100);  // nominal receiver untouched
+  EXPECT_EQ(ch.delay(0, 1, m, 0, rng), 400);  // 4x slower receiver
+  EXPECT_EQ(ch.delay(0, 2, m, 0, rng), 50);   // fast receiver
 }
 
 TEST(FaultyChannel, RejectsBadProbabilities) {
@@ -409,6 +451,43 @@ TEST(ScenarioEndToEnd, DuplicationAloneStillTerminates) {
     EXPECT_TRUE(r.success()) << "seed=" << seed;
     EXPECT_GT(r.net.duplicated, 0u);
   }
+}
+
+TEST(ScenarioEndToEnd, SkewedProcessLivenessAt10x) {
+  // Clock skew is pure asynchrony: a process running 10x slower (and a
+  // whole slow cluster) must not block termination or safety — the paper's
+  // model lets processes run at arbitrary relative speeds.
+  for (const Algorithm alg :
+       {Algorithm::HybridLocalCoin, Algorithm::HybridCommonCoin}) {
+    for (const char* spec : {"proc:0:x10", "cluster:1:x10"}) {
+      ScenarioConfig scn;
+      scn.skews = {parse_skew_spec(spec)};
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const RunResult r = run_consensus(scenario_run(alg, seed, scn));
+        EXPECT_TRUE(r.success()) << to_cstring(alg) << " skew=" << spec
+                                 << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ScenarioEndToEnd, SkewResolvesAgainstLayout) {
+  const ClusterLayout layout = ClusterLayout::even(8, 2);
+  ScenarioConfig scn;
+  scn.skews = {parse_skew_spec("cluster:1:x4"), parse_skew_spec("proc:0:x2")};
+  const auto speed = resolve_skews(scn.skews, layout);
+  ASSERT_EQ(speed.size(), 8u);
+  EXPECT_DOUBLE_EQ(speed[0], 2.0);
+  EXPECT_DOUBLE_EQ(speed[1], 1.0);
+  EXPECT_DOUBLE_EQ(speed[4], 4.0);
+  EXPECT_DOUBLE_EQ(speed[7], 4.0);
+
+  ScenarioConfig bad_proc;
+  bad_proc.skews = {parse_skew_spec("proc:8:x2")};
+  EXPECT_THROW(validate_scenario(bad_proc, layout), ContractViolation);
+  ScenarioConfig bad_cluster;
+  bad_cluster.skews = {parse_skew_spec("cluster:2:x2")};
+  EXPECT_THROW(validate_scenario(bad_cluster, layout), ContractViolation);
 }
 
 TEST(ScenarioEndToEnd, RecoveryRejoinDecides) {
