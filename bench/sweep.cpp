@@ -83,6 +83,27 @@
 //   --skew=S,...    clock skew / slow processes: proc:ID:xF or
 //                   cluster:ID:xF step-speed multipliers (e.g. proc:3:x4
 //                   makes p3's steps 4x slower; x0.5 makes a fast process)
+//
+// Observability (src/obs/; see README "Observability" — every section is
+// opt-in and strictly appended, so default artifacts stay byte-identical):
+//   --log-level=L     trace | debug | info | warn | error       [warn]
+//   --net-stats       append per-cell message-class counter columns
+//                     (delivered / dropped_* / duplicated / held) to
+//                     CSV/JSON
+//   --phase-metrics   collect per-phase latency timings (phase1/phase2 ns,
+//                     decide spread, coin flips) and append their columns.
+//                     Changes the grid fingerprint (timed and untimed runs
+//                     checkpoint separately) but never the base columns.
+//   --profile         append executor wall/cpu/msgs-per-sec columns (host
+//                     timing — NOT deterministic; local mode only)
+//   --trace-out=PATH  after the sweep, re-run one (cell, run) with tracing
+//                     on and export its event timeline ("-" for stdout)
+//   --trace-cell=I    cell index to trace                       [0]
+//   --trace-run=K     run index within the cell to trace        [0]
+//   --trace-format=F  jsonl | binary                            [jsonl]
+//   --health=PORT     with --serve: read-only HTTP progress endpoint
+//                     (0 = kernel-assigned; printed on stderr). Serves one
+//                     "hyco-health/1" JSON document per request.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -100,9 +121,12 @@
 #include "exp/executor.h"
 #include "exp/replay.h"
 #include "exp/report.h"
+#include "obs/trace_export.h"
 #include "scenario/engine.h"
 #include "scenario/scenario.h"
+#include "sim/trace.h"
 #include "util/assert.h"
+#include "util/log.h"
 #include "util/options.h"
 #include "workload/failure_patterns.h"
 
@@ -257,6 +281,7 @@ struct DistFlags {
   unsigned workers = 1;
   std::uint64_t lease_grain = 4096;
   std::chrono::milliseconds lease_ttl{60'000};
+  int health_port = -1;  ///< -1 = no health endpoint
 };
 
 DistFlags parse_dist_flags(const Options& opts) {
@@ -292,9 +317,27 @@ DistFlags parse_dist_flags(const Options& opts) {
                    "--lease-ttl must be in [1, 86400] seconds, got " << ttl);
     f.lease_ttl = std::chrono::seconds(ttl);
   }
+  if (opts.has("health")) {
+    HYCO_CHECK_MSG(f.serve,
+                   "--health only applies to --serve mode (the endpoint"
+                   " reports the coordinator's ledger)");
+    const auto hp = opts.get_int("health");
+    HYCO_CHECK_MSG(hp >= 0 && hp <= 65'535,
+                   "--health must be a port in [0, 65535], got " << hp);
+    f.health_port = static_cast<int>(hp);
+  }
+  if (opts.has("profile")) {
+    // Profile columns are host wall/CPU timing — meaningless to merge
+    // across machines and a determinism hazard on the wire.
+    HYCO_CHECK_MSG(!f.serve && !f.connect,
+                   "--profile only applies to local execution (host timing"
+                   " does not aggregate across distributed workers)");
+  }
   if (f.connect) {
     for (const char* banned :
-         {"json", "csv", "csv-shard", "checkpoint", "resume", "replay"}) {
+         {"json", "csv", "csv-shard", "checkpoint", "resume", "replay",
+          "net-stats", "trace-out", "trace-cell", "trace-run",
+          "trace-format"}) {
       HYCO_CHECK_MSG(!opts.has(banned),
                      "--" << banned << " cannot combine with --connect"
                           << " (artifacts are emitted by the --serve"
@@ -326,6 +369,17 @@ DistFlags parse_dist_flags(const Options& opts) {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   try {
+    // Log level first, on the main thread, so a typo exits 2 before any
+    // worker thread exists and the chosen level covers all startup logging.
+    if (opts.has("log-level")) {
+      const std::string name = opts.get_string("log-level");
+      const auto lvl = parse_log_level(name);
+      HYCO_CHECK_MSG(lvl.has_value(),
+                     "--log-level: unknown level \"" << name
+                         << "\" (want trace | debug | info | warn | error)");
+      Log::set_level(*lvl);
+    }
+
     ExperimentSpec spec;
     spec.name = "sweep";
     spec.base_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
@@ -382,8 +436,19 @@ int main(int argc, char** argv) {
     // Distributed-mode flags get the same main-thread validation.
     const DistFlags dist_flags = parse_dist_flags(opts);
 
+    // Observability report sections (all opt-in; see src/exp/report.h).
+    // --phase-metrics flows into the spec *before* expand(): cells snapshot
+    // collect_obs and the grid fingerprint mixes it, so timed and untimed
+    // sweeps never share a checkpoint or a distributed grid.
+    ReportOptions report_opts;
+    report_opts.net_stats = opts.get_bool("net-stats");
+    report_opts.phase_metrics = opts.get_bool("phase-metrics");
+    report_opts.profile = opts.get_bool("profile");
+    spec.collect_obs = report_opts.phase_metrics;
+
     ParallelExecutor::Options exec_opts;
     exec_opts.threads = opts.get_int("threads", 0);
+    exec_opts.profile = report_opts.profile;
     const auto chunk_flag = opts.get_int("chunk", 1024);
     HYCO_CHECK_MSG(chunk_flag >= 1,
                    "--chunk must be >= 1, got " << chunk_flag);
@@ -393,6 +458,41 @@ int main(int argc, char** argv) {
     const std::uint64_t total = spec.total_runs();
     const std::uint64_t fingerprint = grid_fingerprint(
         cells, exec_opts.reservoir_capacity, exec_opts.failure_capacity);
+
+    // Structured trace export: validated here, on the main thread, against
+    // the expanded grid; the traced run itself happens after the sweep.
+    const bool want_trace = opts.has("trace-out");
+    std::string trace_path;
+    std::uint64_t trace_cell = 0;
+    std::uint64_t trace_run = 0;
+    bool trace_binary = false;
+    if (want_trace) {
+      trace_path = opts.get_string("trace-out");
+      HYCO_CHECK_MSG(!trace_path.empty(), "--trace-out needs a path (or -)");
+      const auto cell_flag = opts.get_int("trace-cell", 0);
+      HYCO_CHECK_MSG(cell_flag >= 0 &&
+                         static_cast<std::uint64_t>(cell_flag) < cells.size(),
+                     "--trace-cell must be in [0, " << cells.size()
+                         << "), got " << cell_flag);
+      trace_cell = static_cast<std::uint64_t>(cell_flag);
+      const auto run_flag = opts.get_int("trace-run", 0);
+      const std::uint64_t cell_runs = cells[trace_cell].runs;
+      HYCO_CHECK_MSG(run_flag >= 0 &&
+                         static_cast<std::uint64_t>(run_flag) < cell_runs,
+                     "--trace-run must be in [0, " << cell_runs << "), got "
+                         << run_flag);
+      trace_run = static_cast<std::uint64_t>(run_flag);
+      const std::string fmt = opts.get_string("trace-format", "jsonl");
+      HYCO_CHECK_MSG(fmt == "jsonl" || fmt == "binary",
+                     "--trace-format: unknown format \"" << fmt
+                         << "\" (want jsonl | binary)");
+      trace_binary = fmt == "binary";
+    } else {
+      for (const char* orphan : {"trace-cell", "trace-run", "trace-format"}) {
+        HYCO_CHECK_MSG(!opts.has(orphan), "--" << orphan
+                           << " needs --trace-out=PATH to apply to");
+      }
+    }
 
     // Worker mode: lease chunks from the coordinator and ship accumulators
     // back; the grid definition stays local (fingerprint-checked).
@@ -622,6 +722,7 @@ int main(int argc, char** argv) {
       copts.lease_ttl = dist_flags.lease_ttl;
       copts.reservoir_capacity = exec_opts.reservoir_capacity;
       copts.failure_capacity = exec_opts.failure_capacity;
+      copts.health_port = dist_flags.health_port;
       if (ckpt_out.is_open()) {
         copts.on_chunk = [&](const ExperimentCell& cell, std::uint64_t begin,
                              std::uint64_t end, const CellAccumulator& acc) {
@@ -658,6 +759,10 @@ int main(int argc, char** argv) {
                 << spec.runs_per_cell << " seeds = " << total
                 << " runs on port " << coordinator.port() << " (lease grain "
                 << dist_flags.lease_grain << ")\n";
+      if (coordinator.health_port() != 0) {
+        std::cerr << "sweep: health endpoint on port "
+                  << coordinator.health_port() << "\n";
+      }
       for (auto& r : coordinator.serve()) results.push_back(std::move(r));
     } else {
       CollectingSink::Options sink_opts;
@@ -730,18 +835,55 @@ int main(int argc, char** argv) {
       if (shard > 0) {
         HYCO_CHECK_MSG(path != "-", "--csv-shard needs a file path, not -");
         const auto shards = write_cell_csv_sharded(
-            path, results, static_cast<std::size_t>(shard));
+            path, results, static_cast<std::size_t>(shard), report_opts);
         std::cerr << "sweep: wrote " << shards.size() << " CSV shard(s)\n";
       } else {
         write_report(path, [&](std::ostream& out) {
-          write_cell_csv(out, results);
+          write_cell_csv(out, results, report_opts);
         });
       }
     }
     if (opts.has("json")) {
       write_report(opts.get_string("json"), [&](std::ostream& out) {
-        write_cell_json(out, spec.name, results);
+        write_cell_json(out, spec.name, results, report_opts);
       });
+    }
+
+    // Structured trace export: re-run the selected (cell, run) bit-exactly
+    // — seeds are pure functions of the spec — with tracing into a caller-
+    // owned ring, then export the structured records.
+    if (want_trace) {
+      const ExperimentCell& cell = cells[trace_cell];
+      RunConfig cfg = cell.run_config(trace_run);
+      Trace trace(1 << 16);
+      cfg.enable_trace = true;
+      cfg.trace_sink = &trace;
+      (void)run_consensus(cfg);
+      obs::TraceMeta meta;
+      meta.cell = trace_cell;
+      meta.run = trace_run;
+      meta.seed = cell.seed_for(trace_run);
+      meta.label = cell.label();
+      const auto emit = [&](std::ostream& out) {
+        if (trace_binary) {
+          obs::write_trace_binary(out, meta, trace);
+        } else {
+          obs::write_trace_jsonl(out, meta, trace);
+        }
+      };
+      if (trace_path == "-") {
+        emit(std::cout);
+      } else {
+        std::ofstream out(trace_path, trace_binary
+                                          ? std::ios::out | std::ios::binary
+                                          : std::ios::out);
+        HYCO_CHECK_MSG(out.good(), "cannot open \"" << trace_path
+                                       << "\" for writing");
+        emit(out);
+      }
+      std::cerr << "sweep: traced cell " << trace_cell << " run " << trace_run
+                << " (seed " << meta.seed << ", " << trace.recorded()
+                << " events) -> " << trace_path << "\n";
     }
 
     const auto max_replays =

@@ -9,6 +9,10 @@
 #include "core/types.h"
 #include "net/message.h"
 
+namespace hyco::obs {
+class IRunObserver;
+}  // namespace hyco::obs
+
 namespace hyco {
 
 /// Per-process instrumentation shared by all algorithm implementations.
@@ -52,6 +56,13 @@ class IConsensusProcess {
   /// either under reliable channels; keeping them off preserves
   /// byte-identical legacy runs). Default: ignored.
   virtual void set_scenario_assist(bool /*on*/) {}
+
+  /// Installs an out-of-band observer notified of phase entries and
+  /// decisions (src/obs/ per-phase latency instrumentation). The observer
+  /// must outlive the process; nullptr detaches. Observation never feeds
+  /// back into algorithm state, so an instrumented run is byte-identical
+  /// to an uninstrumented one. Default: ignored (baselines report zeros).
+  virtual void set_observer(obs::IRunObserver* /*o*/) {}
 
   [[nodiscard]] virtual bool decided() const = 0;
   [[nodiscard]] virtual std::optional<Estimate> decision() const = 0;

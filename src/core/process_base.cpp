@@ -1,5 +1,6 @@
 #include "core/process_base.h"
 
+#include "obs/observer.h"
 #include "util/assert.h"
 #include "util/log.h"
 
@@ -105,6 +106,7 @@ void ProcessBase::on_recover() {
 }
 
 void ProcessBase::begin_exchange(Round r, Phase ph, Estimate est) {
+  if (obs_ != nullptr) obs_->on_phase_begin(self_, r, ph);
   if (assist_) sent_history_[{r, static_cast<int>(ph)}] = est;
   exch_.begin(r, ph, est);
   const auto it = backlog_.find({r, static_cast<int>(ph)});
@@ -120,6 +122,7 @@ void ProcessBase::decide(Estimate v) {
   if (decided()) return;
   HYCO_CHECK_MSG(is_binary(v), "cannot decide ⊥");
   if (checker_ != nullptr) checker_->on_decide(self_, round_, v);
+  if (obs_ != nullptr) obs_->on_decide(self_, round_);
   HYCO_DEBUG("p" << self_ << " decides " << v << " at round " << round_);
   net_.broadcast(self_, Message::decide_msg(v));
   decision_ = v;

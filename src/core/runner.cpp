@@ -9,6 +9,7 @@
 #include "core/common_coin_process.h"
 #include "core/invariant_checker.h"
 #include "core/local_coin_process.h"
+#include "obs/phase_timings.h"
 #include "scenario/engine.h"
 #include "shm/cluster_memory.h"
 #include "sim/trace.h"
@@ -67,9 +68,15 @@ RunResult run_consensus(const RunConfig& cfg) {
     channel = &scenario->channel();
   }
 
-  Trace trace;
-  trace.enable(cfg.enable_trace);
-  SimNetwork net(sim, *channel, tracker, n, &plan, &trace);
+  // Record into the caller's ring when one is supplied (structured export
+  // keeps the records); otherwise a run-local ring backs trace_dump. With
+  // tracing off the network gets no trace at all, so call sites skip even
+  // the detail-string formatting.
+  Trace local_trace;
+  Trace* trace = cfg.trace_sink != nullptr ? cfg.trace_sink : &local_trace;
+  trace->enable(cfg.enable_trace);
+  SimNetwork net(sim, *channel, tracker, n, &plan,
+                 cfg.enable_trace ? trace : nullptr);
   if (scenario != nullptr) net.set_scenario(scenario.get());
 
   InvariantChecker checker(cfg.layout);
@@ -124,6 +131,15 @@ RunResult run_consensus(const RunConfig& cfg) {
             p, n, net, coin_seed, cfg.max_rounds));
         break;
     }
+  }
+
+  // Per-phase latency observer (opt-in). Reads sim.now() but never mutates
+  // simulation state, so instrumented runs are byte-identical.
+  std::unique_ptr<obs::PhaseTimings> timings;
+  if (cfg.collect_obs) {
+    timings =
+        std::make_unique<obs::PhaseTimings>(n, [&sim] { return sim.now(); });
+    for (auto& proc : procs) proc->set_observer(timings.get());
   }
 
   RunResult result;
@@ -266,9 +282,21 @@ RunResult run_consensus(const RunConfig& cfg) {
   }
   result.net = net.stats();
 
+  // Message-class counters are free (already tallied by the network and the
+  // processes); phase timings only exist under collect_obs.
+  result.obs[obs::ObsId::kDelivered] = result.net.delivered;
+  result.obs[obs::ObsId::kDroppedPartitioned] = result.net.dropped_partitioned;
+  result.obs[obs::ObsId::kDroppedLost] = result.net.dropped_lost;
+  result.obs[obs::ObsId::kDuplicated] = result.net.duplicated;
+  result.obs[obs::ObsId::kHeldPartitioned] = result.net.held_partitioned;
+  std::uint64_t coin_flips = 0;
+  for (const ProcessStats& ps : result.proc_stats) coin_flips += ps.coin_flips;
+  result.obs[obs::ObsId::kCoinFlips] = coin_flips;
+  if (timings != nullptr) timings->fill(result.obs);
+
   if (cfg.enable_trace) {
     std::ostringstream os;
-    trace.dump(os);
+    trace->dump(os);
     result.trace_dump = os.str();
   }
   return result;

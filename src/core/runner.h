@@ -16,6 +16,7 @@
 #include "core/types.h"
 #include "net/delay_model.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "shm/consensus_object.h"
 #include "shm/op_counts.h"
@@ -23,6 +24,8 @@
 #include "sim/simulator.h"
 
 namespace hyco {
+
+class Trace;
 
 /// Which consensus algorithm a run executes.
 enum class Algorithm {
@@ -78,6 +81,19 @@ struct RunConfig {
   int adversary_bit = 0;
 
   bool enable_trace = false;
+
+  /// When set (with enable_trace), events are recorded into this caller-
+  /// owned ring instead of a run-local one — the caller keeps the structured
+  /// records for export (src/obs/trace_export.h) rather than just the
+  /// rendered trace_dump text.
+  Trace* trace_sink = nullptr;
+
+  /// Collect per-phase latency timings via an observer on each process.
+  /// Observation is out of band: it never touches seeded RNG streams or
+  /// algorithm state, so results are byte-identical either way. The
+  /// message-class counters in RunResult::obs are filled regardless (they
+  /// are free — copied from NetStats / ProcessStats after the run).
+  bool collect_obs = false;
 };
 
 /// Everything observable about a finished run.
@@ -105,6 +121,10 @@ struct RunResult {
   std::size_t crashed = 0;    ///< processes down at the end of the run
   std::size_t recovered = 0;  ///< crash-recovery rejoins executed
   std::string trace_dump;  ///< populated when cfg.enable_trace
+
+  /// Observability sample: message-class counters always; phase timings
+  /// only when cfg.collect_obs (zero otherwise).
+  obs::ObsSample obs;
 
   /// all_correct_decided && agreement && validity && invariants.
   [[nodiscard]] bool success() const {

@@ -20,6 +20,12 @@ struct Coordinator::Conn {
   std::uint64_t owner = 0;
   bool welcomed = false;
   FrameBuffer buf;
+  // Health-endpoint bookkeeping (observability only — never drives the
+  // lease/fold protocol):
+  WorkLedger::Clock::time_point connected_at{};
+  WorkLedger::Clock::time_point last_seen{};
+  std::uint64_t folded_chunks = 0;
+  std::uint64_t folded_runs = 0;
 };
 
 Coordinator::Coordinator(std::vector<ExperimentCell> cells,
@@ -52,11 +58,80 @@ Coordinator::~Coordinator() {
     if (c->fd >= 0) ::close(c->fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (health_fd_ >= 0) ::close(health_fd_);
 }
 
 void Coordinator::bind() {
   HYCO_CHECK_MSG(listen_fd_ < 0, "coordinator already bound");
   listen_fd_ = listen_on(opts_.port, &bound_port_);
+  if (opts_.health_port >= 0) {
+    HYCO_CHECK_MSG(opts_.health_port <= 65535,
+                   "health port " << opts_.health_port << " out of range");
+    health_fd_ = listen_on(static_cast<std::uint16_t>(opts_.health_port),
+                           &health_port_);
+  }
+}
+
+obs::HealthSnapshot Coordinator::snapshot(
+    WorkLedger::Clock::time_point started) const {
+  const auto now = WorkLedger::Clock::now();
+  const auto ms_since = [&now](WorkLedger::Clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - t)
+        .count();
+  };
+  obs::HealthSnapshot snap;
+  snap.elapsed_ms = ms_since(started);
+  snap.runs_total = resumed_runs_ + ledger_.total_runs();
+  snap.runs_folded = resumed_runs_ + ledger_.folded_runs();
+  snap.runs_resumed = resumed_runs_;
+  snap.cells_total = cells_.size();
+  for (const char c : completed_) snap.cells_completed += c != 0 ? 1 : 0;
+  snap.chunks_total = ledger_.chunk_count();
+  snap.chunks_pending = ledger_.pending_chunks();
+  snap.chunks_leased = ledger_.leased_chunks();
+  snap.chunks_folded = ledger_.folded_chunks();
+  // Fold rate over this serve()'s own folds (resumed runs were not earned
+  // in this session); ETA extrapolates it over the unfolded remainder.
+  const double elapsed_sec =
+      static_cast<double>(snap.elapsed_ms) / 1000.0;
+  if (elapsed_sec > 0.0 && ledger_.folded_runs() > 0) {
+    snap.fold_rate_per_sec =
+        static_cast<double>(ledger_.folded_runs()) / elapsed_sec;
+    snap.eta_sec =
+        static_cast<double>(ledger_.total_runs() - ledger_.folded_runs()) /
+        snap.fold_rate_per_sec;
+  }
+  snap.workers.reserve(conns_.size());
+  for (const auto& c : conns_) {
+    obs::WorkerHealth w;
+    w.id = c->owner;
+    w.welcomed = c->welcomed;
+    w.connected_ms = ms_since(c->connected_at);
+    w.last_seen_ms = ms_since(c->last_seen);
+    w.active_leases = ledger_.leased_to(c->owner);
+    w.folded_chunks = c->folded_chunks;
+    w.folded_runs = c->folded_runs;
+    snap.workers.push_back(w);
+  }
+  return snap;
+}
+
+void Coordinator::serve_health_request(
+    WorkLedger::Clock::time_point started) {
+  const int fd = ::accept(health_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  // Short timeouts: a stalled client must not wedge the poll loop (the
+  // endpoint is read-only and the response is one small buffer).
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  char req[1024];
+  (void)::recv(fd, req, sizeof(req), 0);  // request contents are irrelevant
+  const std::string resp =
+      obs::render_http_response(obs::render_health_json(snapshot(started)));
+  (void)::send(fd, resp.data(), resp.size(), 0);
+  ::close(fd);
 }
 
 void Coordinator::complete_cell(std::size_t cell_pos) {
@@ -136,6 +211,8 @@ bool Coordinator::handle_frame(Conn& conn, const Frame& frame) {
         case WorkLedger::FoldOutcome::kAccepted:
           break;
       }
+      ++conn.folded_chunks;
+      conn.folded_runs += result.end - result.begin;
       if (opts_.on_chunk) {
         opts_.on_chunk(cells_[pos], result.begin, result.end, result.acc);
       }
@@ -171,6 +248,9 @@ std::vector<CellResult> Coordinator::serve() {
     }
     pfds.clear();
     pfds.push_back({listen_fd_, POLLIN, 0});
+    if (health_fd_ >= 0) pfds.push_back({health_fd_, POLLIN, 0});
+    // Worker connections start after the listeners.
+    const std::size_t conn_base = health_fd_ >= 0 ? 2 : 1;
     for (const auto& c : conns_) pfds.push_back({c->fd, POLLIN, 0});
     const int rc = ::poll(pfds.data(), pfds.size(),
                           static_cast<int>(opts_.poll_interval.count()));
@@ -178,6 +258,10 @@ std::vector<CellResult> Coordinator::serve() {
       HYCO_CHECK_MSG(errno == EINTR,
                      "coordinator: poll() failed: " << errno);
       continue;
+    }
+
+    if (health_fd_ >= 0 && (pfds[1].revents & POLLIN) != 0) {
+      serve_health_request(started);
     }
 
     // One accept per readiness; further backlog surfaces on the next tick
@@ -196,14 +280,16 @@ std::vector<CellResult> Coordinator::serve() {
         auto conn = std::make_unique<Conn>();
         conn->fd = fd;
         conn->owner = next_owner_++;
+        conn->connected_at = WorkLedger::Clock::now();
+        conn->last_seen = conn->connected_at;
         conns_.push_back(std::move(conn));
       }
     }
 
     std::vector<std::size_t> dead;
-    for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
+    for (std::size_t i = 0; i + conn_base < pfds.size(); ++i) {
       Conn& conn = *conns_[i];
-      const short re = pfds[i + 1].revents;
+      const short re = pfds[i + conn_base].revents;
       if (re == 0) continue;
       bool ok = (re & (POLLERR | POLLNVAL)) == 0;
       if (ok && (re & (POLLIN | POLLHUP)) != 0) {
@@ -211,6 +297,7 @@ std::vector<CellResult> Coordinator::serve() {
         if (n <= 0) {
           ok = false;
         } else {
+          conn.last_seen = WorkLedger::Clock::now();
           conn.buf.feed(rdbuf.data(), static_cast<std::size_t>(n));
           while (ok) {
             const auto frame = conn.buf.next();
@@ -276,6 +363,10 @@ std::vector<CellResult> Coordinator::serve() {
   conns_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (health_fd_ >= 0) {
+    ::close(health_fd_);
+    health_fd_ = -1;
+  }
 
   std::vector<CellResult> results;
   results.reserve(cells_.size());

@@ -29,6 +29,7 @@
 #include "dist/proto.h"
 #include "exp/sink.h"
 #include "exp/spec.h"
+#include "obs/health.h"
 
 namespace hyco::dist {
 
@@ -60,6 +61,12 @@ struct CoordinatorOptions {
   /// Progress hook, called at most once per poll tick:
   /// (folded runs, total runs incl. nothing-to-do cells, connected workers).
   std::function<void(std::uint64_t, std::uint64_t, std::size_t)> progress;
+  /// Read-only HTTP health/progress endpoint: -1 = disabled, 0 =
+  /// kernel-assigned (query with health_port()), else the TCP port to bind.
+  /// Each request is answered with one "hyco-health/1" JSON document
+  /// (obs/health.h) on the coordinator's own poll loop — no extra thread,
+  /// and no interaction with the worker protocol.
+  int health_port = -1;
 };
 
 class Coordinator {
@@ -82,6 +89,8 @@ class Coordinator {
   /// workers). Throws ContractViolation when the port is unavailable.
   void bind();
   [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+  /// Bound health-endpoint port; 0 until bind() (or when disabled).
+  [[nodiscard]] std::uint16_t health_port() const { return health_port_; }
 
   /// Runs the accept/lease/fold loop until every run has folded (or
   /// max_wait expires → ContractViolation). Returns the finalized results
@@ -94,6 +103,11 @@ class Coordinator {
   void complete_cell(std::size_t cell_pos);
   /// Returns false when the connection must be dropped.
   [[nodiscard]] bool handle_frame(Conn& conn, const Frame& frame);
+  /// Point-in-time progress snapshot for the health endpoint.
+  [[nodiscard]] obs::HealthSnapshot snapshot(
+      WorkLedger::Clock::time_point started) const;
+  /// Accepts one health request and answers it (blocking, short timeouts).
+  void serve_health_request(WorkLedger::Clock::time_point started);
 
   std::vector<ExperimentCell> cells_;
   std::map<std::uint64_t, std::size_t> index_to_pos_;  ///< cell.index → pos
@@ -106,6 +120,8 @@ class Coordinator {
 
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
+  int health_fd_ = -1;
+  std::uint16_t health_port_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::uint64_t next_owner_ = 1;
 };

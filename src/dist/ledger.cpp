@@ -111,4 +111,18 @@ std::size_t WorkLedger::pending_chunks() const {
   return n;
 }
 
+std::size_t WorkLedger::folded_chunks() const {
+  std::size_t n = 0;
+  for (const Chunk& c : chunks_) n += c.state == State::kFolded ? 1 : 0;
+  return n;
+}
+
+std::size_t WorkLedger::leased_to(std::uint64_t owner) const {
+  std::size_t n = 0;
+  for (const Chunk& c : chunks_) {
+    n += (c.state == State::kLeased && c.owner == owner) ? 1 : 0;
+  }
+  return n;
+}
+
 }  // namespace hyco::dist

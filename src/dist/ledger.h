@@ -103,6 +103,9 @@ class WorkLedger {
   [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
   [[nodiscard]] std::size_t pending_chunks() const;
   [[nodiscard]] std::size_t leased_chunks() const { return leased_count_; }
+  [[nodiscard]] std::size_t folded_chunks() const;
+  /// Chunks currently leased to `owner` (health reporting).
+  [[nodiscard]] std::size_t leased_to(std::uint64_t owner) const;
 
  private:
   struct Chunk {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "exp/report.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -128,6 +129,9 @@ std::uint64_t grid_fingerprint(const std::vector<ExperimentCell>& cells,
     h = mix64(h, static_cast<std::uint64_t>(c.start_jitter));
     h = mix64(h, static_cast<std::uint64_t>(c.inputs));
     h = mix64(h, static_cast<std::uint64_t>(c.adversary_bit));
+    // Mixed only when set: metrics-off grids keep their pre-observability
+    // fingerprints, so existing checkpoints stay resumable.
+    if (c.collect_obs) h = mix64(h, 0x0B5E);
   }
   return h;
 }
@@ -159,6 +163,26 @@ void write_accumulator_state(std::ostream& out, const CellAccumulator& acc) {
         << ',' << r.crashed;
   }
   out << '\n';
+  // Observability metrics, one "o" line per id in enum order; latency ids
+  // append their log-histogram buckets after an "h" marker. Readers consume
+  // these greedily after the "f" line, so pre-observability checkpoints
+  // (no "o" lines) still load.
+  for (std::size_t i = 0; i < obs::kObsIdCount; ++i) {
+    const auto id = static_cast<obs::ObsId>(i);
+    const ExactMoments& mo = acc.obs.moments(id);
+    out << "o " << obs::obs_id_name(id) << ' ' << mo.count() << ' '
+        << u128_to_string(mo.raw_sum()) << ' '
+        << u128_to_string(mo.raw_sumsq()) << ' ' << mo.raw_min() << ' '
+        << mo.raw_max();
+    if (obs::obs_id_is_latency(id)) {
+      const obs::LogHistogram& hist = acc.obs.histogram(id);
+      out << " h";
+      for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+        out << ' ' << hist.bucket(b);
+      }
+    }
+    out << '\n';
+  }
 }
 
 void append_checkpoint_cell(std::ostream& out, std::uint64_t cell_index,
@@ -273,6 +297,42 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
     fails.push_back(r);
   }
 
+  // Optional observability lines ("o <name> <count> <sum> <sumsq> <min>
+  // <max> [h <buckets>]") — absent in pre-observability checkpoints.
+  // Unknown metric names (a newer writer's appended ids) are skipped.
+  obs::ObsAccumulator obs_parsed;
+  while (in.peek() == 'o') {
+    std::istringstream ols;
+    std::string name;
+    if (!next_line("o", ols, &name)) return bail();
+    std::uint64_t count = 0, omin = 0, omax = 0;
+    std::string sum_s, sumsq_s;
+    if (!(ols >> count >> sum_s >> sumsq_s >> omin >> omax)) return bail();
+    U128 sum = 0, sumsq = 0;
+    if (!parse_u128(sum_s, sum) || !parse_u128(sumsq_s, sumsq)) return bail();
+    std::string marker;
+    std::array<std::uint64_t, obs::LogHistogram::kBuckets> hcounts{};
+    bool have_hist = false;
+    if (ols >> marker) {
+      if (marker != "h") return bail();
+      for (auto& c : hcounts) {
+        if (!(ols >> c)) return bail();
+      }
+      have_hist = true;
+    }
+    for (std::size_t i = 0; i < obs::kObsIdCount; ++i) {
+      const auto id = static_cast<obs::ObsId>(i);
+      if (name != obs::obs_id_name(id)) continue;
+      obs_parsed.moments(id) =
+          ExactMoments::from_raw(count, sum, sumsq, omin, omax);
+      if (obs::obs_id_is_latency(id)) {
+        if (!have_hist) return bail();
+        obs_parsed.histogram(id) = obs::LogHistogram::from_counts(hcounts);
+      }
+      break;
+    }
+  }
+
   CellAccumulator built(rcap, fcap);
   built.rounds = parsed[0];
   built.msgs = parsed[1];
@@ -281,6 +341,7 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
   built.decision_time = parsed[4];
   built.round_hist = Histogram::from_counts(lo, hi, std::move(counts));
   built.failures = std::move(fails);
+  built.obs = obs_parsed;
   out = std::move(built);
   return true;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <ctime>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -10,6 +12,22 @@
 #include "util/assert.h"
 
 namespace hyco {
+
+namespace {
+
+/// This worker thread's CPU time in ns (0 where unsupported).
+std::uint64_t thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 unsigned ParallelExecutor::worker_count(std::uint64_t total_tasks) const {
   HYCO_CHECK_MSG(opts_.threads >= 0,
@@ -112,13 +130,31 @@ void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
       CellAccumulator acc(opts_.reservoir_capacity, opts_.failure_capacity);
       std::vector<RunRecord> records;
       if (keep_records) records.reserve(static_cast<std::size_t>(end - begin));
+      ChunkProfile prof;
+      const auto wall_start = std::chrono::steady_clock::now();
+      const std::uint64_t cpu_start = opts_.profile ? thread_cpu_ns() : 0;
       for (std::uint64_t k = begin; k < end; ++k) {
         const RunConfig cfg = cell.run_config(k);
         const RunRecord rec = extract_record(k, cfg.seed, run_consensus(cfg));
+        if (opts_.profile) {
+          prof.msgs += rec.msgs;
+          prof.events += rec.events;
+        }
         acc.add(rec);
         if (keep_records) records.push_back(rec);
       }
+      if (opts_.profile) {
+        prof.wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count());
+        const std::uint64_t cpu_end = thread_cpu_ns();
+        prof.cpu_ns = cpu_end > cpu_start ? cpu_end - cpu_start : 0;
+        prof.runs = end - begin;
+        prof.chunks = 1;
+      }
       sink.absorb(cell_pos, begin, end, std::move(acc), std::move(records));
+      if (opts_.profile) sink.absorb_profile(cell_pos, prof);
       const std::uint64_t left = remaining[cell_pos].fetch_sub(
           end - begin, std::memory_order_acq_rel);
       if (left == end - begin) sink.on_cell_complete(cell_pos);

@@ -44,6 +44,9 @@ class ParallelExecutor {
     /// Optional progress callback, invoked from worker threads after each
     /// completed *chunk* with (runs done, total runs). Must be thread-safe.
     std::function<void(std::uint64_t done, std::uint64_t total)> progress;
+    /// Measure per-chunk wall/CPU time and feed RunSink::absorb_profile.
+    /// Host-side timing only — simulation results are unaffected.
+    bool profile = false;
   };
 
   ParallelExecutor() = default;

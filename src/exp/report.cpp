@@ -65,8 +65,25 @@ void write_summary_json(std::ostream& out, const char* key,
       << ",\"max\":" << format_number(s.max()) << '}';
 }
 
-const std::vector<std::string>& csv_header() {
-  static const std::vector<std::string> kHeader{
+// The trailing latency ids, in emission order.
+constexpr obs::ObsId kLatencyIds[3] = {obs::ObsId::kPhase1Ns,
+                                       obs::ObsId::kPhase2Ns,
+                                       obs::ObsId::kDecideSpreadNs};
+
+// The scenario message-class counters surfaced by --net-stats.
+constexpr obs::ObsId kNetCounterIds[5] = {
+    obs::ObsId::kDelivered, obs::ObsId::kDroppedPartitioned,
+    obs::ObsId::kDroppedLost, obs::ObsId::kDuplicated,
+    obs::ObsId::kHeldPartitioned};
+
+double profile_msgs_per_sec(const ChunkProfile& p) {
+  if (p.wall_ns == 0) return 0.0;
+  return static_cast<double>(p.msgs) /
+         (static_cast<double>(p.wall_ns) / 1e9);
+}
+
+std::vector<std::string> csv_header(const ReportOptions& opts) {
+  std::vector<std::string> header{
       "cell", "algorithm", "n", "m", "layout", "delay", "crash",
       "scenario", "coin_epsilon", "runs", "terminated", "violations",
       "rounds_mean", "rounds_p50", "rounds_p95", "rounds_max",
@@ -75,10 +92,30 @@ const std::vector<std::string>& csv_header() {
       "shm_proposals_max", "objects_mean", "objects_p50", "objects_p95",
       "objects_max", "decision_time_mean", "decision_time_p50",
       "decision_time_p95", "decision_time_max"};
-  return kHeader;
+  if (opts.net_stats) {
+    for (const obs::ObsId id : kNetCounterIds) {
+      header.push_back(std::string(obs::obs_id_name(id)) + "_sum");
+    }
+  }
+  if (opts.phase_metrics) {
+    header.emplace_back("coin_flips_mean");
+    for (const obs::ObsId id : kLatencyIds) {
+      const std::string name = obs::obs_id_name(id);
+      header.push_back(name + "_mean");
+      header.push_back(name + "_p95");
+      header.push_back(name + "_max");
+    }
+  }
+  if (opts.profile) {
+    header.emplace_back("wall_ms");
+    header.emplace_back("cpu_ms");
+    header.emplace_back("msgs_per_sec");
+  }
+  return header;
 }
 
-void write_csv_row(CsvWriter& w, const CellResult& r) {
+void write_csv_row(CsvWriter& w, const CellResult& r,
+                   const ReportOptions& opts) {
   std::vector<std::string> fields;
   fields.push_back(std::to_string(r.cell.index));
   fields.emplace_back(to_cstring(r.cell.alg));
@@ -97,21 +134,42 @@ void write_csv_row(CsvWriter& w, const CellResult& r) {
   append_summary_fields(fields, r.shm_proposals());
   append_summary_fields(fields, r.objects());
   append_summary_fields(fields, r.decision_time());
+  if (opts.net_stats) {
+    for (const obs::ObsId id : kNetCounterIds) {
+      fields.push_back(std::to_string(r.obs().sum(id)));
+    }
+  }
+  if (opts.phase_metrics) {
+    fields.push_back(
+        format_number(r.obs().moments(obs::ObsId::kCoinFlips).mean()));
+    for (const obs::ObsId id : kLatencyIds) {
+      fields.push_back(format_number(r.obs().moments(id).mean()));
+      fields.push_back(format_number(r.obs().histogram(id).percentile(95)));
+      fields.push_back(format_number(r.obs().moments(id).max()));
+    }
+  }
+  if (opts.profile) {
+    fields.push_back(
+        format_number(static_cast<double>(r.profile.wall_ns) / 1e6));
+    fields.push_back(
+        format_number(static_cast<double>(r.profile.cpu_ns) / 1e6));
+    fields.push_back(format_number(profile_msgs_per_sec(r.profile)));
+  }
   w.row(fields);
 }
 
 }  // namespace
 
-void write_cell_csv(std::ostream& out,
-                    const std::vector<CellResult>& results) {
+void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results,
+                    const ReportOptions& opts) {
   CsvWriter w(out);
-  w.header(csv_header());
-  for (const auto& r : results) write_csv_row(w, r);
+  w.header(csv_header(opts));
+  for (const auto& r : results) write_csv_row(w, r, opts);
 }
 
 std::vector<std::string> write_cell_csv_sharded(
     const std::string& path, const std::vector<CellResult>& results,
-    std::size_t shard_size) {
+    std::size_t shard_size, const ReportOptions& opts) {
   HYCO_CHECK_MSG(shard_size >= 1, "CSV shard size must be >= 1");
   std::vector<std::string> shards;
   for (std::size_t begin = 0; begin == 0 || begin < results.size();
@@ -123,16 +181,19 @@ std::vector<std::string> write_cell_csv_sharded(
     HYCO_CHECK_MSG(out.good(),
                    "cannot open \"" << shard_path << "\" for writing");
     CsvWriter w(out);
-    w.header(csv_header());
+    w.header(csv_header(opts));
     const std::size_t end = std::min(begin + shard_size, results.size());
-    for (std::size_t i = begin; i < end; ++i) write_csv_row(w, results[i]);
+    for (std::size_t i = begin; i < end; ++i) {
+      write_csv_row(w, results[i], opts);
+    }
     shards.push_back(shard_path);
   }
   return shards;
 }
 
 void write_cell_json(std::ostream& out, const std::string& experiment_name,
-                     const std::vector<CellResult>& results) {
+                     const std::vector<CellResult>& results,
+                     const ReportOptions& opts) {
   out << "{\"experiment\":\"" << json_escape(experiment_name)
       << "\",\"cells\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -159,6 +220,46 @@ void write_cell_json(std::ostream& out, const std::string& experiment_name,
     write_summary_json(out, "consensus_objects", r.objects());
     out << ',';
     write_summary_json(out, "decision_time", r.decision_time());
+    if (opts.net_stats) {
+      out << ",\"net\":{";
+      for (std::size_t k = 0; k < 5; ++k) {
+        if (k) out << ',';
+        out << '"' << obs::obs_id_name(kNetCounterIds[k])
+            << "\":" << r.obs().sum(kNetCounterIds[k]);
+      }
+      out << '}';
+    }
+    if (opts.phase_metrics) {
+      out << ",\"obs\":{";
+      const ExactMoments& cf = r.obs().moments(obs::ObsId::kCoinFlips);
+      out << "\"coin_flips\":{\"count\":" << cf.count()
+          << ",\"mean\":" << format_number(cf.mean())
+          << ",\"sd\":" << format_number(cf.stddev())
+          << ",\"min\":" << format_number(cf.min())
+          << ",\"max\":" << format_number(cf.max()) << '}';
+      for (const obs::ObsId id : kLatencyIds) {
+        const ExactMoments& mo = r.obs().moments(id);
+        const obs::LogHistogram& hist = r.obs().histogram(id);
+        out << ",\"" << obs::obs_id_name(id)
+            << "\":{\"count\":" << mo.count()
+            << ",\"mean\":" << format_number(mo.mean())
+            << ",\"sd\":" << format_number(mo.stddev())
+            << ",\"min\":" << format_number(mo.min())
+            << ",\"p50\":" << format_number(hist.percentile(50))
+            << ",\"p95\":" << format_number(hist.percentile(95))
+            << ",\"max\":" << format_number(mo.max()) << '}';
+      }
+      out << '}';
+    }
+    if (opts.profile) {
+      out << ",\"profile\":{\"wall_ms\":"
+          << format_number(static_cast<double>(r.profile.wall_ns) / 1e6)
+          << ",\"cpu_ms\":"
+          << format_number(static_cast<double>(r.profile.cpu_ns) / 1e6)
+          << ",\"msgs_per_sec\":"
+          << format_number(profile_msgs_per_sec(r.profile))
+          << ",\"chunks\":" << r.profile.chunks << '}';
+    }
     out << ",\"failures\":[";
     for (std::size_t f = 0; f < r.failures().size(); ++f) {
       const auto& fail = r.failures()[f];

@@ -14,8 +14,24 @@
 
 namespace hyco {
 
+/// Opt-in report sections. All default off, and the added columns/keys are
+/// strictly appended, so documents emitted with the defaults are
+/// byte-identical to pre-observability builds.
+struct ReportOptions {
+  /// Network scenario counters (delivered / dropped_* / duplicated /
+  /// held_partitioned sums) per cell.
+  bool net_stats = false;
+  /// Per-phase latency metrics (coin flips, phase1/phase2/decide-spread ns)
+  /// — meaningful when the spec ran with collect_obs.
+  bool phase_metrics = false;
+  /// Executor wall/CPU profile (wall_ms, cpu_ms, msgs_per_sec) — host
+  /// timing, NOT deterministic; keep out of regression-diffed artifacts.
+  bool profile = false;
+};
+
 /// One row per cell: axis labels, counts, and per-metric mean/p50/p95/max.
-void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results);
+void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results,
+                    const ReportOptions& opts = {});
 
 /// Sharded CSV for huge grids: writes `ceil(results / shard_size)` files
 /// named "<path>.000", "<path>.001", … each with the full header and
@@ -24,13 +40,14 @@ void write_cell_csv(std::ostream& out, const std::vector<CellResult>& results);
 /// byte. Throws ContractViolation when a shard cannot be opened.
 std::vector<std::string> write_cell_csv_sharded(
     const std::string& path, const std::vector<CellResult>& results,
-    std::size_t shard_size);
+    std::size_t shard_size, const ReportOptions& opts = {});
 
 /// {"experiment": ..., "cells": [...]} with a stats object per metric and
 /// the failing seeds listed per cell (the replay work list survives into
 /// the artifact).
 void write_cell_json(std::ostream& out, const std::string& experiment_name,
-                     const std::vector<CellResult>& results);
+                     const std::vector<CellResult>& results,
+                     const ReportOptions& opts = {});
 
 /// Renders an ASCII summary table (one row per cell) for quick terminal use.
 [[nodiscard]] Table to_table(const std::string& title,

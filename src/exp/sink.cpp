@@ -54,6 +54,7 @@ RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
   rec.consensus_objects = r.consensus_objects;
   rec.events = r.events;
   rec.crashed = r.crashed;
+  rec.obs = r.obs;
   return rec;
 }
 
@@ -104,6 +105,7 @@ void CellAccumulator::add(const RunRecord& r) {
   }
   if (!r.safe_ok) ++violations;
   if (!r.success) bounded_push(failures, r, failure_cap);
+  obs.add(r.obs);
 }
 
 void CellAccumulator::merge(const CellAccumulator& other) {
@@ -119,6 +121,7 @@ void CellAccumulator::merge(const CellAccumulator& other) {
   for (const RunRecord& r : other.failures) {
     bounded_push(failures, r, failure_cap);
   }
+  obs.merge(other.obs);
 }
 
 void CellAccumulator::finalize() {
@@ -168,6 +171,16 @@ void CollectingSink::absorb(std::uint64_t cell_pos, std::uint64_t begin,
   }
 }
 
+void CollectingSink::absorb_profile(std::uint64_t cell_pos,
+                                    const ChunkProfile& prof) {
+  HYCO_CHECK_MSG(cell_pos < slots_.size(),
+                 "absorb_profile: cell position " << cell_pos
+                                                  << " out of range");
+  Slot& slot = *slots_[cell_pos];
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  slot.profile.merge(prof);
+}
+
 void CollectingSink::on_cell_complete(std::uint64_t cell_pos) {
   HYCO_CHECK_MSG(cell_pos < slots_.size(),
                  "on_cell_complete: cell position " << cell_pos
@@ -190,6 +203,7 @@ std::vector<CellResult> CollectingSink::take_results() {
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     CellResult res(std::move(cells_[i]), std::move(slots_[i]->acc));
     res.records = std::move(slots_[i]->records);
+    res.profile = slots_[i]->profile;
     results.push_back(std::move(res));
   }
   return results;

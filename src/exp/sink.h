@@ -44,6 +44,7 @@ struct RunRecord {
   std::uint64_t consensus_objects = 0;
   std::uint64_t events = 0;
   std::uint64_t crashed = 0;
+  obs::ObsSample obs;  ///< observability counters (RunResult::obs)
 };
 
 RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
@@ -105,6 +106,12 @@ struct CellAccumulator {
   MetricStats decision_time;
   Histogram round_hist{0.0, 64.0, 16};  ///< decision-round distribution
 
+  /// Observability metrics over ALL runs (not just terminated ones):
+  /// message-class counters and — when the spec collects them — per-phase
+  /// latency moments + log-scale histograms. Merge-order-invariant like
+  /// every other component.
+  obs::ObsAccumulator obs;
+
   /// Bounded ring of failing runs: the `failure_cap` non-success() runs
   /// with the lowest run indices — a deterministic replay work list that
   /// survives streaming execution (no retained records needed). Sorted by
@@ -120,6 +127,28 @@ struct CellAccumulator {
   [[nodiscard]] double termination_rate() const;
 };
 
+/// Wall-clock execution profile of the chunks folded into one cell.
+/// Non-deterministic by nature (it measures the host, not the simulation),
+/// so it lives beside the accumulator, never inside checkpoint or wire
+/// artifacts.
+struct ChunkProfile {
+  std::uint64_t wall_ns = 0;  ///< summed per-chunk wall time
+  std::uint64_t cpu_ns = 0;   ///< summed per-chunk thread CPU time
+  std::uint64_t msgs = 0;     ///< unicasts simulated in profiled chunks
+  std::uint64_t events = 0;   ///< simulator events in profiled chunks
+  std::uint64_t runs = 0;     ///< runs covered by profiled chunks
+  std::uint64_t chunks = 0;   ///< chunks profiled
+
+  void merge(const ChunkProfile& other) {
+    wall_ns += other.wall_ns;
+    cpu_ns += other.cpu_ns;
+    msgs += other.msgs;
+    events += other.events;
+    runs += other.runs;
+    chunks += other.chunks;
+  }
+};
+
 /// One finished cell: its grid coordinates plus merged statistics, and —
 /// batch mode only — the retained per-run records.
 struct CellResult {
@@ -131,6 +160,8 @@ struct CellResult {
   CellAccumulator acc;
   /// Raw per-run metrics in run order; empty under streaming sinks.
   std::vector<RunRecord> records;
+  /// Wall-clock execution profile; all-zero unless the executor profiled.
+  ChunkProfile profile;
 
   [[nodiscard]] std::uint64_t runs() const { return acc.runs; }
   [[nodiscard]] std::uint64_t terminated() const { return acc.terminated; }
@@ -145,6 +176,7 @@ struct CellResult {
     return acc.decision_time;
   }
   [[nodiscard]] const Histogram& round_hist() const { return acc.round_hist; }
+  [[nodiscard]] const obs::ObsAccumulator& obs() const { return acc.obs; }
   [[nodiscard]] const std::vector<RunRecord>& failures() const {
     return acc.failures;
   }
@@ -181,6 +213,15 @@ class RunSink {
   virtual void absorb(std::uint64_t cell_pos, std::uint64_t begin,
                       std::uint64_t end, CellAccumulator&& chunk,
                       std::vector<RunRecord>&& records) = 0;
+
+  /// Executor profiling hook: wall/CPU cost of one finished chunk of cell
+  /// `cell_pos`. Called only when the executor profiles (Options::profile);
+  /// host-side measurement, kept apart from the deterministic absorb path.
+  virtual void absorb_profile(std::uint64_t cell_pos,
+                              const ChunkProfile& prof) {
+    (void)cell_pos;
+    (void)prof;
+  }
 
   /// Every scheduled run of the cell has been absorbed. Cells complete in
   /// any order; called from whichever worker finished the last chunk.
@@ -220,6 +261,8 @@ class CollectingSink : public RunSink {
   void absorb(std::uint64_t cell_pos, std::uint64_t begin, std::uint64_t end,
               CellAccumulator&& chunk,
               std::vector<RunRecord>&& records) override;
+  void absorb_profile(std::uint64_t cell_pos,
+                      const ChunkProfile& prof) override;
   void on_cell_complete(std::uint64_t cell_pos) override;
 
   /// Results in cell order; call after the executor returns.
@@ -231,6 +274,7 @@ class CollectingSink : public RunSink {
     bool has_acc = false;
     CellAccumulator acc;
     std::vector<RunRecord> records;
+    ChunkProfile profile;
   };
 
   std::vector<ExperimentCell> cells_;

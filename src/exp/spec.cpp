@@ -119,6 +119,7 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
               c.max_rounds = max_rounds;
               c.start_jitter = start_jitter;
               c.adversary_bit = adversary_bit;
+              c.collect_obs = collect_obs;
               cells.push_back(std::move(c));
             }
           }
@@ -156,6 +157,7 @@ RunConfig ExperimentCell::run_config(std::uint64_t run) const {
   cfg.start_jitter = start_jitter;
   cfg.coin_epsilon = coin_epsilon;
   cfg.adversary_bit = adversary_bit;
+  cfg.collect_obs = collect_obs;
   return cfg;
 }
 

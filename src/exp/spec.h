@@ -93,6 +93,11 @@ struct ExperimentSpec {
   SimTime start_jitter = 50;
   int adversary_bit = 0;
 
+  /// Collect per-phase latency timings on every run (RunConfig::collect_obs).
+  /// Out of band: results and emitted artifacts stay byte-identical apart
+  /// from the opt-in observability columns themselves.
+  bool collect_obs = false;
+
   /// Cross-product size (cells, not runs).
   [[nodiscard]] std::size_t cell_count() const;
 
@@ -122,6 +127,7 @@ struct ExperimentCell {
   Round max_rounds = 5000;
   SimTime start_jitter = 50;
   int adversary_bit = 0;
+  bool collect_obs = false;
 
   explicit ExperimentCell(ClusterLayout l) : layout(std::move(l)) {}
 

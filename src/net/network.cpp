@@ -47,6 +47,7 @@ void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
       return;
     }
     hold = release - sim_.now();
+    if (hold > 0) ++stats_.held_partitioned;
     copies = scenario_->draw_copies(m, sim_.rng());
     if (copies == 0) {
       ++stats_.dropped_lost;

@@ -33,6 +33,7 @@ struct NetStats {
   std::uint64_t dropped_partitioned = 0;  ///< blocked by a never-healing cut
   std::uint64_t dropped_lost = 0;         ///< per-link loss draws
   std::uint64_t duplicated = 0;           ///< extra copies scheduled
+  std::uint64_t held_partitioned = 0;     ///< delayed by a healing cut
 };
 
 /// Abstract message-passing system shared by algorithms and substrates.

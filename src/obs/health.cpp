@@ -1,0 +1,65 @@
+#include "obs/health.h"
+
+#include <cstdio>
+
+namespace hyco::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_health_json(const HealthSnapshot& snap) {
+  std::string out;
+  out.reserve(512 + snap.workers.size() * 160);
+  out += "{\"schema\":\"hyco-health/1\"";
+  out += ",\"elapsed_ms\":" + std::to_string(snap.elapsed_ms);
+  out += ",\"runs\":{\"total\":" + std::to_string(snap.runs_total);
+  out += ",\"folded\":" + std::to_string(snap.runs_folded);
+  out += ",\"resumed\":" + std::to_string(snap.runs_resumed) + "}";
+  out += ",\"cells\":{\"total\":" + std::to_string(snap.cells_total);
+  out += ",\"completed\":" + std::to_string(snap.cells_completed) + "}";
+  out += ",\"chunks\":{\"total\":" + std::to_string(snap.chunks_total);
+  out += ",\"pending\":" + std::to_string(snap.chunks_pending);
+  out += ",\"leased\":" + std::to_string(snap.chunks_leased);
+  out += ",\"folded\":" + std::to_string(snap.chunks_folded) + "}";
+  out += ",\"fold_rate_per_sec\":";
+  append_double(out, snap.fold_rate_per_sec);
+  out += ",\"eta_sec\":";
+  append_double(out, snap.eta_sec);
+  out += ",\"workers\":[";
+  bool first = true;
+  for (const WorkerHealth& w : snap.workers) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(w.id);
+    out += ",\"welcomed\":";
+    out += w.welcomed ? "true" : "false";
+    out += ",\"connected_ms\":" + std::to_string(w.connected_ms);
+    out += ",\"last_seen_ms\":" + std::to_string(w.last_seen_ms);
+    out += ",\"active_leases\":" + std::to_string(w.active_leases);
+    out += ",\"folded_chunks\":" + std::to_string(w.folded_chunks);
+    out += ",\"folded_runs\":" + std::to_string(w.folded_runs);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_http_response(const std::string& json_body) {
+  std::string out;
+  out.reserve(json_body.size() + 128);
+  out += "HTTP/1.0 200 OK\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(json_body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += json_body;
+  return out;
+}
+
+}  // namespace hyco::obs

@@ -1,0 +1,51 @@
+// Live health/progress snapshot for a distributed sweep coordinator.
+//
+// The coordinator assembles a HealthSnapshot from its work ledger and
+// connection table on demand; render_health_json turns it into a stable
+// "hyco-health/1" JSON document served over a read-only HTTP endpoint so an
+// operator (or CI) can poll progress mid-sweep without touching the worker
+// protocol. Rendering is a free function so tests can exercise the schema
+// without sockets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyco::obs {
+
+/// One connected worker as seen by the coordinator.
+struct WorkerHealth {
+  std::uint64_t id = 0;
+  bool welcomed = false;
+  std::int64_t connected_ms = 0;  ///< ms since the worker connected
+  std::int64_t last_seen_ms = 0;  ///< ms since the last frame from it
+  std::uint64_t active_leases = 0;
+  std::uint64_t folded_chunks = 0;
+  std::uint64_t folded_runs = 0;
+};
+
+/// Point-in-time progress of the whole sweep.
+struct HealthSnapshot {
+  std::int64_t elapsed_ms = 0;  ///< ms since serve() started
+  std::uint64_t runs_total = 0;
+  std::uint64_t runs_folded = 0;
+  std::uint64_t runs_resumed = 0;  ///< runs credited from a checkpoint
+  std::size_t cells_total = 0;
+  std::size_t cells_completed = 0;
+  std::size_t chunks_total = 0;
+  std::size_t chunks_pending = 0;
+  std::size_t chunks_leased = 0;
+  std::size_t chunks_folded = 0;
+  double fold_rate_per_sec = 0.0;  ///< runs folded per second since start
+  double eta_sec = 0.0;            ///< 0 when unknown (no fold rate yet)
+  std::vector<WorkerHealth> workers;
+};
+
+/// Renders the snapshot as a single "hyco-health/1" JSON object.
+std::string render_health_json(const HealthSnapshot& snap);
+
+/// Wraps a JSON body in a minimal HTTP/1.0 200 response (close-delimited).
+std::string render_http_response(const std::string& json_body);
+
+}  // namespace hyco::obs

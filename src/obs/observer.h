@@ -1,0 +1,26 @@
+// Run-observer interface: the hook surface consensus processes report
+// through when observability is on. Observers are strictly passive — they
+// read the simulation (typically just its clock) and never touch the seeded
+// RNG, the network, or process state, so installing one cannot change a
+// run's outcome by construction.
+#pragma once
+
+#include "core/types.h"
+
+namespace hyco::obs {
+
+/// Phase-level consensus events, reported by ProcessBase. BenOr (the pure
+/// message-passing baseline) does not route through ProcessBase and reports
+/// nothing — its phase metrics stay zero.
+class IRunObserver {
+ public:
+  virtual ~IRunObserver() = default;
+
+  /// Process `p` begins the exchange of (round `r`, phase `ph`).
+  virtual void on_phase_begin(ProcId p, Round r, Phase ph) = 0;
+
+  /// Process `p` decides in round `r`.
+  virtual void on_decide(ProcId p, Round r) = 0;
+};
+
+}  // namespace hyco::obs

@@ -1,0 +1,50 @@
+#include "obs/phase_timings.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hyco::obs {
+
+PhaseTimings::PhaseTimings(ProcId n, std::function<SimTime()> now)
+    : now_(std::move(now)), open_(static_cast<std::size_t>(n)) {
+  HYCO_CHECK_MSG(n > 0, "phase timings need at least one process");
+  HYCO_CHECK_MSG(static_cast<bool>(now_), "phase timings need a clock");
+}
+
+void PhaseTimings::close_open(ProcId p) {
+  Open& o = open_[static_cast<std::size_t>(p)];
+  if (!o.active) return;
+  const SimTime t = now_();
+  if (t > o.since) {
+    phase_ns_[o.phase == Phase::One ? 0 : 1] +=
+        static_cast<std::uint64_t>(t - o.since);
+  }
+  o.active = false;
+}
+
+void PhaseTimings::on_phase_begin(ProcId p, Round /*r*/, Phase ph) {
+  close_open(p);
+  Open& o = open_[static_cast<std::size_t>(p)];
+  o.phase = ph;
+  o.since = now_();
+  o.active = true;
+}
+
+void PhaseTimings::on_decide(ProcId p, Round /*r*/) {
+  close_open(p);
+  const SimTime t = now_();
+  if (first_decide_ == kSimTimeNever || t < first_decide_) first_decide_ = t;
+  if (last_decide_ == kSimTimeNever || t > last_decide_) last_decide_ = t;
+  ++decided_;
+}
+
+void PhaseTimings::fill(ObsSample& s) const {
+  s[ObsId::kPhase1Ns] = phase_ns_[0];
+  s[ObsId::kPhase2Ns] = phase_ns_[1];
+  s[ObsId::kDecideSpreadNs] =
+      decided_ > 0 ? static_cast<std::uint64_t>(last_decide_ - first_decide_)
+                   : 0;
+}
+
+}  // namespace hyco::obs

@@ -1,0 +1,261 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hyco::obs {
+
+namespace {
+
+constexpr const char* kSchema = "hyco-trace/1";
+constexpr char kBinaryMagic[8] = {'H', 'Y', 'T', 'R', 'C', 'B', '1', '\n'};
+
+// Local JSON string escape/unescape: the exporter must not depend on the
+// report layer, and the reader only needs to invert this exact writer.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char c = s[i + 1 + static_cast<std::size_t>(k)];
+          v <<= 4;
+          if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+          else return false;
+        }
+        if (v > 0xFF) return false;  // the writer only escapes control bytes
+        out += static_cast<char>(v);
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Extracts the value of `"key":` from a single-line JSON object written by
+/// this file's writers (flat objects, known key order not required).
+bool find_raw_value(const std::string& line, const char* key,
+                    std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    // String value: scan to the closing unescaped quote.
+    std::size_t j = i + 1;
+    while (j < line.size()) {
+      if (line[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (line[j] == '"') break;
+      ++j;
+    }
+    if (j >= line.size()) return false;
+    out = line.substr(i + 1, j - i - 1);
+    return true;
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  out = line.substr(i, j - i);
+  return !out.empty();
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+template <typename T>
+void put_raw(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool get_raw(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(v));
+}
+
+constexpr std::uint32_t kMaxStringBytes = 1u << 20;
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!get_raw(in, len) || len > kMaxStringBytes) return false;
+  s.resize(len);
+  if (len == 0) return true;
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  return in.gcount() == static_cast<std::streamsize>(len);
+}
+
+}  // namespace
+
+bool trace_kind_from_name(const std::string& name, TraceKind& out) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::Note); ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    if (name == to_cstring(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_trace_jsonl(std::ostream& out, const TraceMeta& meta,
+                       const Trace& trace) {
+  out << "{\"schema\":\"" << kSchema << "\",\"cell\":" << meta.cell
+      << ",\"run\":" << meta.run << ",\"seed\":" << meta.seed
+      << ",\"label\":\"" << escape(meta.label)
+      << "\",\"records\":" << trace.size() << "}\n";
+  trace.for_each([&](const TraceRecord& r) {
+    out << "{\"at\":" << r.at << ",\"kind\":\"" << to_cstring(r.kind)
+        << "\",\"proc\":" << r.proc << ",\"detail\":\"" << escape(r.detail)
+        << "\"}\n";
+  });
+}
+
+bool read_trace_jsonl(std::istream& in, TraceMeta& meta,
+                      std::vector<TraceRecord>& records) {
+  records.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::string schema, v;
+  if (!find_raw_value(line, "schema", schema) || schema != kSchema) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!(find_raw_value(line, "cell", v) && parse_u64(v, meta.cell))) return false;
+  if (!(find_raw_value(line, "run", v) && parse_u64(v, meta.run))) return false;
+  if (!(find_raw_value(line, "seed", v) && parse_u64(v, meta.seed))) return false;
+  if (!(find_raw_value(line, "records", v) && parse_u64(v, count))) return false;
+  if (!find_raw_value(line, "label", v) || !unescape(v, meta.label)) {
+    return false;
+  }
+  records.reserve(static_cast<std::size_t>(count));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceRecord r;
+    std::int64_t at = 0;
+    if (!(find_raw_value(line, "at", v) && parse_i64(v, at))) return false;
+    r.at = at;
+    if (!find_raw_value(line, "kind", v) || !trace_kind_from_name(v, r.kind)) {
+      return false;
+    }
+    std::int64_t proc = 0;
+    if (!(find_raw_value(line, "proc", v) && parse_i64(v, proc))) return false;
+    r.proc = static_cast<ProcId>(proc);
+    if (!find_raw_value(line, "detail", v) || !unescape(v, r.detail)) {
+      return false;
+    }
+    records.push_back(std::move(r));
+  }
+  return records.size() == count;
+}
+
+void write_trace_binary(std::ostream& out, const TraceMeta& meta,
+                        const Trace& trace) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  put_raw(out, meta.cell);
+  put_raw(out, meta.run);
+  put_raw(out, meta.seed);
+  put_raw(out, static_cast<std::uint32_t>(meta.label.size()));
+  out.write(meta.label.data(),
+            static_cast<std::streamsize>(meta.label.size()));
+  put_raw(out, static_cast<std::uint64_t>(trace.size()));
+  trace.for_each([&](const TraceRecord& r) {
+    put_raw(out, static_cast<std::int64_t>(r.at));
+    put_raw(out, static_cast<std::uint8_t>(r.kind));
+    put_raw(out, static_cast<std::int32_t>(r.proc));
+    put_raw(out, static_cast<std::uint32_t>(r.detail.size()));
+    out.write(r.detail.data(),
+              static_cast<std::streamsize>(r.detail.size()));
+  });
+}
+
+bool read_trace_binary(std::istream& in, TraceMeta& meta,
+                       std::vector<TraceRecord>& records) {
+  records.clear();
+  char magic[sizeof(kBinaryMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return false;
+  }
+  if (!get_raw(in, meta.cell) || !get_raw(in, meta.run) ||
+      !get_raw(in, meta.seed) || !get_string(in, meta.label)) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!get_raw(in, count)) return false;
+  records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    std::int64_t at = 0;
+    std::uint8_t kind = 0;
+    std::int32_t proc = 0;
+    if (!get_raw(in, at) || !get_raw(in, kind) || !get_raw(in, proc) ||
+        kind > static_cast<std::uint8_t>(TraceKind::Note) ||
+        !get_string(in, r.detail)) {
+      return false;
+    }
+    r.at = at;
+    r.kind = static_cast<TraceKind>(kind);
+    r.proc = proc;
+    records.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace hyco::obs

@@ -1,0 +1,50 @@
+// Structured trace export: promotes the human-readable trace ring to a
+// schema'd, machine-parseable artifact so a failing seed's full event
+// timeline feeds replay tooling instead of grep.
+//
+// Two formats, same logical schema ("hyco-trace/1"):
+//  * JSONL — a header line {"schema":"hyco-trace/1","cell":..,"run":..,
+//    "seed":..,"label":".."} followed by one record object per line
+//    {"at":..,"kind":"send","proc":..,"detail":".."};
+//  * compact binary — a magic tag, the same header fields, then
+//    length-prefixed records (host-endian; a local replay format, not a
+//    portable archive).
+// Both round-trip exactly through the readers below, which only accept what
+// the writers emit.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace hyco::obs {
+
+/// Identity of the traced run, stamped into the export header so a trace
+/// file is self-describing (which cell, which run index, which seed).
+struct TraceMeta {
+  std::uint64_t cell = 0;
+  std::uint64_t run = 0;
+  std::uint64_t seed = 0;
+  std::string label;
+};
+
+void write_trace_jsonl(std::ostream& out, const TraceMeta& meta,
+                       const Trace& trace);
+void write_trace_binary(std::ostream& out, const TraceMeta& meta,
+                        const Trace& trace);
+
+/// Parse a JSONL/binary trace written by the writers above. Returns false
+/// on any malformed header or record. `records` is replaced, oldest first.
+bool read_trace_jsonl(std::istream& in, TraceMeta& meta,
+                      std::vector<TraceRecord>& records);
+bool read_trace_binary(std::istream& in, TraceMeta& meta,
+                       std::vector<TraceRecord>& records);
+
+/// Inverse of to_cstring(TraceKind); false for unknown names.
+bool trace_kind_from_name(const std::string& name, TraceKind& out);
+
+}  // namespace hyco::obs

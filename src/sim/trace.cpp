@@ -1,7 +1,5 @@
 #include "sim/trace.h"
 
-#include <utility>
-
 namespace hyco {
 
 const char* to_cstring(TraceKind k) {
@@ -19,17 +17,35 @@ const char* to_cstring(TraceKind k) {
 }
 
 void Trace::record(SimTime at, TraceKind kind, ProcId proc,
-                   std::string detail) {
+                   std::string_view detail) {
   if (!enabled_) return;
-  if (records_.size() >= capacity_) records_.pop_front();
-  records_.push_back(TraceRecord{at, kind, proc, std::move(detail)});
+  std::size_t idx;
+  if (size_ < slots_.size()) {
+    idx = (head_ + size_) % slots_.size();
+    ++size_;
+  } else {
+    idx = head_;  // overwrite the oldest slot, reusing its string capacity
+    head_ = (head_ + 1) % slots_.size();
+  }
+  TraceRecord& slot = slots_[idx];
+  slot.at = at;
+  slot.kind = kind;
+  slot.proc = proc;
+  slot.detail.assign(detail.data(), detail.size());
+  ++recorded_;
 }
 
 void Trace::dump(std::ostream& os) const {
-  for (const auto& r : records_) {
+  for_each([&](const TraceRecord& r) {
     os << r.at << "ns\t" << to_cstring(r.kind) << "\tp" << r.proc << '\t'
        << r.detail << '\n';
-  }
+  });
+}
+
+void Trace::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
 }
 
 }  // namespace hyco

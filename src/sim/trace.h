@@ -4,9 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/types.h"
 
@@ -35,30 +36,50 @@ struct TraceRecord {
 };
 
 /// Bounded in-memory trace. Disabled by default.
+///
+/// Storage is a preallocated ring of records whose detail strings are reused
+/// in place (assign into the slot's retained capacity), so a warmed-up trace
+/// records without allocating — enabling tracing does not distort the
+/// timings it measures with deque node churn or per-record string
+/// allocations.
 class Trace {
  public:
   /// `capacity` bounds memory; older records are discarded first.
-  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+  explicit Trace(std::size_t capacity = 4096)
+      : slots_(capacity == 0 ? 1 : capacity) {}
 
   void enable(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void record(SimTime at, TraceKind kind, ProcId proc, std::string detail);
+  void record(SimTime at, TraceKind kind, ProcId proc,
+              std::string_view detail);
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::deque<TraceRecord>& records() const {
-    return records_;
+  /// Records currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Total records ever recorded; recorded() > size() means the ring
+  /// wrapped and the dump is the trailing window.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+  /// Visits held records oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(slots_[(head_ + i) % slots_.size()]);
+    }
   }
 
   /// Human-readable dump, one record per line.
   void dump(std::ostream& os) const;
 
-  void clear() { records_.clear(); }
+  void clear();
 
  private:
-  std::size_t capacity_;
+  std::vector<TraceRecord> slots_;  ///< fixed ring; details pooled in place
+  std::size_t head_ = 0;            ///< index of the oldest record
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
   bool enabled_ = false;
-  std::deque<TraceRecord> records_;
 };
 
 }  // namespace hyco

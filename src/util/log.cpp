@@ -1,5 +1,8 @@
 #include "util/log.h"
 
+#include <cctype>
+#include <mutex>
+
 namespace hyco {
 
 const char* Log::level_name(LogLevel lvl) {
@@ -14,7 +17,34 @@ const char* Log::level_name(LogLevel lvl) {
 }
 
 void Log::write(LogLevel lvl, const std::string& msg) {
-  std::clog << '[' << level_name(lvl) << "] " << msg << '\n';
+  // One formatted string, one locked insertion: concurrent workers (the
+  // executor pool, the dist coordinator/worker loops) emit whole lines,
+  // never interleaved fragments.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += level_name(lvl);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::clog << line;
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (const char c : name) {
+    low += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (low == "trace") return LogLevel::Trace;
+  if (low == "debug") return LogLevel::Debug;
+  if (low == "info") return LogLevel::Info;
+  if (low == "warn") return LogLevel::Warn;
+  if (low == "error") return LogLevel::Error;
+  return std::nullopt;
 }
 
 }  // namespace hyco

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +18,9 @@ class Log {
   static void set_level(LogLevel lvl) { level_ = lvl; }
   static bool enabled(LogLevel lvl) { return lvl >= level_; }
 
+  /// Emits one complete line. Safe to call from concurrent executor/worker
+  /// threads: the prefix + message + newline are assembled into a single
+  /// string and written under a lock, so lines never interleave.
   static void write(LogLevel lvl, const std::string& msg);
 
   static const char* level_name(LogLevel lvl);
@@ -24,6 +28,10 @@ class Log {
  private:
   static inline LogLevel level_ = LogLevel::Warn;
 };
+
+/// Parses a level name ("trace", "debug", "info", "warn", "error",
+/// case-insensitive); nullopt for anything else. For --log-level flags.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 }  // namespace hyco
 

@@ -435,6 +435,141 @@ TEST(DistributedSweep, ExpiredLeaseOnWedgedWorkerIsReassigned) {
   EXPECT_EQ(distributed, reference_artifacts(spec));
 }
 
+// ---- health endpoint + distributed obs metrics ------------------------------
+
+/// Parses the first unsigned integer after `key` in a flat JSON string.
+std::uint64_t json_uint_after(const std::string& json, const std::string& key) {
+  const auto pos = json.find(key);
+  if (pos == std::string::npos) return ~0ull;
+  std::uint64_t v = 0;
+  bool any = false;
+  for (std::size_t i = pos + key.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  return any ? v : ~0ull;
+}
+
+/// One HTTP GET against the coordinator's health endpoint; returns the raw
+/// response (headers + JSON body).
+std::string fetch_health(std::uint16_t port) {
+  const int fd = dist::connect_once({"127.0.0.1", port});
+  if (fd < 0) return {};
+  const char req[] = "GET /health HTTP/1.0\r\n\r\n";
+  (void)::send(fd, req, sizeof(req) - 1, 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(DistributedSweep, HealthEndpointServesMonotonicProgress) {
+  // collect_obs on: phase timings ride the wire alongside the counters, and
+  // the final artifacts (obs columns included) must still match a local run.
+  ExperimentSpec spec = dist_spec();
+  spec.collect_obs = true;
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CoordinatorOptions opts = test_coordinator_options();
+  opts.health_port = 0;  // ephemeral
+  opts.lease_grain = 16;
+  Coordinator coordinator(cells, full_spans(cells), {}, fp, std::move(opts));
+  coordinator.bind();
+  const std::uint16_t hport = coordinator.health_port();
+  ASSERT_NE(hport, 0);
+  std::vector<CellResult> results;
+  std::thread server([&] { results = coordinator.serve(); });
+
+  // Before any worker connects: schema present, zero progress, no workers.
+  const std::string before = fetch_health(hport);
+  ASSERT_NE(before.find("\"schema\":\"hyco-health/1\""), std::string::npos)
+      << before;
+  EXPECT_EQ(json_uint_after(before, "\"folded\":"), 0u);
+  EXPECT_NE(before.find("\"workers\":[]"), std::string::npos);
+  const std::uint64_t total = json_uint_after(before, "\"total\":");
+  EXPECT_EQ(total, spec.total_runs());
+
+  // A manual worker folds exactly one chunk, so "mid-sweep" is a state we
+  // control rather than a race we hope to win.
+  const int fd = dist::connect_once({"127.0.0.1", coordinator.port()});
+  ASSERT_GE(fd, 0);
+  dist::HelloMsg hello;
+  hello.fingerprint = fp;
+  hello.cells = cells.size();
+  hello.reservoir_capacity = MetricStats::kDefaultReservoir;
+  hello.failure_capacity = CellAccumulator::kDefaultFailureCap;
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kHello,
+                               dist::encode_hello(hello)));
+  dist::Frame f;
+  ASSERT_TRUE(dist::recv_frame(fd, f));
+  ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kLeaseReq, ""));
+  ASSERT_TRUE(dist::recv_frame(fd, f));
+  ASSERT_EQ(f.type, dist::MsgType::kLease);
+  dist::LeaseMsg lease;
+  ASSERT_TRUE(dist::decode_lease(f.payload, lease));
+
+  dist::ResultMsg result;
+  result.cell_index = lease.cell_index;
+  result.begin = lease.begin;
+  result.end = lease.end;
+  result.acc = CellAccumulator(MetricStats::kDefaultReservoir,
+                               CellAccumulator::kDefaultFailureCap);
+  for (std::uint64_t k = lease.begin; k < lease.end; ++k) {
+    const RunConfig cfg = cells[lease.cell_index].run_config(k);
+    result.acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+  }
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kResult,
+                               dist::encode_result(result)));
+  // Frames on one connection are handled in order: once the next lease
+  // round-trips, the Result before it has been folded.
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kLeaseReq, ""));
+  ASSERT_TRUE(dist::recv_frame(fd, f));
+  ASSERT_TRUE(f.type == dist::MsgType::kLease ||
+              f.type == dist::MsgType::kWait);
+
+  const std::string mid = fetch_health(hport);
+  const std::uint64_t chunk_len = lease.end - lease.begin;
+  EXPECT_EQ(json_uint_after(mid, "\"folded\":"), chunk_len) << mid;
+  EXPECT_NE(mid.find("\"welcomed\":true"), std::string::npos);
+  EXPECT_EQ(json_uint_after(mid, "\"folded_runs\":"), chunk_len) << mid;
+
+  // The manual worker vanishes (its second lease re-queues); real workers
+  // drain the rest and the artifacts — obs columns included — must match a
+  // single-machine run byte for byte.
+  ::close(fd);
+  const auto r = dist::run_worker(cells, fp, worker_options(
+                                      coordinator.port(), 2));
+  EXPECT_TRUE(r.completed) << r.error;
+  server.join();
+
+  ReportOptions ropts;
+  ropts.net_stats = true;
+  ropts.phase_metrics = true;
+  std::ostringstream da;
+  write_cell_csv(da, results, ropts);
+  write_cell_json(da, spec.name, results, ropts);
+
+  CollectingSink sink(cells, {});
+  ParallelExecutor::Options eopts;
+  eopts.threads = 2;
+  ParallelExecutor(eopts).run(cells, sink);
+  auto local = sink.take_results();
+  std::ostringstream la;
+  write_cell_csv(la, local, ropts);
+  write_cell_json(la, spec.name, local, ropts);
+  EXPECT_EQ(da.str(), la.str());
+}
+
 // ---- mid-cell chunk-checkpoint resume --------------------------------------
 
 TEST(ChunkCheckpoint, MidCellResumeMatchesUninterruptedByteForByte) {

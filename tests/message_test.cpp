@@ -128,7 +128,17 @@ TEST(Trace, CapacityBoundsMemory) {
   t.enable(true);
   for (int i = 0; i < 10; ++i) t.record(i, TraceKind::Note, 0, "n");
   EXPECT_EQ(t.size(), 3u);
-  EXPECT_EQ(t.records().front().at, 7);
+  EXPECT_EQ(t.recorded(), 10u);
+  // Oldest surviving record after the ring wrapped: run 7 of 0..9.
+  SimTime first = -1;
+  bool got_first = false;
+  t.for_each([&](const TraceRecord& r) {
+    if (!got_first) {
+      first = r.at;
+      got_first = true;
+    }
+  });
+  EXPECT_EQ(first, 7);
 }
 
 TEST(Estimate, HelpersRoundtrip) {
