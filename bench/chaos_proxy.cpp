@@ -1,0 +1,99 @@
+// chaos_proxy — standalone chaos-injection TCP proxy (src/dist/chaos.h)
+// for exercising the distributed sweep engine's recovery paths from the
+// command line and the nightly chaos CI job.
+//
+// Sits between sweep workers and their coordinator, forwarding traffic
+// until a seeded per-connection byte budget runs out, then severing the
+// connection mid-stream (optionally after a stall that simulates a wedged
+// link). Workers started with --reconnect ride the injuries out; the
+// sweep's output bytes must not change.
+//
+// Usage:
+//   chaos_proxy --listen=PORT --target=HOST:PORT [--seed=S]
+//               [--sever-bytes=MIN:MAX] [--stall-ms=N] [--max-severs=N]
+//
+//   --listen=PORT        port workers connect to
+//   --target=HOST:PORT   the real coordinator
+//   --seed=S             budget-draw seed [1]
+//   --sever-bytes=MIN:MAX  bytes forwarded before the cut [65536:262144]
+//   --stall-ms=N         wedge the link N ms before each cut [0]
+//   --max-severs=N       injuries before turning transparent [unlimited]
+//
+// Runs until killed (SIGINT/SIGTERM); prints one status line per second
+// with accepted/severed counts so CI logs show the injuries happening.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dist/chaos.h"
+#include "util/assert.h"
+#include "util/options.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// Parses "MIN:MAX" into a byte range.
+void parse_sever_bytes(const std::string& text, std::uint64_t& lo,
+                       std::uint64_t& hi) {
+  const std::size_t colon = text.find(':');
+  HYCO_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < text.size(),
+                 "--sever-bytes: want MIN:MAX, got \"" << text << '"');
+  char* end = nullptr;
+  lo = std::strtoull(text.c_str(), &end, 10);
+  HYCO_CHECK_MSG(end == text.c_str() + colon,
+                 "--sever-bytes: bad MIN in \"" << text << '"');
+  hi = std::strtoull(text.c_str() + colon + 1, &end, 10);
+  HYCO_CHECK_MSG(*end == '\0',
+                 "--sever-bytes: bad MAX in \"" << text << '"');
+  HYCO_CHECK_MSG(lo <= hi, "--sever-bytes: MIN " << lo << " > MAX " << hi);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const hyco::Options opts(argc, argv);
+  hyco::dist::ChaosProxyOptions cfg;
+  HYCO_CHECK_MSG(opts.has("listen"), "chaos_proxy: --listen=PORT is required");
+  HYCO_CHECK_MSG(opts.has("target"),
+                 "chaos_proxy: --target=HOST:PORT is required");
+  cfg.listen_port =
+      hyco::dist::validate_port(opts.get_int("listen"), "--listen");
+  cfg.target = hyco::dist::parse_host_port(opts.get_string("target"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  if (opts.has("sever-bytes")) {
+    parse_sever_bytes(opts.get_string("sever-bytes"), cfg.sever_min_bytes,
+                      cfg.sever_max_bytes);
+  }
+  cfg.stall = std::chrono::milliseconds(opts.get_int("stall-ms", 0));
+  if (opts.has("max-severs")) {
+    cfg.max_severs = static_cast<std::uint64_t>(opts.get_int("max-severs"));
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  hyco::dist::ChaosProxy proxy(cfg);
+  proxy.start();
+  std::cerr << "chaos_proxy: " << proxy.port() << " -> " << cfg.target.host
+            << ':' << cfg.target.port << " (seed " << cfg.seed
+            << ", sever after " << cfg.sever_min_bytes << ".."
+            << cfg.sever_max_bytes << " bytes)\n";
+  while (g_stop == 0) {
+    ::sleep(1);
+    std::cerr << "chaos_proxy: accepted " << proxy.accepted() << ", severed "
+              << proxy.severed() << '\n';
+  }
+  proxy.stop();
+  std::cerr << "chaos_proxy: exiting (severed " << proxy.severed() << ")\n";
+  return 0;
+} catch (const hyco::ContractViolation& e) {
+  std::cerr << "chaos_proxy: " << e.what() << '\n';
+  return 2;
+}

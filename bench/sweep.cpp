@@ -43,6 +43,10 @@
 //                     re-runs only its uncovered run ranges, so even a
 //                     single monster cell resumes where it left off. Final
 //                     artifacts are byte-identical to an uninterrupted run.
+//                     The loaded trail is also rewritten in place as its
+//                     compacted equivalent (temp file + rename), so
+//                     repeated crash/resume cycles never grow the file
+//                     without bound.
 //   --progress        1 Hz stderr line: runs & cells done, runs/s, ETA
 //
 // Distributed sweeps (src/dist/; see README "Distributed sweeps"):
@@ -60,7 +64,18 @@
 //                     parallelize with --workers, coordinators shape work
 //                     units with --lease.
 //   --workers=N       with --connect: parallel worker sessions [1]
+//   --reconnect=N     with --connect: mid-sweep recovery budget — after a
+//                     lost connection (sever, coordinator crash/restart) a
+//                     session redials with jittered exponential backoff
+//                     and re-Hellos, giving up after N consecutive failed
+//                     attempts (the counter resets on every successful
+//                     re-handshake). 0 = a mid-sweep disconnect is fatal [5]
 //   --lease=N         with --serve: runs per lease chunk [4096]
+//   --lease-floor=N   with --serve: adaptive-tail floor — as the pending
+//                     pool drains, lease sizes halve from --lease down to
+//                     N so the last chunks finish on all workers together
+//                     instead of one straggler. Never changes output
+//                     bytes; set equal to --lease to disable [32]
 //   --lease-ttl=SEC   with --serve: re-queue leases not folded in SEC [60].
 //                     Size --lease so a chunk comfortably finishes within
 //                     the TTL: an expired lease is re-executed elsewhere
@@ -103,7 +118,9 @@
 //   --trace-format=F  jsonl | binary                            [jsonl]
 //   --health=PORT     with --serve: read-only HTTP progress endpoint
 //                     (0 = kernel-assigned; printed on stderr). Serves one
-//                     "hyco-health/1" JSON document per request.
+//                     "hyco-health/2" JSON document per request, including
+//                     the recovery counters (lease expiries, re-queued
+//                     chunks, worker reconnects, checkpoint flush age).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -280,8 +297,10 @@ struct DistFlags {
   dist::HostPort target;
   unsigned workers = 1;
   std::uint64_t lease_grain = 4096;
+  std::uint64_t lease_floor = 32;
   std::chrono::milliseconds lease_ttl{60'000};
   int health_port = -1;  ///< -1 = no health endpoint
+  unsigned reconnect = 5;  ///< worker mid-sweep reconnect budget
 };
 
 DistFlags parse_dist_flags(const Options& opts) {
@@ -309,6 +328,19 @@ DistFlags parse_dist_flags(const Options& opts) {
     const auto grain = opts.get_int("lease");
     HYCO_CHECK_MSG(grain >= 1, "--lease must be >= 1, got " << grain);
     f.lease_grain = static_cast<std::uint64_t>(grain);
+  }
+  if (opts.has("lease-floor")) {
+    HYCO_CHECK_MSG(f.serve, "--lease-floor only applies to --serve mode");
+    const auto floor = opts.get_int("lease-floor");
+    HYCO_CHECK_MSG(floor >= 1, "--lease-floor must be >= 1, got " << floor);
+    f.lease_floor = static_cast<std::uint64_t>(floor);
+  }
+  if (opts.has("reconnect")) {
+    HYCO_CHECK_MSG(f.connect, "--reconnect only applies to --connect mode");
+    const auto r = opts.get_int("reconnect");
+    HYCO_CHECK_MSG(r >= 0 && r <= 100'000,
+                   "--reconnect must be in [0, 100000], got " << r);
+    f.reconnect = static_cast<unsigned>(r);
   }
   if (opts.has("lease-ttl")) {
     HYCO_CHECK_MSG(f.serve, "--lease-ttl only applies to --serve mode");
@@ -500,6 +532,7 @@ int main(int argc, char** argv) {
       dist::WorkerOptions wopts;
       wopts.target = dist_flags.target;
       wopts.sessions = dist_flags.workers;
+      wopts.reconnect_attempts = dist_flags.reconnect;
       wopts.reservoir_capacity = exec_opts.reservoir_capacity;
       wopts.failure_capacity = exec_opts.failure_capacity;
       std::cerr << "sweep: worker connecting to " << wopts.target.host << ':'
@@ -509,6 +542,10 @@ int main(int argc, char** argv) {
           dist::run_worker(cells, fingerprint, wopts);
       std::cerr << "sweep: worker executed " << report.runs_executed
                 << " run(s) in " << report.chunks_executed << " chunk(s)\n";
+      if (report.reconnects > 0) {
+        std::cerr << "sweep: worker reconnected " << report.reconnects
+                  << " time(s) mid-sweep\n";
+      }
       if (!report.completed) {
         std::cerr << "sweep: worker did not finish cleanly: " << report.error
                   << '\n';
@@ -574,7 +611,6 @@ int main(int argc, char** argv) {
     // chunks cover everything (killed between the last chunk and its cell
     // block) completes right here.
     std::map<std::uint64_t, CellAccumulator> prior;  // cell.index → acc
-    std::vector<std::uint64_t> chunk_covered_cells;
     std::vector<ExperimentCell> todo;
     std::vector<RunSpan> todo_spans;
     todo.reserve(cells.size() - resumed.size());
@@ -597,9 +633,10 @@ int main(int argc, char** argv) {
       }
       if (cursor < c.runs) gaps.push_back({0, cursor, c.runs});
       if (gaps.empty()) {
+        // Killed between the last chunk and the cell block: the compacted
+        // rewrite below lands this cell as a cell block directly.
         acc.finalize();
         resumed.emplace(c.index, std::move(acc));
-        chunk_covered_cells.push_back(c.index);
         continue;
       }
       for (RunSpan g : gaps) {
@@ -632,17 +669,29 @@ int main(int argc, char** argv) {
                        "cannot open \"" << ckpt_path << "\" for writing");
         write_checkpoint_header(ckpt_out, fingerprint);
       } else {
+        // Before appending more blocks, rewrite the loaded trail as its
+        // compacted equivalent (cell blocks + one merged chunk block per
+        // contiguous chain) via a temporary + rename, so repeated
+        // crash/resume cycles cannot grow the file without bound — and a
+        // kill mid-rewrite leaves the old file untouched. Chunk-covered
+        // cells land as cell blocks here (they sit in `resumed` already).
+        const std::string tmp_path = ckpt_path + ".tmp";
+        {
+          std::ofstream compact(tmp_path, std::ios::trunc);
+          HYCO_CHECK_MSG(compact.good(),
+                         "cannot open \"" << tmp_path << "\" for writing");
+          write_compacted_checkpoint(compact, fingerprint, loaded);
+          compact.flush();
+          HYCO_CHECK_MSG(compact.good(),
+                         "failed writing compacted checkpoint to \""
+                             << tmp_path << '"');
+        }
+        HYCO_CHECK_MSG(std::rename(tmp_path.c_str(), ckpt_path.c_str()) == 0,
+                       "cannot rename \"" << tmp_path << "\" over \""
+                                          << ckpt_path << '"');
         ckpt_out.open(ckpt_path, std::ios::app);
         HYCO_CHECK_MSG(ckpt_out.good(),
                        "cannot open \"" << ckpt_path << "\" for appending");
-        // Guard newline: a previous kill mid-append may have left a partial
-        // line; the loader skips it once terminated.
-        ckpt_out << '\n';
-      }
-      // Compact cells whose chunk blocks covered the whole range into cell
-      // blocks so the next resume loads them directly.
-      for (const std::uint64_t index : chunk_covered_cells) {
-        append_checkpoint_cell(ckpt_out, index, resumed.at(index));
       }
     }
 
@@ -719,6 +768,7 @@ int main(int argc, char** argv) {
       dist::CoordinatorOptions copts;
       copts.port = dist_flags.serve_port;
       copts.lease_grain = dist_flags.lease_grain;
+      copts.lease_floor = dist_flags.lease_floor;
       copts.lease_ttl = dist_flags.lease_ttl;
       copts.reservoir_capacity = exec_opts.reservoir_capacity;
       copts.failure_capacity = exec_opts.failure_capacity;

@@ -1,0 +1,100 @@
+// Chaos-injection harness for the distributed sweep engine: a TCP proxy
+// that sits between workers and the coordinator and injures connections on
+// a *seeded* schedule, so fault-tolerance tests are deterministic enough
+// to run in CI.
+//
+// Each accepted client connection is paired with a fresh upstream
+// connection to the real coordinator and assigned a byte budget drawn from
+// Rng(seed) (uniform in [sever_min_bytes, sever_max_bytes]). The proxy
+// forwards traffic both ways, charging every forwarded byte against the
+// budget; when it runs out the proxy optionally stalls (to simulate a
+// wedged link while the worker's lease ages), then severs both sides of
+// the pair mid-stream. After `max_severs` injuries the proxy turns into a
+// transparent forwarder, so a bounded test always drains.
+//
+// The schedule is deterministic in *bytes*, not wall-clock: the same seed
+// against the same traffic severs at the same stream offsets, which is
+// what makes "worker reconnects mid-chunk and output bytes don't change"
+// a reproducible assertion rather than a flake. (Which side is mid-frame
+// at the cut still depends on scheduling, but the recovery contract —
+// abandon, redial, re-lease — is exercised either way.)
+//
+// Runs on one background thread (start()/stop()); all counters are safe to
+// read from the test thread while the proxy is live. bench/chaos_proxy.cpp
+// wraps this in a standalone binary for the nightly chaos CI job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dist/proto.h"
+#include "util/rng.h"
+
+namespace hyco::dist {
+
+struct ChaosProxyOptions {
+  /// Port to accept worker connections on; 0 = kernel-assigned.
+  std::uint16_t listen_port = 0;
+  /// The real coordinator.
+  HostPort target;
+  /// Seeds the per-connection budget draws.
+  std::uint64_t seed = 1;
+  /// Budget range (inclusive) for bytes forwarded before the sever.
+  std::uint64_t sever_min_bytes = 64u << 10;
+  std::uint64_t sever_max_bytes = 256u << 10;
+  /// Pause between exhausting a budget and cutting the pair — simulates a
+  /// wedged link (the coordinator sees silence, not a disconnect).
+  std::chrono::milliseconds stall{0};
+  /// Injuries to inject before becoming a transparent forwarder.
+  std::uint64_t max_severs = UINT64_MAX;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions opts);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listener (port() is valid afterwards) and starts the
+  /// forwarding thread. Throws ContractViolation when the port is taken.
+  void start();
+  /// Tears down every live pair and joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+  /// Connections injured so far.
+  [[nodiscard]] std::uint64_t severed() const {
+    return severed_.load(std::memory_order_relaxed);
+  }
+  /// Connections accepted so far.
+  [[nodiscard]] std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pair {
+    int client = -1;
+    int upstream = -1;
+    std::uint64_t budget = 0;
+  };
+
+  void loop();
+  void close_pair(Pair& p);
+
+  ChaosProxyOptions opts_;
+  Rng rng_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::vector<Pair> pairs_;  ///< owned by the proxy thread after start()
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> severed_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+};
+
+}  // namespace hyco::dist

@@ -7,11 +7,11 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <iostream>
 #include <sstream>
 #include <utility>
 
 #include "util/assert.h"
+#include "util/log.h"
 
 namespace hyco::dist {
 
@@ -26,6 +26,7 @@ struct Coordinator::Conn {
   WorkLedger::Clock::time_point last_seen{};
   std::uint64_t folded_chunks = 0;
   std::uint64_t folded_runs = 0;
+  std::uint64_t reconnects = 0;  ///< re-hello count the Hello carried
 };
 
 Coordinator::Coordinator(std::vector<ExperimentCell> cells,
@@ -101,6 +102,12 @@ obs::HealthSnapshot Coordinator::snapshot(
         static_cast<double>(ledger_.total_runs() - ledger_.folded_runs()) /
         snap.fold_rate_per_sec;
   }
+  snap.lease_expiries = lease_expiries_;
+  snap.requeued_chunks = requeued_chunks_;
+  snap.worker_reconnects = worker_reconnects_;
+  if (last_flush_.has_value()) {
+    snap.checkpoint_flush_ms = ms_since(*last_flush_);
+  }
   snap.workers.reserve(conns_.size());
   for (const auto& c : conns_) {
     obs::WorkerHealth w;
@@ -111,6 +118,8 @@ obs::HealthSnapshot Coordinator::snapshot(
     w.active_leases = ledger_.leased_to(c->owner);
     w.folded_chunks = c->folded_chunks;
     w.folded_runs = c->folded_runs;
+    w.reconnects = c->reconnects;
+    w.oldest_lease_ms = ledger_.oldest_lease_age_ms(c->owner, now);
     snap.workers.push_back(w);
   }
   return snap;
@@ -140,6 +149,7 @@ void Coordinator::complete_cell(std::size_t cell_pos) {
   completed_[cell_pos] = 1;
   if (opts_.on_cell_complete) {
     opts_.on_cell_complete(cells_[cell_pos], acc);
+    last_flush_ = WorkLedger::Clock::now();
   }
 }
 
@@ -166,6 +176,8 @@ bool Coordinator::handle_frame(Conn& conn, const Frame& frame) {
       return false;
     }
     conn.welcomed = true;
+    conn.reconnects = hello.reconnect;
+    if (hello.reconnect > 0) ++worker_reconnects_;
     return send_frame(conn.fd, MsgType::kWelcome, "");
   }
 
@@ -174,8 +186,14 @@ bool Coordinator::handle_frame(Conn& conn, const Frame& frame) {
       if (ledger_.all_folded()) {
         return send_frame(conn.fd, MsgType::kDone, "");
       }
+      // Shrink leases toward lease_floor as the pending pool drains so the
+      // sweep's tail lands on every connected worker at once.
+      const std::uint64_t cap = adaptive_lease_cap(
+          opts_.lease_grain, opts_.lease_floor,
+          ledger_.total_runs() - ledger_.folded_runs(),
+          std::max<std::size_t>(conns_.size(), 1));
       const auto lease = ledger_.acquire(
-          conn.owner, WorkLedger::Clock::now(), opts_.lease_ttl);
+          conn.owner, WorkLedger::Clock::now(), opts_.lease_ttl, cap);
       if (!lease.has_value()) {
         // Everything is leased out; the worker retries after a tick.
         return send_frame(
@@ -213,11 +231,32 @@ bool Coordinator::handle_frame(Conn& conn, const Frame& frame) {
       }
       ++conn.folded_chunks;
       conn.folded_runs += result.end - result.begin;
+      ++accepted_folds_;
       if (opts_.on_chunk) {
         opts_.on_chunk(cells_[pos], result.begin, result.end, result.acc);
+        last_flush_ = WorkLedger::Clock::now();
       }
       slots_[pos].merge(result.acc);
       if (fold.cell_completed) complete_cell(pos);
+      if (opts_.crash_after_chunks > 0 &&
+          accepted_folds_ >= opts_.crash_after_chunks) {
+        // Injected crash: die the way SIGKILL would — every socket torn
+        // down with no Done broadcast, nothing flushed beyond what the
+        // hooks above already wrote. Tests restart from the checkpoint.
+        for (const auto& c : conns_) {
+          if (c->fd >= 0) ::close(c->fd);
+        }
+        conns_.clear();
+        if (listen_fd_ >= 0) {
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        if (health_fd_ >= 0) {
+          ::close(health_fd_);
+          health_fd_ = -1;
+        }
+        throw ChaosKill{accepted_folds_};
+      }
       return true;
     }
     default:
@@ -313,20 +352,22 @@ std::vector<CellResult> Coordinator::serve() {
     }
     for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
       Conn& conn = *conns_[*it];
-      ledger_.release_owner(conn.owner);
+      requeued_chunks_ += ledger_.release_owner(conn.owner);
       ::close(conn.fd);
       conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(*it));
     }
 
     const std::size_t expired = ledger_.expire(WorkLedger::Clock::now());
     if (expired > 0) {
+      lease_expiries_ += expired;
+      requeued_chunks_ += expired;
       // Expiry cannot tell a wedged worker from a healthy-but-slow one;
       // the re-executed work is dropped as a duplicate either way, but
       // recurring expiries mean the lease is mis-sized — say so.
-      std::cerr << "coordinator: " << expired
+      HYCO_WARN("coordinator: " << expired
                 << " lease(s) expired and re-queued (if workers are healthy,"
                    " raise --lease-ttl or lower --lease so a chunk finishes"
-                   " within its lease)\n";
+                   " within its lease)");
     }
     if (opts_.progress) {
       opts_.progress(resumed_runs_ + ledger_.folded_runs(),

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dist/ledger.h"
@@ -40,6 +41,11 @@ struct CoordinatorOptions {
   /// load balance; larger = less protocol overhead. Never changes output
   /// bytes.
   std::uint64_t lease_grain = 4096;
+  /// Adaptive-tail floor: as the pending pool drains, lease sizes shrink
+  /// (halving) from lease_grain down to this so the final chunks land on
+  /// all workers instead of one straggler (ledger.h adaptive_lease_cap).
+  /// Never changes output bytes. Set equal to lease_grain to disable.
+  std::uint64_t lease_floor = 32;
   /// A lease not folded within this window is re-queued for other workers.
   std::chrono::milliseconds lease_ttl{60'000};
   /// Poll-loop tick (lease expiry + progress cadence), and the retry hint
@@ -63,10 +69,23 @@ struct CoordinatorOptions {
   std::function<void(std::uint64_t, std::uint64_t, std::size_t)> progress;
   /// Read-only HTTP health/progress endpoint: -1 = disabled, 0 =
   /// kernel-assigned (query with health_port()), else the TCP port to bind.
-  /// Each request is answered with one "hyco-health/1" JSON document
+  /// Each request is answered with one "hyco-health/2" JSON document
   /// (obs/health.h) on the coordinator's own poll loop — no extra thread,
   /// and no interaction with the worker protocol.
   int health_port = -1;
+  /// Chaos hook for crash tests: after this many accepted chunk folds the
+  /// coordinator abruptly closes every socket (no Done broadcast — the
+  /// moral equivalent of SIGKILL) and serve() throws ChaosKill. Whatever
+  /// the on_chunk hook checkpointed so far is exactly what a restarted
+  /// --resume coordinator picks up. 0 = disabled (production).
+  std::uint64_t crash_after_chunks = 0;
+};
+
+/// Thrown by serve() when crash_after_chunks fires. Deliberately not a
+/// ContractViolation: tests catch this precise type to distinguish the
+/// injected crash from a real failure.
+struct ChaosKill {
+  std::uint64_t folded_chunks = 0;  ///< accepted folds before the kill
 };
 
 class Coordinator {
@@ -124,6 +143,15 @@ class Coordinator {
   std::uint16_t health_port_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::uint64_t next_owner_ = 1;
+
+  // Recovery counters (surfaced on the health endpoint, hyco-health/2):
+  std::uint64_t lease_expiries_ = 0;
+  std::uint64_t requeued_chunks_ = 0;
+  std::uint64_t worker_reconnects_ = 0;
+  std::uint64_t accepted_folds_ = 0;
+  /// Last time an on_chunk/on_cell_complete hook returned (i.e. the
+  /// checkpoint writer flushed); unset until the first flush.
+  std::optional<WorkLedger::Clock::time_point> last_flush_;
 };
 
 }  // namespace hyco::dist

@@ -1,5 +1,7 @@
 #include "dist/ledger.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace hyco::dist {
@@ -45,14 +47,35 @@ void WorkLedger::add_span(std::uint64_t cell_pos, std::uint64_t begin,
 
 std::optional<WorkLedger::Lease> WorkLedger::acquire(std::uint64_t owner,
                                                      Clock::time_point now,
-                                                     Clock::duration ttl) {
+                                                     Clock::duration ttl,
+                                                     std::uint64_t max_len) {
   while (!queue_.empty()) {
     const std::uint64_t id = queue_.front();
     queue_.pop_front();
     Chunk& c = chunks_[static_cast<std::size_t>(id)];
     if (c.state != State::kPending) continue;  // stale queue entry
+    if (max_len > 0 && c.end - c.begin > max_len) {
+      // Split: lease the head, re-queue the tail at the front so the cell's
+      // run range keeps going out in order. fold() looks chunks up by their
+      // exact [begin, end), so both halves stay individually foldable.
+      const std::uint64_t cut = c.begin + max_len;
+      const std::uint64_t rest = chunks_.size();
+      index_.emplace(std::make_pair(c.cell_pos, cut), rest);
+      chunks_.push_back({c.cell_pos, cut, c.end, State::kPending, 0, {}, {}});
+      queue_.push_front(rest);
+      // chunks_.push_back may have reallocated; re-resolve the head chunk.
+      Chunk& head = chunks_[static_cast<std::size_t>(id)];
+      head.end = cut;
+      head.state = State::kLeased;
+      head.owner = owner;
+      head.issued_at = now;
+      head.deadline = now + ttl;
+      ++leased_count_;
+      return Lease{id, head.cell_pos, head.begin, head.end};
+    }
     c.state = State::kLeased;
     c.owner = owner;
+    c.issued_at = now;
     c.deadline = now + ttl;
     ++leased_count_;
     return Lease{id, c.cell_pos, c.begin, c.end};
@@ -123,6 +146,34 @@ std::size_t WorkLedger::leased_to(std::uint64_t owner) const {
     n += (c.state == State::kLeased && c.owner == owner) ? 1 : 0;
   }
   return n;
+}
+
+std::int64_t WorkLedger::oldest_lease_age_ms(std::uint64_t owner,
+                                             Clock::time_point now) const {
+  std::int64_t oldest = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.state != State::kLeased || c.owner != owner) continue;
+    const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - c.issued_at)
+                         .count();
+    oldest = std::max<std::int64_t>(oldest, age);
+  }
+  return oldest;
+}
+
+std::uint64_t adaptive_lease_cap(std::uint64_t grain, std::uint64_t floor,
+                                 std::uint64_t remaining_runs,
+                                 std::size_t active_workers) {
+  if (floor < 1) floor = 1;
+  if (grain <= floor) return grain;
+  const std::uint64_t workers =
+      active_workers == 0 ? 1 : static_cast<std::uint64_t>(active_workers);
+  std::uint64_t cap = grain;
+  // Halve until every active worker has ~2 cap-sized chunks of remainder
+  // left (or the floor stops us): the last leases then finish together
+  // instead of one straggler holding the whole tail.
+  while (cap > floor && cap * workers * 2 > remaining_runs) cap /= 2;
+  return std::max(cap, floor);
 }
 
 }  // namespace hyco::dist

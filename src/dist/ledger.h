@@ -71,9 +71,18 @@ class WorkLedger {
   /// Leases the next pending chunk to `owner` until now + ttl; nullopt when
   /// nothing is pending (work may still be leased out — check all_folded()
   /// to distinguish "wait" from "done").
+  ///
+  /// `max_len` (0 = uncapped) bounds the lease length: a pending chunk
+  /// longer than the cap is *split* — the first `max_len` runs go out as
+  /// the lease, the remainder re-registers as a fresh pending chunk at the
+  /// front of the queue so the range stays contiguous in issue order. This
+  /// is how the adaptive lease tail shrinks grains as the pending pool
+  /// drains; splitting re-partitions the same run ranges and therefore
+  /// never changes output bytes.
   [[nodiscard]] std::optional<Lease> acquire(std::uint64_t owner,
                                              Clock::time_point now,
-                                             Clock::duration ttl);
+                                             Clock::duration ttl,
+                                             std::uint64_t max_len = 0);
 
   /// Records the result for chunk [begin, end) of `cell_pos` — see the
   /// state machine above for the exactly-once contract.
@@ -106,6 +115,11 @@ class WorkLedger {
   [[nodiscard]] std::size_t folded_chunks() const;
   /// Chunks currently leased to `owner` (health reporting).
   [[nodiscard]] std::size_t leased_to(std::uint64_t owner) const;
+  /// Age in ms of the oldest live lease held by `owner`; 0 when it holds
+  /// none (health reporting — a lease aging toward its TTL flags a wedged
+  /// or mis-sized worker before expiry fires).
+  [[nodiscard]] std::int64_t oldest_lease_age_ms(std::uint64_t owner,
+                                                 Clock::time_point now) const;
 
  private:
   struct Chunk {
@@ -114,6 +128,7 @@ class WorkLedger {
     std::uint64_t end;
     State state = State::kPending;
     std::uint64_t owner = 0;
+    Clock::time_point issued_at{};
     Clock::time_point deadline{};
   };
 
@@ -129,5 +144,16 @@ class WorkLedger {
   std::uint64_t folded_runs_ = 0;
   std::size_t leased_count_ = 0;
 };
+
+/// The adaptive lease grain: the largest power-of-two fraction of `grain`
+/// (halving, never below `floor`) such that the unfolded remainder still
+/// spreads at least ~2 chunks over every active worker. Early in a sweep
+/// this returns `grain` unchanged; as the pending pool drains it shrinks
+/// so the tail evens out across workers instead of waiting on one monster
+/// lease. Pure so tests can pin the shrink schedule without a coordinator.
+[[nodiscard]] std::uint64_t adaptive_lease_cap(std::uint64_t grain,
+                                               std::uint64_t floor,
+                                               std::uint64_t remaining_runs,
+                                               std::size_t active_workers);
 
 }  // namespace hyco::dist

@@ -39,7 +39,8 @@ bool expect_keyword(std::istringstream& in, const char* want) {
 std::string encode_hello(const HelloMsg& m) {
   std::ostringstream os;
   os << "hello " << m.version << ' ' << m.fingerprint << ' ' << m.cells
-     << ' ' << m.reservoir_capacity << ' ' << m.failure_capacity << '\n';
+     << ' ' << m.reservoir_capacity << ' ' << m.failure_capacity << ' '
+     << m.reconnect << '\n';
   return os.str();
 }
 
@@ -49,7 +50,7 @@ bool decode_hello(const std::string& payload, HelloMsg& out) {
   if (!expect_keyword(is, "hello") || !eat_u64(is, version) ||
       !eat_u64(is, out.fingerprint) || !eat_u64(is, out.cells) ||
       !eat_u64(is, out.reservoir_capacity) ||
-      !eat_u64(is, out.failure_capacity)) {
+      !eat_u64(is, out.failure_capacity) || !eat_u64(is, out.reconnect)) {
     return false;
   }
   out.version = static_cast<std::uint32_t>(version);

@@ -8,13 +8,22 @@
 // chunk-checkpoint encoding are one format.
 //
 // Session shape (worker side):
-//   connect → Hello{version, grid fingerprint, cell count, capacities}
+//   connect → Hello{version, grid fingerprint, cell count, capacities,
+//                   reconnect count}
 //   ← Welcome (or Reject{reason} + close)
 //   loop: LeaseReq → ← Lease{cell, begin, end} | Wait{ms} | Done
 //         execute the lease, → Result{cell, begin, end, accumulator}
 // The coordinator never initiates messages except a final unsolicited Done
 // broadcast when the grid completes; workers therefore poll the socket
 // while honoring a Wait so the Done is seen promptly.
+//
+// Recovery is a *re-hello*, not a new frame kind: a session that loses its
+// connection mid-sweep (worker sever, coordinator crash/restart) dials in
+// again and sends a fresh Hello with `reconnect` bumped. The coordinator
+// treats every connection as new — the dead session's leases were already
+// re-queued on disconnect (or by lease-TTL expiry), so the worker abandons
+// any un-folded local chunk and simply leases afresh; the reconnect count
+// only feeds the health endpoint's recovery counters.
 //
 // Everything here is defensive against a misbehaving peer: decode functions
 // return false instead of throwing, and frame lengths are capped. The only
@@ -30,7 +39,7 @@
 
 namespace hyco::dist {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload. A chunk result is bounded by the
 /// accumulator state (reservoir entries × metrics), far below this; a
@@ -64,6 +73,9 @@ struct HelloMsg {
   std::uint64_t cells = 0;
   std::uint64_t reservoir_capacity = 0;
   std::uint64_t failure_capacity = 0;
+  /// 0 on a session's first connect; on a re-hello after a mid-sweep
+  /// disconnect, how many times this session has reconnected so far.
+  std::uint64_t reconnect = 0;
 };
 
 struct LeaseMsg {

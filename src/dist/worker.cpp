@@ -5,11 +5,13 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "core/runner.h"
+#include "util/rng.h"
 
 namespace hyco::dist {
 
@@ -18,6 +20,7 @@ namespace {
 struct SessionResult {
   std::uint64_t runs = 0;
   std::uint64_t chunks = 0;
+  std::uint64_t reconnects = 0;  ///< successful mid-sweep re-handshakes
   bool done = false;
   /// Never reached the coordinator at all. Benign when a sibling session
   /// saw the grid complete (a fast grid can drain and tear down before
@@ -52,24 +55,32 @@ int connect_with_retry(const HostPort& target,
   }
 }
 
-SessionResult run_session(const std::vector<ExperimentCell>& cells,
-                          std::uint64_t fingerprint,
-                          const WorkerOptions& opts) {
-  SessionResult out;
-  const int fd = connect_with_retry(opts.target, opts.connect_timeout);
-  if (fd < 0) {
-    std::ostringstream os;
-    os << "cannot connect to " << opts.target.host << ':' << opts.target.port
-       << " within " << opts.connect_timeout.count() << " ms";
-    out.error = os.str();
-    out.connect_failed = true;
-    return out;
-  }
+/// How one connection epoch ended.
+enum class EpochEnd {
+  kDone,   ///< grid complete — the session is finished
+  kLost,   ///< connection severed mid-protocol — redial and re-hello
+  kFatal,  ///< rejection or protocol violation — retrying cannot help
+};
 
-  const auto fail = [&](const std::string& why) {
-    out.error = why;
+struct Epoch {
+  EpochEnd end = EpochEnd::kLost;
+  bool welcomed = false;  ///< the handshake completed this epoch
+  std::string error;
+};
+
+/// One connection epoch: handshake, then the lease/execute/result loop,
+/// on an already-connected socket (takes ownership of `fd`, always closes
+/// it). Executed work accumulates into `out` across epochs; `reconnect`
+/// is the re-hello count this epoch's Hello carries.
+Epoch run_epoch(int fd, const std::vector<ExperimentCell>& cells,
+                std::uint64_t fingerprint, const WorkerOptions& opts,
+                std::uint64_t reconnect, SessionResult& out) {
+  Epoch ep;
+  const auto finish = [&](EpochEnd end, const std::string& why) {
+    ep.end = end;
+    ep.error = why;
     ::close(fd);
-    return out;
+    return ep;
   };
 
   HelloMsg hello;
@@ -77,54 +88,44 @@ SessionResult run_session(const std::vector<ExperimentCell>& cells,
   hello.cells = cells.size();
   hello.reservoir_capacity = opts.reservoir_capacity;
   hello.failure_capacity = opts.failure_capacity;
+  hello.reconnect = reconnect;
   if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) {
-    // A connection that dies before Welcome never joined the grid — the
-    // same class as a connect failure (benign when a sibling session saw
-    // the grid complete, e.g. the coordinator tore down as we dialed in).
-    out.connect_failed = true;
-    return fail("connection lost during handshake");
+    return finish(EpochEnd::kLost, "connection lost during handshake");
   }
   Frame frame;
   if (!recv_frame(fd, frame)) {
-    out.connect_failed = true;
-    return fail("connection lost during handshake");
+    return finish(EpochEnd::kLost, "connection lost during handshake");
   }
   if (frame.type == MsgType::kReject) {
-    return fail("coordinator rejected us: " + frame.payload);
+    return finish(EpochEnd::kFatal,
+                  "coordinator rejected us: " + frame.payload);
   }
   if (frame.type == MsgType::kDone) {
     // The grid drained before our Hello was processed — the coordinator
     // broadcasts its final Done to every connection. Nothing to do.
-    out.done = true;
-    ::close(fd);
-    return out;
+    return finish(EpochEnd::kDone, "");
   }
   if (frame.type != MsgType::kWelcome) {
-    return fail("unexpected handshake reply");
+    return finish(EpochEnd::kFatal, "unexpected handshake reply");
   }
+  ep.welcomed = true;
 
   for (;;) {
     if (!send_frame(fd, MsgType::kLeaseReq, "")) {
-      if (drain_for_done(fd)) {
-        out.done = true;
-        ::close(fd);
-        return out;
-      }
-      return fail("connection lost requesting a lease");
+      if (drain_for_done(fd)) return finish(EpochEnd::kDone, "");
+      return finish(EpochEnd::kLost, "connection lost requesting a lease");
     }
   receive:
     if (!recv_frame(fd, frame)) {
-      return fail("connection lost awaiting a lease");
+      return finish(EpochEnd::kLost, "connection lost awaiting a lease");
     }
     switch (frame.type) {
       case MsgType::kDone:
-        out.done = true;
-        ::close(fd);
-        return out;
+        return finish(EpochEnd::kDone, "");
       case MsgType::kWait: {
         std::uint32_t ms = 0;
         if (!decode_wait(frame.payload, ms)) {
-          return fail("malformed wait frame");
+          return finish(EpochEnd::kFatal, "malformed wait frame");
         }
         // Park on the socket instead of sleeping blind: the coordinator's
         // final unsolicited Done must interrupt the wait.
@@ -136,15 +137,17 @@ SessionResult run_session(const std::vector<ExperimentCell>& cells,
       case MsgType::kLease: {
         LeaseMsg lease;
         if (!decode_lease(frame.payload, lease)) {
-          return fail("malformed lease frame");
+          return finish(EpochEnd::kFatal, "malformed lease frame");
         }
         if (lease.cell_index >= cells.size()) {
-          return fail("lease names a cell outside the grid");
+          return finish(EpochEnd::kFatal,
+                        "lease names a cell outside the grid");
         }
         const ExperimentCell& cell =
             cells[static_cast<std::size_t>(lease.cell_index)];
         if (lease.end > cell.runs) {
-          return fail("lease range exceeds the cell's run count");
+          return finish(EpochEnd::kFatal,
+                        "lease range exceeds the cell's run count");
         }
         ResultMsg result;
         result.cell_index = lease.cell_index;
@@ -163,19 +166,76 @@ SessionResult run_session(const std::vector<ExperimentCell>& cells,
           if (drain_for_done(fd)) {
             out.runs += lease.end - lease.begin;
             out.chunks += 1;
-            out.done = true;
-            ::close(fd);
-            return out;
+            return finish(EpochEnd::kDone, "");
           }
-          return fail("connection lost shipping a result");
+          // The chunk is abandoned, not counted: the coordinator never
+          // folded it, and after the redial someone re-executes it.
+          return finish(EpochEnd::kLost, "connection lost shipping a result");
         }
         out.runs += lease.end - lease.begin;
         out.chunks += 1;
         continue;
       }
       default:
-        return fail("unexpected frame from coordinator");
+        return finish(EpochEnd::kFatal, "unexpected frame from coordinator");
     }
+  }
+}
+
+SessionResult run_session(const std::vector<ExperimentCell>& cells,
+                          std::uint64_t fingerprint,
+                          const WorkerOptions& opts, unsigned session_id) {
+  SessionResult out;
+  int fd = connect_with_retry(opts.target, opts.connect_timeout);
+  if (fd < 0) {
+    std::ostringstream os;
+    os << "cannot connect to " << opts.target.host << ':' << opts.target.port
+       << " within " << opts.connect_timeout.count() << " ms";
+    out.error = os.str();
+    out.connect_failed = true;
+    return out;
+  }
+
+  // Backoff jitter stream: per-process *and* per-session so sessions (and
+  // sibling worker processes) severed by the same fault don't redial in
+  // lockstep. Jitter never touches run seeds, so output bytes are immune.
+  Rng jitter = Rng(mix64(static_cast<std::uint64_t>(::getpid()),
+                         0x7E11A5ECULL))
+                   .fork(session_id);
+  bool ever_welcomed = false;
+  unsigned failures = 0;  // consecutive recovery attempts without a Welcome
+  for (;;) {
+    const Epoch ep =
+        run_epoch(fd, cells, fingerprint, opts, out.reconnects, out);
+    ever_welcomed = ever_welcomed || ep.welcomed;
+    if (ep.welcomed) failures = 0;
+    if (ep.end == EpochEnd::kDone) {
+      out.done = true;
+      return out;
+    }
+    if (ep.end == EpochEnd::kFatal) {
+      out.error = ep.error;
+      return out;
+    }
+    // kLost: redial with jittered exponential backoff within the budget.
+    fd = -1;
+    while (fd < 0) {
+      if (failures >= opts.reconnect_attempts) {
+        out.error = ep.error.empty() ? "connection lost" : ep.error;
+        out.connect_failed = !ever_welcomed;
+        return out;
+      }
+      ++failures;
+      const unsigned shift = std::min(failures - 1, 10u);
+      const auto base = std::min<std::int64_t>(
+          opts.reconnect_cap.count(), opts.reconnect_base.count() << shift);
+      const auto delay = static_cast<std::int64_t>(
+          static_cast<double>(std::max<std::int64_t>(base, 1)) *
+          (0.5 + jitter.next_double()));
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      fd = connect_once(opts.target);
+    }
+    ++out.reconnects;
   }
 }
 
@@ -187,13 +247,13 @@ WorkerReport run_worker(const std::vector<ExperimentCell>& cells,
   const unsigned sessions = opts.sessions == 0 ? 1 : opts.sessions;
   std::vector<SessionResult> results(sessions);
   if (sessions == 1) {
-    results[0] = run_session(cells, fingerprint, opts);
+    results[0] = run_session(cells, fingerprint, opts, 0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(sessions);
     for (unsigned s = 0; s < sessions; ++s) {
       threads.emplace_back([&, s] {
-        results[s] = run_session(cells, fingerprint, opts);
+        results[s] = run_session(cells, fingerprint, opts, s);
       });
     }
     for (auto& t : threads) t.join();
@@ -205,6 +265,7 @@ WorkerReport run_worker(const std::vector<ExperimentCell>& cells,
   for (const SessionResult& r : results) {
     report.runs_executed += r.runs;
     report.chunks_executed += r.chunks;
+    report.reconnects += r.reconnects;
     any_done = any_done || r.done;
     hard_error = hard_error || (!r.done && !r.connect_failed);
   }

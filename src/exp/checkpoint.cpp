@@ -346,6 +346,33 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
   return true;
 }
 
+void write_compacted_checkpoint(std::ostream& out, std::uint64_t fingerprint,
+                                const CheckpointData& data) {
+  write_checkpoint_header(out, fingerprint);
+  for (const auto& [index, acc] : data.cells) {
+    append_checkpoint_cell(out, index, acc);
+  }
+  for (const auto& [index, list] : data.chunks) {
+    // A cell block supersedes its chunk trail (callers may promote a fully
+    // chunk-covered cell into `cells` without erasing the chunk list).
+    if (data.cells.find(index) != data.cells.end()) continue;
+    // `list` is sorted and overlap-free (load_checkpoint_data's contract);
+    // fuse each maximal run of adjacent ranges into one block.
+    std::size_t i = 0;
+    while (i < list.size()) {
+      CellAccumulator merged = list[i].acc;
+      std::size_t j = i + 1;
+      while (j < list.size() && list[j].begin == list[j - 1].end) {
+        merged.merge(list[j].acc);
+        ++j;
+      }
+      append_checkpoint_chunk(out, index, list[i].begin, list[j - 1].end,
+                              merged);
+      i = j;
+    }
+  }
+}
+
 CheckpointData load_checkpoint_data(std::istream& in,
                                     std::uint64_t expected_fingerprint) {
   std::string line;

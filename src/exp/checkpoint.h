@@ -89,6 +89,18 @@ struct CheckpointData {
   std::map<std::uint64_t, std::vector<ChunkCheckpoint>> chunks;
 };
 
+/// Rewrites loaded checkpoint data as its minimal equivalent stream: the
+/// header, one cell block per completed cell, then one chunk block per
+/// *maximal contiguous chunk chain* — accumulator merge-order invariance
+/// makes the merged block exactly equal to folding its originals, so a
+/// resume from the compacted file is byte-identical to one from the full
+/// trail. Used on --resume to keep the append-only trail from growing
+/// without bound across repeated crash/restart cycles; write to a
+/// temporary and rename over the original so a kill mid-rewrite cannot
+/// lose the old file.
+void write_compacted_checkpoint(std::ostream& out, std::uint64_t fingerprint,
+                                const CheckpointData& data);
+
 /// Parses a checkpoint stream, cell and chunk blocks both. Throws
 /// ContractViolation when the header is missing or the fingerprint does not
 /// match `expected_fingerprint`; silently drops malformed or truncated

@@ -16,8 +16,8 @@ void append_double(std::string& out, double v) {
 
 std::string render_health_json(const HealthSnapshot& snap) {
   std::string out;
-  out.reserve(512 + snap.workers.size() * 160);
-  out += "{\"schema\":\"hyco-health/1\"";
+  out.reserve(640 + snap.workers.size() * 200);
+  out += "{\"schema\":\"hyco-health/2\"";
   out += ",\"elapsed_ms\":" + std::to_string(snap.elapsed_ms);
   out += ",\"runs\":{\"total\":" + std::to_string(snap.runs_total);
   out += ",\"folded\":" + std::to_string(snap.runs_folded);
@@ -32,6 +32,12 @@ std::string render_health_json(const HealthSnapshot& snap) {
   append_double(out, snap.fold_rate_per_sec);
   out += ",\"eta_sec\":";
   append_double(out, snap.eta_sec);
+  out += ",\"recovery\":{\"lease_expiries\":" +
+         std::to_string(snap.lease_expiries);
+  out += ",\"requeued_chunks\":" + std::to_string(snap.requeued_chunks);
+  out += ",\"worker_reconnects\":" + std::to_string(snap.worker_reconnects);
+  out += ",\"checkpoint_flush_ms\":" +
+         std::to_string(snap.checkpoint_flush_ms) + "}";
   out += ",\"workers\":[";
   bool first = true;
   for (const WorkerHealth& w : snap.workers) {
@@ -45,6 +51,8 @@ std::string render_health_json(const HealthSnapshot& snap) {
     out += ",\"active_leases\":" + std::to_string(w.active_leases);
     out += ",\"folded_chunks\":" + std::to_string(w.folded_chunks);
     out += ",\"folded_runs\":" + std::to_string(w.folded_runs);
+    out += ",\"reconnects\":" + std::to_string(w.reconnects);
+    out += ",\"oldest_lease_ms\":" + std::to_string(w.oldest_lease_ms);
     out += "}";
   }
   out += "]}";

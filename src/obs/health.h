@@ -2,10 +2,12 @@
 //
 // The coordinator assembles a HealthSnapshot from its work ledger and
 // connection table on demand; render_health_json turns it into a stable
-// "hyco-health/1" JSON document served over a read-only HTTP endpoint so an
+// "hyco-health/2" JSON document served over a read-only HTTP endpoint so an
 // operator (or CI) can poll progress mid-sweep without touching the worker
 // protocol. Rendering is a free function so tests can exercise the schema
-// without sockets.
+// without sockets. Schema /2 added the "recovery" object (lease expiries,
+// re-queued chunks, worker reconnects, checkpoint flush age) and per-worker
+// reconnect/lease-age fields on top of /1.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,8 @@ struct WorkerHealth {
   std::uint64_t active_leases = 0;
   std::uint64_t folded_chunks = 0;
   std::uint64_t folded_runs = 0;
+  std::uint64_t reconnects = 0;      ///< re-hello count this connection came with
+  std::int64_t oldest_lease_ms = 0;  ///< age of its oldest live lease (0 = none)
 };
 
 /// Point-in-time progress of the whole sweep.
@@ -39,10 +43,16 @@ struct HealthSnapshot {
   std::size_t chunks_folded = 0;
   double fold_rate_per_sec = 0.0;  ///< runs folded per second since start
   double eta_sec = 0.0;            ///< 0 when unknown (no fold rate yet)
+  // Recovery counters (the self-healing paths, cumulative this serve()):
+  std::uint64_t lease_expiries = 0;   ///< leases re-queued by TTL expiry
+  std::uint64_t requeued_chunks = 0;  ///< chunks re-queued (expiry + disconnect)
+  std::uint64_t worker_reconnects = 0;  ///< welcomed re-hellos
+  /// ms since the last checkpoint block flushed; -1 = no checkpoint wired.
+  std::int64_t checkpoint_flush_ms = -1;
   std::vector<WorkerHealth> workers;
 };
 
-/// Renders the snapshot as a single "hyco-health/1" JSON object.
+/// Renders the snapshot as a single "hyco-health/2" JSON object.
 std::string render_health_json(const HealthSnapshot& snap);
 
 /// Wraps a JSON body in a minimal HTTP/1.0 200 response (close-delimited).

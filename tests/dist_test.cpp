@@ -1,25 +1,31 @@
 // Distributed sweep engine (src/dist/): the chunk-granular work ledger's
-// state machine (lease → expire → re-lease → fold exactly-once), the wire
-// protocol (framing, host:port validation, accumulator round-trip), and
-// end-to-end coordinator/worker grids over localhost TCP — including a
-// worker killed mid-chunk and a lease that expires on a wedged worker —
-// all of which must leave the merged artifacts byte-identical to a
-// single-machine streaming run. Mid-cell chunk-checkpoint resume rides the
-// same accumulator encoding and is pinned here too.
+// state machine (lease → expire → re-lease → fold exactly-once, plus the
+// adaptive lease tail), the wire protocol (framing, host:port validation,
+// accumulator round-trip, garbage rejection), and end-to-end
+// coordinator/worker grids over localhost TCP — including a worker killed
+// mid-chunk, a lease that expires on a wedged worker, connections severed
+// by the chaos proxy, and the coordinator itself crashing and resuming
+// from its checkpoint — all of which must leave the merged artifacts
+// byte-identical to a single-machine streaming run. Mid-cell
+// chunk-checkpoint resume and its compacted rewrite ride the same
+// accumulator encoding and are pinned here too.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dist/chaos.h"
 #include "dist/coordinator.h"
 #include "dist/ledger.h"
 #include "dist/proto.h"
@@ -28,6 +34,7 @@
 #include "exp/executor.h"
 #include "exp/report.h"
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace hyco {
 namespace {
@@ -169,6 +176,68 @@ TEST(WorkLedger, SpansRespectGrainAndCells) {
   EXPECT_THROW(ledger.add_span(0, 9, 9), ContractViolation);  // empty
 }
 
+TEST(WorkLedger, AcquireSplitsLongChunksAtMaxLen) {
+  WorkLedger ledger(1, 10);
+  ledger.add_span(0, 0, 25);  // chunks [0,10) [10,20) [20,25)
+  const auto t0 = WorkLedger::Clock::now();
+  const auto ttl = std::chrono::seconds(60);
+
+  // A capped acquire splits the head chunk: the first max_len runs go out,
+  // the tail re-registers at the *front* of the queue.
+  const auto l1 = ledger.acquire(1, t0, ttl, 4);
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->begin, 0u);
+  EXPECT_EQ(l1->end, 4u);
+  EXPECT_EQ(ledger.chunk_count(), 4u);   // the split minted a new chunk
+  EXPECT_EQ(ledger.total_runs(), 25u);   // ...but no runs appeared or vanished
+
+  const auto l2 = ledger.acquire(2, t0, ttl);  // uncapped: the tail, not [10,20)
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->begin, 4u);
+  EXPECT_EQ(l2->end, 10u);
+
+  // A cap wider than the chunk leaves it whole.
+  const auto l3 = ledger.acquire(3, t0, ttl, 100);
+  ASSERT_TRUE(l3.has_value());
+  EXPECT_EQ(l3->begin, 10u);
+  EXPECT_EQ(l3->end, 20u);
+
+  // The pre-split range no longer exists; the split ranges fold exactly-once.
+  EXPECT_EQ(ledger.fold(0, 0, 10).outcome, WorkLedger::FoldOutcome::kUnknown);
+  EXPECT_EQ(ledger.fold(0, 0, 4).outcome, WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_EQ(ledger.fold(0, 4, 10).outcome, WorkLedger::FoldOutcome::kAccepted);
+  EXPECT_EQ(ledger.fold(0, 10, 20).outcome,
+            WorkLedger::FoldOutcome::kAccepted);
+  const auto l4 = ledger.acquire(1, t0, ttl, 5);  // exact fit: no split
+  ASSERT_TRUE(l4.has_value());
+  EXPECT_EQ(l4->begin, 20u);
+  EXPECT_EQ(l4->end, 25u);
+  EXPECT_EQ(ledger.chunk_count(), 4u);
+  EXPECT_TRUE(ledger.fold(0, 20, 25).cell_completed);
+  EXPECT_TRUE(ledger.all_folded());
+}
+
+TEST(WorkLedger, AdaptiveLeaseCapShrinksTowardFloor) {
+  using dist::adaptive_lease_cap;
+  // Plenty of work left: the grain passes through untouched.
+  EXPECT_EQ(adaptive_lease_cap(4096, 32, 1'000'000, 8), 4096u);
+  EXPECT_EQ(adaptive_lease_cap(100, 8, 1000, 2), 100u);
+  // The tail: halve until every worker has ~2 cap-sized chunks left.
+  EXPECT_EQ(adaptive_lease_cap(64, 4, 80, 1), 32u);
+  EXPECT_EQ(adaptive_lease_cap(64, 4, 48, 1), 16u);
+  EXPECT_EQ(adaptive_lease_cap(100, 8, 100, 1), 50u);
+  // The floor stops the shrink even when the remainder says go lower.
+  EXPECT_EQ(adaptive_lease_cap(64, 4, 8, 1), 4u);
+  EXPECT_EQ(adaptive_lease_cap(64, 4, 0, 3), 4u);
+  // Zero workers is treated as one (a lease request proves one exists).
+  EXPECT_EQ(adaptive_lease_cap(64, 4, 1, 0), 4u);
+  // floor >= grain disables the adaptive tail entirely.
+  EXPECT_EQ(adaptive_lease_cap(64, 64, 1, 5), 64u);
+  EXPECT_EQ(adaptive_lease_cap(64, 128, 1, 5), 64u);
+  // A zero floor is clamped to one run.
+  EXPECT_EQ(adaptive_lease_cap(16, 0, 1, 1), 1u);
+}
+
 // ---- protocol ---------------------------------------------------------------
 
 TEST(Proto, HostPortValidation) {
@@ -239,6 +308,114 @@ TEST(Proto, FrameBufferReassemblesSplitFrames) {
     }
   }
   EXPECT_EQ(yielded, 2u);
+  EXPECT_FALSE(buf.error());
+}
+
+/// One hand-built frame: 4-byte big-endian length (type byte + payload),
+/// then the type, then the payload.
+std::string raw_frame(std::uint32_t len, std::uint8_t type,
+                      const std::string& payload) {
+  std::string f;
+  f.push_back(static_cast<char>(len >> 24));
+  f.push_back(static_cast<char>(len >> 16));
+  f.push_back(static_cast<char>(len >> 8));
+  f.push_back(static_cast<char>(len));
+  f.push_back(static_cast<char>(type));
+  f += payload;
+  return f;
+}
+
+TEST(Proto, FrameBufferRejectsHostileLengthPrefixes) {
+  // An oversized length means a garbage or hostile peer: the buffer turns
+  // sticky-errored instead of allocating, and stays errored even when a
+  // perfectly valid frame follows the poison.
+  dist::FrameBuffer oversized;
+  const std::string big = raw_frame(dist::kMaxFrameBytes + 1, 1, "");
+  oversized.feed(big.data(), big.size());
+  EXPECT_FALSE(oversized.next().has_value());
+  EXPECT_TRUE(oversized.error());
+  const std::string ok = raw_frame(1, 4, "");  // a valid LeaseReq
+  oversized.feed(ok.data(), ok.size());
+  EXPECT_FALSE(oversized.next().has_value());
+  EXPECT_TRUE(oversized.error());
+
+  // A zero length (no room for even the type byte) is equally malformed.
+  dist::FrameBuffer zero;
+  const std::string z = raw_frame(0, 7, "");
+  zero.feed(z.data(), z.size());
+  EXPECT_FALSE(zero.next().has_value());
+  EXPECT_TRUE(zero.error());
+
+  // Truncation is not an error — the frame simply isn't whole yet.
+  dist::FrameBuffer cut;
+  const std::string whole = raw_frame(10, 5, "abcdefghi");
+  cut.feed(whole.data(), 7);
+  EXPECT_FALSE(cut.next().has_value());
+  EXPECT_FALSE(cut.error());
+  cut.feed(whole.data() + 7, whole.size() - 7);
+  const auto f = cut.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, "abcdefghi");
+  EXPECT_FALSE(cut.error());
+}
+
+TEST(Proto, FrameBufferSurvivesSeededGarbage) {
+  // Pure noise, fed in random-sized slices: the decoder must reject it
+  // cleanly (almost every random length prefix is oversized) and never
+  // crash, hang, or hand a frame to a decoder that then throws.
+  Rng rng(2026);
+  dist::FrameBuffer noise_buf;
+  std::string noise(64 * 1024, '\0');
+  for (auto& c : noise) c = static_cast<char>(rng.next_u64() & 0xFF);
+  std::size_t off = 0;
+  while (off < noise.size() && !noise_buf.error()) {
+    const std::size_t n = std::min<std::size_t>(
+        1 + static_cast<std::size_t>(rng.bounded(509)), noise.size() - off);
+    noise_buf.feed(noise.data() + off, n);
+    off += n;
+    while (const auto frame = noise_buf.next()) {
+      dist::HelloMsg h;
+      (void)dist::decode_hello(frame->payload, h);
+    }
+  }
+
+  // Frame-aligned garbage: valid length prefixes around random types and
+  // payload bytes. Every frame must surface exactly once, and every decoder
+  // must refuse the junk payloads by returning false, never by throwing.
+  std::string wire;
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::uint32_t payload_len =
+        static_cast<std::uint32_t>(rng.bounded(64));
+    std::string payload;
+    for (std::uint32_t k = 0; k < payload_len; ++k) {
+      payload.push_back(static_cast<char>(rng.next_u64() & 0xFF));
+    }
+    wire += raw_frame(payload_len + 1,
+                      static_cast<std::uint8_t>(rng.next_u64() & 0xFF),
+                      payload);
+  }
+  dist::FrameBuffer buf;
+  int yielded = 0;
+  off = 0;
+  while (off < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        1 + static_cast<std::size_t>(rng.bounded(17)), wire.size() - off);
+    buf.feed(wire.data() + off, n);
+    off += n;
+    while (const auto frame = buf.next()) {
+      ++yielded;
+      dist::HelloMsg h;
+      (void)dist::decode_hello(frame->payload, h);
+      dist::LeaseMsg l;
+      (void)dist::decode_lease(frame->payload, l);
+      dist::ResultMsg r;
+      (void)dist::decode_result(frame->payload, r);
+      std::uint32_t ms = 0;
+      (void)dist::decode_wait(frame->payload, ms);
+    }
+  }
+  EXPECT_EQ(yielded, kFrames);
   EXPECT_FALSE(buf.error());
 }
 
@@ -435,6 +612,247 @@ TEST(DistributedSweep, ExpiredLeaseOnWedgedWorkerIsReassigned) {
   EXPECT_EQ(distributed, reference_artifacts(spec));
 }
 
+/// A well-formed Hello for this grid (default capacities).
+dist::HelloMsg make_hello(std::uint64_t fp, std::size_t n_cells,
+                          std::uint64_t reconnect = 0) {
+  dist::HelloMsg hello;
+  hello.fingerprint = fp;
+  hello.cells = n_cells;
+  hello.reservoir_capacity = MetricStats::kDefaultReservoir;
+  hello.failure_capacity = CellAccumulator::kDefaultFailureCap;
+  hello.reconnect = reconnect;
+  return hello;
+}
+
+TEST(DistributedSweep, AdaptiveLeaseTailShrinksToFloor) {
+  // One serial manual worker against grain 64 / floor 4 on an 80-run grid:
+  // the lease lengths it is handed follow the adaptive_lease_cap schedule
+  // exactly (the protocol is strictly request/response on one connection,
+  // so there is no timing in this sequence), the final leases sit on the
+  // floor, and the resharded tail must not change a single output byte.
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CoordinatorOptions opts = test_coordinator_options();
+  opts.lease_grain = 64;
+  opts.lease_floor = 4;
+
+  std::vector<std::uint64_t> lengths;
+  const std::string distributed =
+      serve_grid(spec, std::move(opts), [&](std::uint16_t port) {
+        const int fd = dist::connect_once({"127.0.0.1", port});
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(dist::send_frame(
+            fd, dist::MsgType::kHello,
+            dist::encode_hello(make_hello(fp, cells.size()))));
+        dist::Frame f;
+        ASSERT_TRUE(dist::recv_frame(fd, f));
+        ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+
+        std::uint64_t executed = 0;
+        while (executed < spec.total_runs()) {
+          ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kLeaseReq, ""));
+          ASSERT_TRUE(dist::recv_frame(fd, f));
+          ASSERT_EQ(f.type, dist::MsgType::kLease);
+          dist::LeaseMsg lease;
+          ASSERT_TRUE(dist::decode_lease(f.payload, lease));
+          lengths.push_back(lease.end - lease.begin);
+
+          dist::ResultMsg result;
+          result.cell_index = lease.cell_index;
+          result.begin = lease.begin;
+          result.end = lease.end;
+          result.acc = CellAccumulator(MetricStats::kDefaultReservoir,
+                                       CellAccumulator::kDefaultFailureCap);
+          for (std::uint64_t k = lease.begin; k < lease.end; ++k) {
+            const RunConfig cfg = cells[lease.cell_index].run_config(k);
+            result.acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+          }
+          ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kResult,
+                                       dist::encode_result(result)));
+          executed += lease.end - lease.begin;
+        }
+        ::close(fd);
+      });
+
+  // 80 runs, one worker: 64 halves to 32 up front, the caps shrink as the
+  // pool drains, and the last two leases sit exactly on the floor.
+  const std::vector<std::uint64_t> expected = {32, 8, 16, 8, 8, 4, 4};
+  EXPECT_EQ(lengths, expected);
+  EXPECT_EQ(distributed, reference_artifacts(spec));
+}
+
+TEST(DistributedSweep, WorkerRidesOutSeveredConnections) {
+  // A chaos proxy between the worker and the coordinator cuts the
+  // connection mid-stream on a seeded byte budget (twice, then turns
+  // transparent so the grid always drains). The worker's backoff/re-hello
+  // recovery must ride the injuries out and the bytes must not change.
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  const std::string distributed =
+      serve_grid(spec, test_coordinator_options(), [&](std::uint16_t port) {
+        dist::ChaosProxyOptions popts;
+        popts.target = {"127.0.0.1", port};
+        popts.seed = 42;
+        popts.sever_min_bytes = 1500;  // past the handshake, well inside the
+        popts.sever_max_bytes = 3000;  // grid's total traffic
+        popts.max_severs = 2;
+        dist::ChaosProxy proxy(popts);
+        proxy.start();
+
+        dist::WorkerOptions wopts = worker_options(proxy.port(), 1);
+        wopts.reconnect_attempts = 50;
+        wopts.reconnect_base = std::chrono::milliseconds(10);
+        wopts.reconnect_cap = std::chrono::milliseconds(100);
+        const auto r = dist::run_worker(cells, fp, wopts);
+        EXPECT_TRUE(r.completed) << r.error;
+        EXPECT_GE(r.reconnects, 1u);
+        EXPECT_GE(proxy.severed(), 1u);
+        proxy.stop();
+      });
+  EXPECT_EQ(distributed, reference_artifacts(spec));
+}
+
+TEST(DistributedSweep, CoordinatorCrashAndResumeMatchesByteForByte) {
+  // Full failover drill: the coordinator checkpoint-appends every fold,
+  // dies abruptly after three (every socket torn down, no Done — the
+  // injected SIGKILL), and a second coordinator resumes from the
+  // checkpoint on the *same port*. The workers, started before the crash,
+  // ride it out with backoff + re-hello. Checkpointed cells/chunks merge
+  // under the restarted run's results; the combined artifacts must be
+  // byte-identical to a never-crashed run.
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  std::stringstream ckpt;
+  write_checkpoint_header(ckpt, fp);
+
+  CoordinatorOptions opts = test_coordinator_options();
+  opts.crash_after_chunks = 3;
+  opts.on_chunk = [&](const ExperimentCell& cell, std::uint64_t begin,
+                      std::uint64_t end, const CellAccumulator& acc) {
+    append_checkpoint_chunk(ckpt, cell.index, begin, end, acc);
+  };
+  opts.on_cell_complete = [&](const ExperimentCell& cell,
+                              const CellAccumulator& acc) {
+    append_checkpoint_cell(ckpt, cell.index, acc);
+  };
+
+  auto first = std::make_unique<Coordinator>(
+      cells, full_spans(cells), std::map<std::size_t, CellAccumulator>{}, fp,
+      std::move(opts));
+  first->bind();
+  const std::uint16_t port = first->port();
+
+  // Generous recovery budget: the sessions must survive both the crash
+  // window and however long the restart takes.
+  dist::WorkerOptions wopts = worker_options(port, 1);
+  wopts.reconnect_attempts = 200;
+  wopts.reconnect_base = std::chrono::milliseconds(10);
+  wopts.reconnect_cap = std::chrono::milliseconds(100);
+  dist::WorkerReport r1, r2;
+  std::thread w1([&] { r1 = dist::run_worker(cells, fp, wopts); });
+  std::thread w2([&] { r2 = dist::run_worker(cells, fp, wopts); });
+
+  bool crashed = false;
+  try {
+    (void)first->serve();
+  } catch (const dist::ChaosKill& kill) {
+    crashed = true;
+    EXPECT_GE(kill.folded_chunks, 3u);
+  }
+  ASSERT_TRUE(crashed);
+  first.reset();
+
+  // Rebuild exactly as `sweep --serve --resume` does: completed cells load
+  // bit-exact, partial cells merge their chunk trail into a prior and
+  // re-run only the complement spans.
+  std::istringstream in(ckpt.str());
+  CheckpointData loaded = load_checkpoint_data(in, fp);
+  std::map<std::uint64_t, CellAccumulator>& resumed = loaded.cells;
+  std::map<std::uint64_t, CellAccumulator> prior;
+  std::vector<ExperimentCell> todo;
+  std::vector<RunSpan> todo_spans;
+  for (const auto& c : cells) {
+    if (resumed.find(c.index) != resumed.end()) continue;
+    const auto chunk_it = loaded.chunks.find(c.index);
+    if (chunk_it == loaded.chunks.end()) {
+      todo_spans.push_back({todo.size(), 0, c.runs});
+      todo.push_back(c);
+      continue;
+    }
+    CellAccumulator acc(MetricStats::kDefaultReservoir,
+                        CellAccumulator::kDefaultFailureCap);
+    std::vector<RunSpan> gaps;
+    std::uint64_t cursor = 0;
+    for (const ChunkCheckpoint& chunk : chunk_it->second) {
+      if (chunk.begin > cursor) gaps.push_back({0, cursor, chunk.begin});
+      acc.merge(chunk.acc);
+      cursor = chunk.end;
+    }
+    if (cursor < c.runs) gaps.push_back({0, cursor, c.runs});
+    if (gaps.empty()) {
+      acc.finalize();
+      resumed.emplace(c.index, std::move(acc));
+      continue;
+    }
+    for (RunSpan g : gaps) {
+      g.cell_pos = todo.size();
+      todo_spans.push_back(g);
+    }
+    prior.emplace(c.index, std::move(acc));
+    todo.push_back(c);
+  }
+  // 3 folded chunks of 12: the crash left real work (this also proves the
+  // checkpoint caught the pre-crash folds).
+  ASSERT_FALSE(todo.empty());
+  ASSERT_FALSE(loaded.chunks.empty());
+
+  std::map<std::size_t, CellAccumulator> prior_by_pos;
+  for (std::size_t pos = 0; pos < todo.size(); ++pos) {
+    const auto it = prior.find(todo[pos].index);
+    if (it != prior.end()) prior_by_pos.emplace(pos, it->second);
+  }
+
+  CoordinatorOptions opts2 = test_coordinator_options();
+  opts2.port = port;  // the endpoint the workers keep redialing
+  Coordinator second(todo, todo_spans, std::move(prior_by_pos), fp,
+                     std::move(opts2));
+  second.bind();
+  std::vector<CellResult> rest = second.serve();
+  w1.join();
+  w2.join();
+  EXPECT_TRUE(r1.completed) << r1.error;
+  EXPECT_TRUE(r2.completed) << r2.error;
+  EXPECT_GE(r1.reconnects + r2.reconnects, 1u);
+
+  // Stitch resumed cells and restarted-run results back into grid order.
+  std::vector<CellResult> all;
+  std::size_t next_rest = 0;
+  for (const auto& cell : cells) {
+    const auto it = resumed.find(cell.index);
+    if (it != resumed.end()) {
+      all.emplace_back(cell, std::move(it->second));
+    } else {
+      ASSERT_LT(next_rest, rest.size());
+      ASSERT_EQ(rest[next_rest].cell.index, cell.index);
+      all.push_back(std::move(rest[next_rest]));
+      ++next_rest;
+    }
+  }
+  EXPECT_EQ(render_artifacts(spec.name, all), reference_artifacts(spec));
+}
+
 // ---- health endpoint + distributed obs metrics ------------------------------
 
 /// Parses the first unsigned integer after `key` in a flat JSON string.
@@ -491,7 +909,7 @@ TEST(DistributedSweep, HealthEndpointServesMonotonicProgress) {
 
   // Before any worker connects: schema present, zero progress, no workers.
   const std::string before = fetch_health(hport);
-  ASSERT_NE(before.find("\"schema\":\"hyco-health/1\""), std::string::npos)
+  ASSERT_NE(before.find("\"schema\":\"hyco-health/2\""), std::string::npos)
       << before;
   EXPECT_EQ(json_uint_after(before, "\"folded\":"), 0u);
   EXPECT_NE(before.find("\"workers\":[]"), std::string::npos);
@@ -568,6 +986,86 @@ TEST(DistributedSweep, HealthEndpointServesMonotonicProgress) {
   write_cell_csv(la, local, ropts);
   write_cell_json(la, spec.name, local, ropts);
   EXPECT_EQ(da.str(), la.str());
+}
+
+TEST(DistributedSweep, HealthEndpointReportsRecoveryCounters) {
+  // The hyco-health/2 recovery block: a lease aging on a wedged worker
+  // shows up as oldest_lease_ms before it expires, the expiry bumps
+  // lease_expiries + requeued_chunks, and a re-hello bumps
+  // worker_reconnects (with the per-worker reconnect count echoed back).
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CoordinatorOptions opts = test_coordinator_options();
+  opts.health_port = 0;
+  opts.lease_ttl = std::chrono::milliseconds(250);
+  Coordinator coordinator(cells, full_spans(cells), {}, fp, std::move(opts));
+  coordinator.bind();
+  const std::uint16_t hport = coordinator.health_port();
+  ASSERT_NE(hport, 0);
+  std::vector<CellResult> results;
+  std::thread server([&] { results = coordinator.serve(); });
+
+  // The wedged worker: leases a chunk, then sits on it.
+  const int fd = dist::connect_once({"127.0.0.1", coordinator.port()});
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kHello,
+                               dist::encode_hello(make_hello(fp,
+                                                             cells.size()))));
+  dist::Frame f;
+  ASSERT_TRUE(dist::recv_frame(fd, f));
+  ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+  ASSERT_TRUE(dist::send_frame(fd, dist::MsgType::kLeaseReq, ""));
+  ASSERT_TRUE(dist::recv_frame(fd, f));
+  ASSERT_EQ(f.type, dist::MsgType::kLease);
+
+  // Mid-lease (well inside the TTL): the lease's age is visible, nothing
+  // has expired yet, and with no checkpoint hook wired the flush stamp
+  // stays at its -1 sentinel.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const std::string aging = fetch_health(hport);
+  ASSERT_NE(aging.find("\"recovery\":{"), std::string::npos) << aging;
+  EXPECT_NE(aging.find("\"checkpoint_flush_ms\":-1"), std::string::npos)
+      << aging;
+  const std::uint64_t age = json_uint_after(aging, "\"oldest_lease_ms\":");
+  EXPECT_GE(age, 1u) << aging;
+  EXPECT_LT(age, 10'000u) << aging;
+  EXPECT_EQ(json_uint_after(aging, "\"lease_expiries\":"), 0u) << aging;
+
+  // Past the TTL: exactly one lease expired and re-queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const std::string expired = fetch_health(hport);
+  EXPECT_EQ(json_uint_after(expired, "\"lease_expiries\":"), 1u) << expired;
+  EXPECT_EQ(json_uint_after(expired, "\"requeued_chunks\":"), 1u) << expired;
+  EXPECT_EQ(json_uint_after(expired, "\"worker_reconnects\":"), 0u)
+      << expired;
+
+  // A re-hello (session's third connect) registers as a reconnect, and the
+  // worker row echoes its cumulative count.
+  const int fd2 = dist::connect_once({"127.0.0.1", coordinator.port()});
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(dist::send_frame(
+      fd2, dist::MsgType::kHello,
+      dist::encode_hello(make_hello(fp, cells.size(), 2))));
+  ASSERT_TRUE(dist::recv_frame(fd2, f));
+  ASSERT_EQ(f.type, dist::MsgType::kWelcome);
+  const std::string rejoined = fetch_health(hport);
+  EXPECT_EQ(json_uint_after(rejoined, "\"worker_reconnects\":"), 1u)
+      << rejoined;
+  EXPECT_NE(rejoined.find("\"reconnects\":2"), std::string::npos) << rejoined;
+
+  // Real workers drain the grid — the expired chunk included — and the
+  // artifacts still match a local run byte for byte.
+  const auto r =
+      dist::run_worker(cells, fp, worker_options(coordinator.port(), 2));
+  EXPECT_TRUE(r.completed) << r.error;
+  server.join();
+  ::close(fd);
+  ::close(fd2);
+  EXPECT_EQ(render_artifacts(spec.name, results), reference_artifacts(spec));
 }
 
 // ---- mid-cell chunk-checkpoint resume --------------------------------------
@@ -686,6 +1184,116 @@ TEST(ChunkCheckpoint, LoaderDropsOverlapsTruncationAndCoveredChunks) {
   const CheckpointData partial = load_checkpoint_data(cut, fp);
   ASSERT_EQ(partial.chunks.count(1), 1u);
   EXPECT_EQ(partial.chunks.at(1).size(), 1u);
+}
+
+TEST(ChunkCheckpoint, CompactionMergesChainsAndDropsCoveredTrails) {
+  const auto cells = dist_spec().expand();
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+
+  CellAccumulator acc(MetricStats::kDefaultReservoir,
+                      CellAccumulator::kDefaultFailureCap);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const RunConfig cfg = cells[0].run_config(k);
+    acc.add(extract_record(k, cfg.seed, run_consensus(cfg)));
+  }
+
+  // Cell 0: chunk trail + cell block. Cell 1: a contiguous [0,10)+[10,20)
+  // chain and a detached [30,40).
+  std::stringstream file;
+  write_checkpoint_header(file, fp);
+  append_checkpoint_chunk(file, 0, 0, 10, acc);
+  CellAccumulator whole = acc;
+  whole.finalize();
+  append_checkpoint_cell(file, 0, whole);
+  append_checkpoint_chunk(file, 1, 0, 10, acc);
+  append_checkpoint_chunk(file, 1, 10, 20, acc);
+  append_checkpoint_chunk(file, 1, 30, 40, acc);
+
+  const CheckpointData data = load_checkpoint_data(file, fp);
+  std::stringstream compact;
+  write_compacted_checkpoint(compact, fp, data);
+  EXPECT_LT(compact.str().size(), file.str().size());
+
+  // The rewrite keeps the cell block, merges the chain into one block, and
+  // leaves the gap before [30,40) open.
+  const CheckpointData out = load_checkpoint_data(compact, fp);
+  EXPECT_EQ(out.cells.size(), 1u);
+  EXPECT_EQ(out.cells.count(0), 1u);
+  ASSERT_EQ(out.chunks.size(), 1u);
+  const auto& list = out.chunks.at(1);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].begin, 0u);
+  EXPECT_EQ(list[0].end, 20u);
+  EXPECT_EQ(list[0].acc.runs, 20u);
+  EXPECT_EQ(list[1].begin, 30u);
+  EXPECT_EQ(list[1].end, 40u);
+}
+
+TEST(ChunkCheckpoint, CompactedRewriteResumesByteForByte) {
+  // The --resume compaction path end to end: an interrupted session leaves
+  // a chunk trail with a gap, the rewrite collapses it, and a resume from
+  // the compacted file lands on the same bytes as an uninterrupted run.
+  const ExperimentSpec spec = dist_spec();
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 2u);
+  const std::uint64_t fp = grid_fingerprint(
+      cells, MetricStats::kDefaultReservoir,
+      CellAccumulator::kDefaultFailureCap);
+  const std::string reference = reference_artifacts(spec);
+
+  // Interrupted session: cell 0 executed [0,10) + [20,40) in grain-10
+  // chunks (three chunk blocks); cell 1 untouched.
+  std::stringstream file;
+  write_checkpoint_header(file, fp);
+  {
+    std::mutex mu;
+    CollectingSink::Options sink_opts;
+    sink_opts.on_chunk = [&](const ExperimentCell& cell, std::uint64_t begin,
+                             std::uint64_t end, const CellAccumulator& a) {
+      const std::lock_guard<std::mutex> lock(mu);
+      append_checkpoint_chunk(file, cell.index, begin, end, a);
+    };
+    CollectingSink sink(cells, std::move(sink_opts));
+    ParallelExecutor::Options opts;
+    opts.threads = 2;
+    opts.chunk_size = 10;
+    ParallelExecutor(opts).run(cells, {{0, 0, 10}, {0, 20, 40}}, sink);
+  }
+
+  const CheckpointData loaded = load_checkpoint_data(file, fp);
+  std::stringstream compact;
+  write_compacted_checkpoint(compact, fp, loaded);
+  EXPECT_LT(compact.str().size(), file.str().size());
+
+  const CheckpointData reloaded = load_checkpoint_data(compact, fp);
+  EXPECT_TRUE(reloaded.cells.empty());
+  ASSERT_EQ(reloaded.chunks.size(), 1u);
+  const auto& list = reloaded.chunks.at(0);
+  ASSERT_EQ(list.size(), 2u);  // [20,30)+[30,40) merged; the gap survives
+  EXPECT_EQ(list[0].begin, 0u);
+  EXPECT_EQ(list[0].end, 10u);
+  EXPECT_EQ(list[1].begin, 20u);
+  EXPECT_EQ(list[1].end, 40u);
+  EXPECT_EQ(list[1].acc.runs, 20u);
+
+  // Resume from the compacted file at a different grain: complement spans
+  // only, merged under the prior — byte-identical artifacts.
+  CellAccumulator prior(MetricStats::kDefaultReservoir,
+                        CellAccumulator::kDefaultFailureCap);
+  for (const ChunkCheckpoint& c : list) prior.merge(c.acc);
+  CollectingSink sink(cells, {});
+  ParallelExecutor::Options opts;
+  opts.threads = 2;
+  opts.chunk_size = 7;
+  ParallelExecutor(opts).run(cells, {{0, 10, 20}, {1, 0, 40}}, sink);
+  auto results = sink.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  prior.merge(results[0].acc);
+  prior.finalize();
+  results[0].acc = std::move(prior);
+  EXPECT_EQ(render_artifacts(spec.name, results), reference);
 }
 
 }  // namespace

@@ -296,6 +296,10 @@ TEST(Health, JsonCarriesSchemaProgressAndWorkers) {
   snap.chunks_folded = 5;
   snap.fold_rate_per_sec = 133.25;
   snap.eta_sec = 4.5;
+  snap.lease_expiries = 2;
+  snap.requeued_chunks = 6;
+  snap.worker_reconnects = 3;
+  snap.checkpoint_flush_ms = 75;
   obs::WorkerHealth w;
   w.id = 7;
   w.welcomed = true;
@@ -304,18 +308,27 @@ TEST(Health, JsonCarriesSchemaProgressAndWorkers) {
   w.active_leases = 2;
   w.folded_chunks = 3;
   w.folded_runs = 96;
+  w.reconnects = 1;
+  w.oldest_lease_ms = 420;
   snap.workers.push_back(w);
 
   const std::string json = obs::render_health_json(snap);
-  EXPECT_NE(json.find("\"schema\":\"hyco-health/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"hyco-health/2\""), std::string::npos);
   EXPECT_NE(json.find("\"total\":800"), std::string::npos);
   EXPECT_NE(json.find("\"folded\":200"), std::string::npos);
   EXPECT_NE(json.find("\"resumed\":40"), std::string::npos);
   EXPECT_NE(json.find("\"fold_rate_per_sec\":133.250"), std::string::npos);
   EXPECT_NE(json.find("\"eta_sec\":4.500"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\":{\"lease_expiries\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"requeued_chunks\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_reconnects\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint_flush_ms\":75"), std::string::npos);
   EXPECT_NE(json.find("\"id\":7"), std::string::npos);
   EXPECT_NE(json.find("\"welcomed\":true"), std::string::npos);
   EXPECT_NE(json.find("\"folded_runs\":96"), std::string::npos);
+  EXPECT_NE(json.find("\"reconnects\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"oldest_lease_ms\":420"), std::string::npos);
 
   const std::string http = obs::render_http_response(json);
   EXPECT_EQ(http.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
