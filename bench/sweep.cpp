@@ -121,6 +121,27 @@
 //                     "hyco-health/2" JSON document per request, including
 //                     the recovery counters (lease expiries, re-queued
 //                     chunks, worker reconnects, checkpoint flush age).
+//
+// Replicated service workload (src/service/; see README "Replicated
+// service" and docs/cli.md for the full flag registry):
+//   --service         run the replicated-state-machine workload: closed-
+//                     loop clients submit ops, replicas batch them into
+//                     sequenced consensus slots, and cells report decided-
+//                     ops/sec plus client-latency p50/p99/p999. Forces the
+//                     hybrid common-coin algorithm; rejects --alg,
+//                     --inputs, --phase-metrics, --trace-out, and
+//                     --crash=mid-broadcast.
+//   --clients=N       simulated closed-loop clients            [100000]
+//   --ops-per-client=K  ops each client submits (bounds a run) [1]
+//   --batch=B,...     max ops per proposed batch (axis)        [64]
+//   --batch-delay=D   ns a partial batch waits before flushing
+//                     (0 = flush every op)                     [50000]
+//   --svc-load=R,...  offered load in ops/sec across all clients;
+//                     0 = no think time (axis)                 [0]
+//
+// Unknown --flags are rejected (exit 2): the registry in
+// src/exp/sweep_flags.cpp is the single source of truth, and docs/cli.md
+// documents every entry (enforced by tests and CI).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -138,6 +159,7 @@
 #include "exp/executor.h"
 #include "exp/replay.h"
 #include "exp/report.h"
+#include "exp/sweep_flags.h"
 #include "obs/trace_export.h"
 #include "scenario/engine.h"
 #include "scenario/scenario.h"
@@ -401,6 +423,14 @@ DistFlags parse_dist_flags(const Options& opts) {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   try {
+    // Every flag must be in the registry (src/exp/sweep_flags.cpp): a
+    // typo'd flag exits 2 instead of silently falling back to a default.
+    for (const std::string& key : opts.keys()) {
+      HYCO_CHECK_MSG(is_sweep_flag(key),
+                     "--" << key << ": unknown flag (docs/cli.md lists the"
+                             " full registry)");
+    }
+
     // Log level first, on the main thread, so a typo exits 2 before any
     // worker thread exists and the chosen level covers all startup logging.
     if (opts.has("log-level")) {
@@ -439,6 +469,62 @@ int main(int argc, char** argv) {
 
     spec.scenarios = {ScenarioAxis::of(parse_scenario(opts))};
 
+    // Replicated-service workload axis (src/service/): closed-loop client
+    // traffic over the sequenced consensus core, gridded batch x offered-
+    // load alongside every other axis. Off by default, so plain grids keep
+    // their cell indices, labels, and fingerprints.
+    const bool service = opts.get_bool("service");
+    if (!service) {
+      for (const char* orphan :
+           {"clients", "ops-per-client", "batch", "batch-delay", "svc-load"}) {
+        HYCO_CHECK_MSG(!opts.has(orphan),
+                       "--" << orphan << " needs --service to apply to");
+      }
+    } else {
+      HYCO_CHECK_MSG(!opts.has("alg"),
+                     "--alg cannot combine with --service (the service layer"
+                     " sequences multivalued consensus, which builds on the"
+                     " hybrid common-coin algorithm)");
+      HYCO_CHECK_MSG(!opts.has("inputs"),
+                     "--inputs cannot combine with --service (clients supply"
+                     " the proposed values)");
+      HYCO_CHECK_MSG(!opts.has("phase-metrics"),
+                     "--phase-metrics cannot combine with --service (service"
+                     " runs do not instrument consensus phases)");
+      HYCO_CHECK_MSG(!opts.has("trace-out"),
+                     "--trace-out cannot combine with --service (service runs"
+                     " do not record event traces)");
+      for (const auto& c : opts.get_string_list("crash", {"none"})) {
+        HYCO_CHECK_MSG(c != "mid-broadcast",
+                       "--crash=mid-broadcast cannot combine with --service"
+                       " (service runs support timed crash specs only)");
+      }
+      spec.algorithms = {Algorithm::HybridCommonCoin};
+
+      const auto clients = opts.get_int("clients", 100'000);
+      HYCO_CHECK_MSG(clients >= 1 && clients <= 10'000'000,
+                     "--clients must be in [1, 10000000], got " << clients);
+      const auto opc = opts.get_int("ops-per-client", 1);
+      HYCO_CHECK_MSG(opc >= 1 && opc <= 1'000'000,
+                     "--ops-per-client must be in [1, 1000000], got " << opc);
+      const auto batch_delay = opts.get_int("batch-delay", 50'000);
+      HYCO_CHECK_MSG(batch_delay >= 0,
+                     "--batch-delay must be >= 0 ns, got " << batch_delay);
+
+      spec.services.clear();
+      for (const auto b : opts.get_int_list("batch", {64})) {
+        HYCO_CHECK_MSG(b >= 1, "--batch: batch size must be >= 1, got " << b);
+        for (const double load : opts.get_double_list("svc-load", {0.0})) {
+          HYCO_CHECK_MSG(load >= 0.0,
+                         "--svc-load must be >= 0 ops/sec, got " << load);
+          spec.services.push_back(ServiceAxis::of(
+              static_cast<std::uint64_t>(clients),
+              static_cast<std::uint64_t>(opc), static_cast<std::size_t>(b),
+              static_cast<SimTime>(batch_delay), load));
+        }
+      }
+    }
+
     const auto ns = opts.get_int_list("n", {8});
     const auto ms = opts.get_int_list("m", {1});
     for (const auto n : ns) {
@@ -476,6 +562,7 @@ int main(int argc, char** argv) {
     report_opts.net_stats = opts.get_bool("net-stats");
     report_opts.phase_metrics = opts.get_bool("phase-metrics");
     report_opts.profile = opts.get_bool("profile");
+    report_opts.service = service;
     spec.collect_obs = report_opts.phase_metrics;
 
     ParallelExecutor::Options exec_opts;

@@ -7,16 +7,21 @@ namespace hyco {
 
 TobProcess::TobProcess(ProcId self, const ClusterLayout& layout,
                        INetwork& net, MemoryPool& pool, ICommonCoin& coin,
-                       Round max_rounds_per_bit)
+                       Round max_rounds_per_bit, int width)
     : self_(self),
       layout_(layout),
       net_(net),
       pool_(pool),
       coin_(coin),
-      max_rounds_per_bit_(max_rounds_per_bit) {}
+      max_rounds_per_bit_(max_rounds_per_bit),
+      width_(width) {
+  HYCO_CHECK_MSG(width >= 1 && width <= 64, "TOB width must be in [1, 64]");
+}
 
 void TobProcess::submit(std::uint64_t payload) {
   HYCO_CHECK_MSG(payload != kNoop, "payload 0 is reserved for NOOP");
+  HYCO_CHECK_MSG(width_ == 64 || (payload >> width_) == 0,
+                 "TOB payload does not fit the configured width");
   gossip(self_, payload);
   maybe_start_slot(/*saw_traffic=*/false);
 }
@@ -39,7 +44,7 @@ void TobProcess::maybe_start_slot(bool saw_traffic) {
   // machinery has all live processes on board).
   if (pending_.empty() && !saw_traffic) return;
   current_ = std::make_unique<MultiValuedProcess>(
-      self_, layout_, net_, pool_, coin_, kWidth, max_rounds_per_bit_,
+      self_, layout_, net_, pool_, coin_, width_, max_rounds_per_bit_,
       slot_base(slot_));
   const std::uint64_t proposal =
       pending_.empty() ? kNoop : *pending_.begin();
@@ -59,6 +64,7 @@ void TobProcess::poll_slot() {
   while (current_ != nullptr && current_->decided()) {
     const std::uint64_t decided = *current_->decision();
     current_.reset();
+    if (deliver_hook_) deliver_hook_(slot_, decided);
     if (decided != kNoop && delivered_set_.count(decided) == 0) {
       delivered_set_.insert(decided);
       log_.push_back(decided);

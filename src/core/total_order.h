@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -41,19 +42,34 @@ class TobProcess {
   /// Payload value 0 is reserved as the NOOP filler.
   static constexpr std::uint64_t kNoop = 0;
 
+  /// Called once per decided slot, in slot order, NOOP slots included —
+  /// the hook a replicated state machine needs to both apply decided
+  /// values and verify gap-free sequencing.
+  using DeliverHook = std::function<void(int slot, std::uint64_t payload)>;
+
+  /// `width` is the payload bit width of every slot's multivalued instance
+  /// (default 64 — the historical behavior). Narrow widths make slots far
+  /// cheaper: each slot runs `width` embedded binary consensus instances,
+  /// so a service layer whose payloads are small sequential batch ids
+  /// should size the width to them.
   TobProcess(ProcId self, const ClusterLayout& layout, INetwork& net,
-             MemoryPool& pool, ICommonCoin& coin, Round max_rounds_per_bit);
+             MemoryPool& pool, ICommonCoin& coin, Round max_rounds_per_bit,
+             int width = 64);
 
   TobProcess(const TobProcess&) = delete;
   TobProcess& operator=(const TobProcess&) = delete;
 
-  /// Submits a payload for total-order delivery (must be nonzero and
-  /// unique across the run). May be called at any time, repeatedly.
+  /// Submits a payload for total-order delivery (must be nonzero, unique
+  /// across the run, and fit in `width` bits). May be called at any time,
+  /// repeatedly.
   void submit(std::uint64_t payload);
 
   void on_message(ProcId from, const Message& m);
 
-  /// The totally ordered log delivered so far.
+  /// Installs the per-slot delivery hook (see DeliverHook).
+  void set_deliver_hook(DeliverHook hook) { deliver_hook_ = std::move(hook); }
+
+  /// The totally ordered log delivered so far (NOOPs skipped).
   [[nodiscard]] const std::vector<std::uint64_t>& delivered() const {
     return log_;
   }
@@ -62,15 +78,16 @@ class TobProcess {
   [[nodiscard]] int current_slot() const { return slot_; }
 
  private:
-  /// Instances reserved per slot: 1 (VALUE/MULTIDECIDE) + 64 bit instances.
-  static constexpr InstanceId kSlotStride = 65;
-  static constexpr int kWidth = 64;
-
+  /// Instances reserved per slot: 1 (VALUE/MULTIDECIDE) + width bit
+  /// instances.
+  [[nodiscard]] InstanceId stride() const {
+    return static_cast<InstanceId>(width_) + 1;
+  }
   [[nodiscard]] InstanceId slot_base(int slot) const {
-    return static_cast<InstanceId>(slot) * kSlotStride;
+    return static_cast<InstanceId>(slot) * stride();
   }
   [[nodiscard]] int slot_of_instance(InstanceId inst) const {
-    return static_cast<int>(inst / kSlotStride);
+    return static_cast<int>(inst / stride());
   }
 
   void gossip(ProcId origin, std::uint64_t payload);
@@ -83,6 +100,8 @@ class TobProcess {
   MemoryPool& pool_;
   ICommonCoin& coin_;
   Round max_rounds_per_bit_;
+  int width_;
+  DeliverHook deliver_hook_;
 
   std::set<std::uint64_t> known_;      ///< every payload ever gossiped
   std::set<std::uint64_t> pending_;    ///< known but not delivered

@@ -58,15 +58,15 @@ std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 0xCBF29CE484222325) 
   return h;
 }
 
-void write_metric(std::ostream& out, const char* name,
-                  const MetricStats& m) {
+void write_metric(std::ostream& out, const char* name, const MetricStats& m,
+                  const char* prefix = "") {
   const ExactMoments& mo = m.moments();
-  out << "m " << name << ' ' << mo.count() << ' '
+  out << prefix << "m " << name << ' ' << mo.count() << ' '
       << u128_to_string(mo.raw_sum()) << ' '
       << u128_to_string(mo.raw_sumsq()) << ' ' << mo.raw_min() << ' '
       << mo.raw_max() << '\n';
   const ReservoirSample& res = m.reservoir();
-  out << "r " << name << ' ' << res.capacity() << ' ' << res.size();
+  out << prefix << "r " << name << ' ' << res.capacity() << ' ' << res.size();
   for (const auto& e : res.entries()) {
     out << ' ' << e.priority << ':' << format_number(e.value);
   }
@@ -180,6 +180,26 @@ void write_accumulator_state(std::ostream& out, const CellAccumulator& acc) {
       for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
         out << ' ' << hist.bucket(b);
       }
+    }
+    out << '\n';
+  }
+  // Service-workload block ("s ..." lines), written only when the cell ran
+  // the service — plain consensus checkpoints stay byte-identical to
+  // pre-service builds, and readers consume the block greedily like the
+  // "o" lines, so both directions of version skew parse.
+  if (acc.svc.active_runs > 0) {
+    out << "s a " << acc.svc.active_runs << '\n';
+    write_metric(out, "ops", acc.svc.ops, "s ");
+    write_metric(out, "rate", acc.svc.rate, "s ");
+    write_metric(out, "batches", acc.svc.batches, "s ");
+    write_metric(out, "slots", acc.svc.slots, "s ");
+    const ExactMoments& lat = acc.svc.latency;
+    out << "s l " << lat.count() << ' ' << u128_to_string(lat.raw_sum())
+        << ' ' << u128_to_string(lat.raw_sumsq()) << ' ' << lat.raw_min()
+        << ' ' << lat.raw_max() << '\n';
+    out << "s h";
+    for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+      out << ' ' << acc.svc.latency_hist.bucket(b);
     }
     out << '\n';
   }
@@ -333,6 +353,59 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
     }
   }
 
+  // Optional service block ("s ..." lines) — present only for cells that
+  // ran the replicated service. Fixed line order: a, m/r × {ops, rate,
+  // batches, slots}, l, h.
+  std::uint64_t svc_active = 0;
+  MetricStats svc_parsed[4] = {MetricStats(1), MetricStats(1), MetricStats(1),
+                               MetricStats(1)};
+  ExactMoments svc_latency;
+  std::array<std::uint64_t, obs::LogHistogram::kBuckets> svc_hist{};
+  if (in.peek() == 's') {
+    const auto next_svc = [&](const char* want, std::istringstream& out_ls,
+                              std::string* tag = nullptr) {
+      if (!std::getline(in, line)) {
+        line.clear();
+        return false;
+      }
+      out_ls.clear();
+      out_ls.str(line);
+      std::string s0, s1;
+      if (!(out_ls >> s0 >> s1) || s0 != "s" || s1 != want) return false;
+      if (tag != nullptr && !(out_ls >> *tag)) return false;
+      return true;
+    };
+    std::istringstream als;
+    if (!next_svc("a", als) || !(als >> svc_active) || svc_active == 0) {
+      return bail();
+    }
+    const char* snames[4] = {"ops", "rate", "batches", "slots"};
+    for (int i = 0; i < 4; ++i) {
+      std::istringstream mls, rls;
+      std::string mtag, rtag;
+      if (!(next_svc("m", mls, &mtag) && mtag == snames[i] &&
+            next_svc("r", rls, &rtag) && rtag == snames[i])) {
+        return bail();
+      }
+      if (!parse_metric_lines(mls, rls, svc_parsed[i], rcap)) return bail();
+    }
+    std::istringstream lls;
+    if (!next_svc("l", lls)) return bail();
+    std::uint64_t lcount = 0, lmin = 0, lmax = 0;
+    std::string lsum_s, lsumsq_s;
+    if (!(lls >> lcount >> lsum_s >> lsumsq_s >> lmin >> lmax)) return bail();
+    U128 lsum = 0, lsumsq = 0;
+    if (!parse_u128(lsum_s, lsum) || !parse_u128(lsumsq_s, lsumsq)) {
+      return bail();
+    }
+    svc_latency = ExactMoments::from_raw(lcount, lsum, lsumsq, lmin, lmax);
+    std::istringstream shls;
+    if (!next_svc("h", shls)) return bail();
+    for (auto& c : svc_hist) {
+      if (!(shls >> c)) return bail();
+    }
+  }
+
   CellAccumulator built(rcap, fcap);
   built.rounds = parsed[0];
   built.msgs = parsed[1];
@@ -342,6 +415,15 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
   built.round_hist = Histogram::from_counts(lo, hi, std::move(counts));
   built.failures = std::move(fails);
   built.obs = obs_parsed;
+  if (svc_active > 0) {
+    built.svc.active_runs = svc_active;
+    built.svc.ops = svc_parsed[0];
+    built.svc.rate = svc_parsed[1];
+    built.svc.batches = svc_parsed[2];
+    built.svc.slots = svc_parsed[3];
+    built.svc.latency = svc_latency;
+    built.svc.latency_hist = obs::LogHistogram::from_counts(svc_hist);
+  }
   out = std::move(built);
   return true;
 }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "service/service_runner.h"
 #include "util/assert.h"
 
 namespace hyco {
@@ -134,8 +135,14 @@ void ParallelExecutor::run(const std::vector<ExperimentCell>& cells,
       const auto wall_start = std::chrono::steady_clock::now();
       const std::uint64_t cpu_start = opts_.profile ? thread_cpu_ns() : 0;
       for (std::uint64_t k = begin; k < end; ++k) {
-        const RunConfig cfg = cell.run_config(k);
-        const RunRecord rec = extract_record(k, cfg.seed, run_consensus(cfg));
+        RunRecord rec;
+        if (cell.service.enabled) {
+          const ServiceRunConfig cfg = cell.service_run_config(k);
+          rec = extract_service_record(k, cfg.seed, run_service(cfg));
+        } else {
+          const RunConfig cfg = cell.run_config(k);
+          rec = extract_record(k, cfg.seed, run_consensus(cfg));
+        }
         if (opts_.profile) {
           prof.msgs += rec.msgs;
           prof.events += rec.events;

@@ -6,6 +6,9 @@ std::vector<ReplayReport> replay_failures(
     const std::vector<CellResult>& results, std::size_t max_replays) {
   std::vector<ReplayReport> reports;
   for (const auto& res : results) {
+    // Service runs have no consensus trace to replay; their failure
+    // diagnostics live in the safety-checker violations already recorded.
+    if (res.cell.service.enabled) continue;
     for (const auto& fail : res.failures()) {
       if (reports.size() >= max_replays) return reports;
       RunConfig cfg = res.cell.run_config(fail.run);

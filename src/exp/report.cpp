@@ -106,6 +106,20 @@ std::vector<std::string> csv_header(const ReportOptions& opts) {
       header.push_back(name + "_max");
     }
   }
+  if (opts.service) {
+    header.emplace_back("service");
+    header.emplace_back("svc_runs");
+    header.emplace_back("svc_ops_mean");
+    header.emplace_back("svc_ops_per_sec_mean");
+    header.emplace_back("svc_ops_per_sec_p50");
+    header.emplace_back("svc_batches_mean");
+    header.emplace_back("svc_slots_mean");
+    header.emplace_back("svc_lat_mean_ns");
+    header.emplace_back("svc_lat_p50_ns");
+    header.emplace_back("svc_lat_p99_ns");
+    header.emplace_back("svc_lat_p999_ns");
+    header.emplace_back("svc_lat_max_ns");
+  }
   if (opts.profile) {
     header.emplace_back("wall_ms");
     header.emplace_back("cpu_ms");
@@ -147,6 +161,21 @@ void write_csv_row(CsvWriter& w, const CellResult& r,
       fields.push_back(format_number(r.obs().histogram(id).percentile(95)));
       fields.push_back(format_number(r.obs().moments(id).max()));
     }
+  }
+  if (opts.service) {
+    const ServiceAgg& svc = r.acc.svc;
+    fields.push_back(r.cell.service.enabled ? r.cell.service.name : "none");
+    fields.push_back(std::to_string(svc.active_runs));
+    fields.push_back(format_number(svc.ops.mean()));
+    fields.push_back(format_number(svc.rate.mean()));
+    fields.push_back(format_number(svc.rate.percentile(50)));
+    fields.push_back(format_number(svc.batches.mean()));
+    fields.push_back(format_number(svc.slots.mean()));
+    fields.push_back(format_number(svc.latency.mean()));
+    fields.push_back(format_number(svc.latency_hist.percentile(50)));
+    fields.push_back(format_number(svc.latency_hist.percentile(99)));
+    fields.push_back(format_number(svc.latency_hist.percentile(99.9)));
+    fields.push_back(format_number(svc.latency.max()));
   }
   if (opts.profile) {
     fields.push_back(
@@ -250,6 +279,28 @@ void write_cell_json(std::ostream& out, const std::string& experiment_name,
             << ",\"max\":" << format_number(mo.max()) << '}';
       }
       out << '}';
+    }
+    if (opts.service) {
+      const ServiceAgg& svc = r.acc.svc;
+      out << ",\"svc\":{\"name\":\""
+          << json_escape(r.cell.service.enabled ? r.cell.service.name
+                                                : "none")
+          << "\",\"runs\":" << svc.active_runs << ',';
+      write_summary_json(out, "ops", svc.ops);
+      out << ',';
+      write_summary_json(out, "ops_per_sec", svc.rate);
+      out << ',';
+      write_summary_json(out, "batches", svc.batches);
+      out << ',';
+      write_summary_json(out, "slots", svc.slots);
+      out << ",\"latency_ns\":{\"count\":" << svc.latency.count()
+          << ",\"mean\":" << format_number(svc.latency.mean())
+          << ",\"sd\":" << format_number(svc.latency.stddev())
+          << ",\"min\":" << format_number(svc.latency.min())
+          << ",\"p50\":" << format_number(svc.latency_hist.percentile(50))
+          << ",\"p99\":" << format_number(svc.latency_hist.percentile(99))
+          << ",\"p999\":" << format_number(svc.latency_hist.percentile(99.9))
+          << ",\"max\":" << format_number(svc.latency.max()) << "}}";
     }
     if (opts.profile) {
       out << ",\"profile\":{\"wall_ms\":"

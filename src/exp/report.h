@@ -27,6 +27,10 @@ struct ReportOptions {
   /// Executor wall/CPU profile (wall_ms, cpu_ms, msgs_per_sec) — host
   /// timing, NOT deterministic; keep out of regression-diffed artifacts.
   bool profile = false;
+  /// Replicated-service workload columns (decided ops, decided-ops/sec,
+  /// client-latency p50/p99/p999, batches, slots) — meaningful when the
+  /// grid has service cells.
+  bool service = false;
 };
 
 /// One row per cell: axis labels, counts, and per-metric mean/p50/p95/max.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "service/service_runner.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -17,6 +18,10 @@ constexpr std::uint64_t kSaltMsgs = 0x9E2;
 constexpr std::uint64_t kSaltShm = 0x9E3;
 constexpr std::uint64_t kSaltObjects = 0x9E4;
 constexpr std::uint64_t kSaltDecisionTime = 0x9E5;
+constexpr std::uint64_t kSaltSvcOps = 0x9E6;
+constexpr std::uint64_t kSaltSvcRate = 0x9E7;
+constexpr std::uint64_t kSaltSvcBatches = 0x9E8;
+constexpr std::uint64_t kSaltSvcSlots = 0x9E9;
 
 /// Max-heap order on run index: the *highest* retained run index sits at
 /// the top, so bounded rings deterministically keep the lowest indices.
@@ -58,6 +63,39 @@ RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
   return rec;
 }
 
+RunRecord extract_service_record(std::uint64_t run, std::uint64_t seed,
+                                 const ServiceRunResult& r) {
+  RunRecord rec;
+  rec.run = run;
+  rec.seed = seed;
+  rec.terminated = r.terminated;
+  rec.safe_ok = r.safe_ok;
+  rec.success = r.success();
+  rec.rounds = static_cast<Round>(r.slots);
+  rec.decision_time = r.end_time;
+  rec.msgs = r.net.unicasts_sent;
+  rec.shm_proposals = r.shm.consensus_proposals;
+  rec.consensus_objects = r.consensus_objects;
+  rec.events = r.events;
+  rec.crashed = r.crashed;
+  // Message-class counters are free here too; phase-latency ids stay zero
+  // (the service does not instrument consensus phases).
+  rec.obs[obs::ObsId::kDelivered] = r.net.delivered;
+  rec.obs[obs::ObsId::kDroppedPartitioned] = r.net.dropped_partitioned;
+  rec.obs[obs::ObsId::kDroppedLost] = r.net.dropped_lost;
+  rec.obs[obs::ObsId::kDuplicated] = r.net.duplicated;
+  rec.obs[obs::ObsId::kHeldPartitioned] = r.net.held_partitioned;
+  rec.service.active = true;
+  rec.service.ops = r.ops_completed;
+  rec.service.submitted = r.ops_submitted;
+  rec.service.batches = r.batches;
+  rec.service.slots = r.slots;
+  rec.service.ops_per_sec = r.ops_per_sec();
+  rec.service.latency = r.latency;
+  rec.service.latency_hist = r.latency_hist;
+  return rec;
+}
+
 void MetricStats::add(std::uint64_t value, std::uint64_t priority) {
   moments_.add(value);
   reservoir_.add(priority, static_cast<double>(value));
@@ -81,6 +119,27 @@ double MetricStats::percentile(double q) const {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+void ServiceAgg::add(const RunRecord& r) {
+  if (!r.service.active) return;
+  ++active_runs;
+  ops.add(r.service.ops, mix64(r.seed, kSaltSvcOps));
+  rate.add(r.service.ops_per_sec, mix64(r.seed, kSaltSvcRate));
+  batches.add(r.service.batches, mix64(r.seed, kSaltSvcBatches));
+  slots.add(r.service.slots, mix64(r.seed, kSaltSvcSlots));
+  latency.merge(r.service.latency);
+  latency_hist.merge(r.service.latency_hist);
+}
+
+void ServiceAgg::merge(const ServiceAgg& other) {
+  active_runs += other.active_runs;
+  ops.merge(other.ops);
+  rate.merge(other.rate);
+  batches.merge(other.batches);
+  slots.merge(other.slots);
+  latency.merge(other.latency);
+  latency_hist.merge(other.latency_hist);
+}
+
 CellAccumulator::CellAccumulator(std::size_t reservoir_capacity,
                                  std::size_t failure_cap)
     : rounds(reservoir_capacity),
@@ -88,6 +147,7 @@ CellAccumulator::CellAccumulator(std::size_t reservoir_capacity,
       shm_proposals(reservoir_capacity),
       objects(reservoir_capacity),
       decision_time(reservoir_capacity),
+      svc(reservoir_capacity),
       failure_cap(failure_cap) {}
 
 void CellAccumulator::add(const RunRecord& r) {
@@ -106,6 +166,7 @@ void CellAccumulator::add(const RunRecord& r) {
   if (!r.safe_ok) ++violations;
   if (!r.success) bounded_push(failures, r, failure_cap);
   obs.add(r.obs);
+  svc.add(r);
 }
 
 void CellAccumulator::merge(const CellAccumulator& other) {
@@ -122,6 +183,7 @@ void CellAccumulator::merge(const CellAccumulator& other) {
     bounded_push(failures, r, failure_cap);
   }
   obs.merge(other.obs);
+  svc.merge(other.svc);
 }
 
 void CellAccumulator::finalize() {

@@ -29,6 +29,24 @@
 
 namespace hyco {
 
+struct ServiceRunResult;
+
+/// Per-run stats of a replicated-service run (all-zero / inactive for
+/// plain consensus runs). Latency rides as exact moments plus a log
+/// histogram — both pure functions of the per-op sample multiset — NOT as
+/// extra ObsIds: ObsAccumulator adds every id on every run, so consensus
+/// runs would pollute service latency histograms with zeros.
+struct ServiceRunStats {
+  bool active = false;
+  std::uint64_t ops = 0;        ///< completed client ops
+  std::uint64_t submitted = 0;  ///< submitted client ops
+  std::uint64_t batches = 0;    ///< batches minted
+  std::uint64_t slots = 0;      ///< most slots decided by any replica
+  std::uint64_t ops_per_sec = 0;  ///< exact integer ops * 1e9 / end_time
+  ExactMoments latency;           ///< per-op client latency, sim ns
+  obs::LogHistogram latency_hist;
+};
+
 /// Compact per-run metrics extracted from a RunResult (a full RunResult per
 /// run would hold O(n) vectors; large grids only need these scalars).
 struct RunRecord {
@@ -45,10 +63,17 @@ struct RunRecord {
   std::uint64_t events = 0;
   std::uint64_t crashed = 0;
   obs::ObsSample obs;  ///< observability counters (RunResult::obs)
+  ServiceRunStats service;  ///< inactive unless the cell runs the service
 };
 
 RunRecord extract_record(std::uint64_t run, std::uint64_t seed,
                          const RunResult& r);
+
+/// The service analogue of extract_record: maps a ServiceRunResult into a
+/// RunRecord (rounds := decided slots, decision_time := end time, plus the
+/// dedicated service block).
+RunRecord extract_service_record(std::uint64_t run, std::uint64_t seed,
+                                 const ServiceRunResult& r);
 
 /// Online statistics for one metric: exact moments for count/mean/sd/min/max
 /// plus a deterministic reservoir for quantiles. Priorities fed to add()
@@ -85,6 +110,31 @@ class MetricStats {
   ReservoirSample reservoir_;
 };
 
+/// Merge-order-invariant per-cell aggregate of the service workload:
+/// MetricStats over the per-run scalars, pooled exact latency moments, and
+/// the pooled per-op latency log-histogram (p50/p99/p999 come from here).
+/// Dormant (active_runs == 0) on plain consensus cells, so non-service
+/// artifacts stay byte-identical to pre-service builds.
+struct ServiceAgg {
+  explicit ServiceAgg(
+      std::size_t reservoir_capacity = MetricStats::kDefaultReservoir)
+      : ops(reservoir_capacity),
+        rate(reservoir_capacity),
+        batches(reservoir_capacity),
+        slots(reservoir_capacity) {}
+
+  std::uint64_t active_runs = 0;
+  MetricStats ops;      ///< completed ops per run
+  MetricStats rate;     ///< decided-ops/sec per run (exact integer)
+  MetricStats batches;  ///< batches minted per run
+  MetricStats slots;    ///< slots decided per run
+  ExactMoments latency;            ///< pooled per-op latency moments
+  obs::LogHistogram latency_hist;  ///< pooled per-op latency histogram
+
+  void add(const RunRecord& r);
+  void merge(const ServiceAgg& other);
+};
+
 /// Aggregated outcome of one cell (or one chunk of it, pre-merge).
 /// Summaries cover terminated runs only (matching how the paper's tables
 /// report cost conditioned on deciding).
@@ -111,6 +161,9 @@ struct CellAccumulator {
   /// latency moments + log-scale histograms. Merge-order-invariant like
   /// every other component.
   obs::ObsAccumulator obs;
+
+  /// Service-workload aggregate; dormant on plain consensus cells.
+  ServiceAgg svc;
 
   /// Bounded ring of failing runs: the `failure_cap` non-success() runs
   /// with the lowest run indices — a deterministic replay work list that

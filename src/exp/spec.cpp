@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "service/service_runner.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -63,6 +64,26 @@ ScenarioAxis ScenarioAxis::of(ScenarioConfig config) {
   return a;
 }
 
+ServiceAxis ServiceAxis::none() { return ServiceAxis{}; }
+
+ServiceAxis ServiceAxis::of(std::uint64_t clients,
+                            std::uint64_t ops_per_client,
+                            std::size_t batch_max, SimTime batch_delay,
+                            double load) {
+  ServiceAxis a;
+  a.enabled = true;
+  a.clients = clients;
+  a.ops_per_client = ops_per_client;
+  a.batch_max = batch_max;
+  a.batch_delay = batch_delay;
+  a.load = load;
+  std::ostringstream os;
+  os << "c" << clients << "x" << ops_per_client << " b" << batch_max << " d"
+     << batch_delay << " l" << load;
+  a.name = os.str();
+  return a;
+}
+
 const char* to_cstring(InputKind k) {
   switch (k) {
     case InputKind::Split: return "split";
@@ -74,7 +95,7 @@ const char* to_cstring(InputKind k) {
 
 std::size_t ExperimentSpec::cell_count() const {
   return algorithms.size() * layouts.size() * delays.size() * crashes.size() *
-         scenarios.size() * coin_epsilons.size();
+         scenarios.size() * coin_epsilons.size() * services.size();
 }
 
 std::uint64_t ExperimentSpec::total_runs() const {
@@ -96,6 +117,8 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
                  "experiment needs >= 1 scenario axis value");
   HYCO_CHECK_MSG(!coin_epsilons.empty(),
                  "experiment needs >= 1 coin_epsilon value");
+  HYCO_CHECK_MSG(!services.empty(),
+                 "experiment needs >= 1 service axis value");
   HYCO_CHECK_MSG(runs_per_cell >= 1, "runs_per_cell must be >= 1");
 
   std::vector<ExperimentCell> cells;
@@ -106,21 +129,24 @@ std::vector<ExperimentCell> ExperimentSpec::expand() const {
         for (const CrashAxis& crash : crashes) {
           for (const ScenarioAxis& scenario : scenarios) {
             for (const double eps : coin_epsilons) {
-              ExperimentCell c(layout);
-              c.index = cells.size();
-              c.alg = alg;
-              c.delay = delay;
-              c.crash = crash;
-              c.scenario = scenario;
-              c.coin_epsilon = eps;
-              c.runs = runs_per_cell;
-              c.base_seed = base_seed;
-              c.inputs = inputs;
-              c.max_rounds = max_rounds;
-              c.start_jitter = start_jitter;
-              c.adversary_bit = adversary_bit;
-              c.collect_obs = collect_obs;
-              cells.push_back(std::move(c));
+              for (const ServiceAxis& service : services) {
+                ExperimentCell c(layout);
+                c.index = cells.size();
+                c.alg = alg;
+                c.delay = delay;
+                c.crash = crash;
+                c.scenario = scenario;
+                c.coin_epsilon = eps;
+                c.service = service;
+                c.runs = runs_per_cell;
+                c.base_seed = base_seed;
+                c.inputs = inputs;
+                c.max_rounds = max_rounds;
+                c.start_jitter = start_jitter;
+                c.adversary_bit = adversary_bit;
+                c.collect_obs = collect_obs;
+                cells.push_back(std::move(c));
+              }
             }
           }
         }
@@ -161,11 +187,34 @@ RunConfig ExperimentCell::run_config(std::uint64_t run) const {
   return cfg;
 }
 
+ServiceRunConfig ExperimentCell::service_run_config(std::uint64_t run) const {
+  HYCO_CHECK_MSG(run < runs,
+                 "run index " << run << " out of range [0, " << runs << ")");
+  HYCO_CHECK_MSG(service.enabled,
+                 "service_run_config on a non-service cell");
+  ServiceRunConfig cfg(layout);
+  cfg.seed = seed_for(run);
+  cfg.delays = delay.config;
+  cfg.delay_factory = delay.factory;
+  if (crash.make) cfg.crashes = crash.make(layout);
+  cfg.scenario = scenario.config;
+  cfg.max_rounds_per_bit = max_rounds;
+  cfg.coin_epsilon = coin_epsilon;
+  cfg.adversary_bit = adversary_bit;
+  cfg.clients = service.clients;
+  cfg.ops_per_client = service.ops_per_client;
+  cfg.batch_max = service.batch_max;
+  cfg.batch_delay = service.batch_delay;
+  cfg.load = service.load;
+  return cfg;
+}
+
 std::string ExperimentCell::label() const {
   std::ostringstream os;
   os << to_cstring(alg) << " n=" << layout.n() << " m=" << layout.m()
      << " delay=" << delay.name << " crash=" << crash.name
      << " scn=" << scenario.name << " eps=" << coin_epsilon;
+  if (service.enabled) os << " svc=" << service.name;
   return os.str();
 }
 

@@ -61,6 +61,30 @@ struct ScenarioAxis {
   static ScenarioAxis of(ScenarioConfig config);
 };
 
+/// One value of the service-workload axis: when enabled, the cell's runs
+/// execute the replicated service (run_service) — closed-loop clients
+/// driving batched total-order broadcast — instead of single-instance
+/// consensus. The default `none()` keeps the grid a pure consensus sweep
+/// (labels, fingerprints, and artifacts byte-identical to pre-service
+/// builds).
+struct ServiceAxis {
+  std::string name = "none";
+  bool enabled = false;
+  std::uint64_t clients = 0;
+  std::uint64_t ops_per_client = 1;
+  std::size_t batch_max = 64;
+  SimTime batch_delay = 50'000;  ///< ns; 0 = flush every op
+  double load = 0.0;             ///< offered load, ops/sec; 0 = no think time
+
+  static ServiceAxis none();
+  /// Labels itself "c<clients>x<ops> b<batch_max> d<batch_delay> l<load>".
+  static ServiceAxis of(std::uint64_t clients, std::uint64_t ops_per_client,
+                        std::size_t batch_max, SimTime batch_delay,
+                        double load);
+};
+
+struct ServiceRunConfig;
+
 /// How proposals are assigned across processes.
 enum class InputKind : std::uint8_t {
   Split,    ///< process i proposes i % 2 — the adversarially divided start
@@ -83,6 +107,7 @@ struct ExperimentSpec {
   std::vector<CrashAxis> crashes{CrashAxis::none()};
   std::vector<ScenarioAxis> scenarios{ScenarioAxis{}};
   std::vector<double> coin_epsilons{0.0};
+  std::vector<ServiceAxis> services{ServiceAxis{}};
 
   /// Seeds per cell. 64-bit end to end: multi-million-run grids (and the
   /// cells × runs product) must not wrap 32-bit counters anywhere.
@@ -104,8 +129,8 @@ struct ExperimentSpec {
   /// Total run count (cell_count() × runs_per_cell), overflow-checked.
   [[nodiscard]] std::uint64_t total_runs() const;
 
-  /// Expands the grid row-major in axis declaration order:
-  /// algorithms ▸ layouts ▸ delays ▸ crashes ▸ scenarios ▸ coin_epsilons.
+  /// Expands the grid row-major in axis declaration order: algorithms ▸
+  /// layouts ▸ delays ▸ crashes ▸ scenarios ▸ coin_epsilons ▸ services.
   /// Throws ContractViolation if any axis is empty or runs_per_cell < 1.
   [[nodiscard]] std::vector<ExperimentCell> expand() const;
 };
@@ -119,6 +144,7 @@ struct ExperimentCell {
   CrashAxis crash;
   ScenarioAxis scenario;
   double coin_epsilon = 0.0;
+  ServiceAxis service;
 
   // Scalars snapshotted from the spec so a cell is self-contained.
   std::uint64_t runs = 0;
@@ -138,8 +164,13 @@ struct ExperimentCell {
   /// Mints the full RunConfig of run k (0 <= k < runs).
   [[nodiscard]] RunConfig run_config(std::uint64_t run) const;
 
+  /// Mints the ServiceRunConfig of run k; service.enabled must hold.
+  [[nodiscard]] ServiceRunConfig service_run_config(std::uint64_t run) const;
+
   /// "hybrid-CC n=16 m=4 delay=uniform(50,150) crash=none scn=none eps=0" —
-  /// stable across runs; used in tables, CSV, and JSON.
+  /// stable across runs; used in tables, CSV, and JSON. Service cells
+  /// append " svc=<name>" (plain consensus labels are unchanged, keeping
+  /// old grid fingerprints and checkpoints valid).
   [[nodiscard]] std::string label() const;
 };
 

@@ -1,0 +1,24 @@
+// The sweep binary's flag registry: every --flag it accepts, with a
+// one-line summary. Single source of truth consumed by three places:
+// bench/sweep.cpp rejects flags outside the registry, tests assert every
+// registered flag is documented in docs/cli.md, and CI cross-checks the
+// registry against the doc so neither can drift silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyco {
+
+struct SweepFlag {
+  const char* name;     ///< flag name without the leading "--"
+  const char* summary;  ///< one-line description
+};
+
+/// Every flag the sweep binary accepts, in registration order.
+[[nodiscard]] const std::vector<SweepFlag>& sweep_flag_registry();
+
+/// True when `name` (no leading "--") is a registered sweep flag.
+[[nodiscard]] bool is_sweep_flag(const std::string& name);
+
+}  // namespace hyco

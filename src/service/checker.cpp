@@ -1,0 +1,71 @@
+#include "service/checker.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "core/total_order.h"
+
+namespace hyco {
+
+ServiceCheckReport check_service_logs(
+    const std::vector<std::vector<SlotRecord>>& logs) {
+  ServiceCheckReport report;
+  auto fail = [&report](const std::string& what) {
+    report.ok = false;
+    report.violations.push_back(what);
+  };
+
+  // batch id -> slot it was first seen at (across all replicas).
+  std::map<std::uint64_t, int> batch_slot;
+
+  for (std::size_t r = 0; r < logs.size(); ++r) {
+    const auto& log = logs[r];
+    std::map<std::uint64_t, int> local;  // batch -> slot within this log
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const SlotRecord& rec = log[i];
+      if (rec.slot != static_cast<int>(i)) {
+        std::ostringstream os;
+        os << "GAP: replica " << r << " delivered slot " << rec.slot
+           << " at log position " << i;
+        fail(os.str());
+      }
+      if (rec.batch == TobProcess::kNoop) continue;
+      const auto [it, inserted] = local.emplace(rec.batch, rec.slot);
+      if (!inserted) {
+        std::ostringstream os;
+        os << "DUPLICATE: replica " << r << " sequenced batch " << rec.batch
+           << " at slots " << it->second << " and " << rec.slot;
+        fail(os.str());
+      }
+      const auto [git, ginserted] = batch_slot.emplace(rec.batch, rec.slot);
+      if (!ginserted && git->second != rec.slot) {
+        std::ostringstream os;
+        os << "DIVERGENT SLOT: batch " << rec.batch << " sequenced at slot "
+           << git->second << " and at slot " << rec.slot << " (replica " << r
+           << ")";
+        fail(os.str());
+      }
+    }
+  }
+
+  // Prefix agreement between every pair of logs.
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      const std::size_t k = std::min(logs[a].size(), logs[b].size());
+      for (std::size_t i = 0; i < k; ++i) {
+        if (logs[a][i].batch != logs[b][i].batch) {
+          std::ostringstream os;
+          os << "AGREEMENT violated at slot " << i << ": replica " << a
+             << " decided " << logs[a][i].batch << ", replica " << b
+             << " decided " << logs[b][i].batch;
+          fail(os.str());
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace hyco

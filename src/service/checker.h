@@ -1,0 +1,30 @@
+// Decided-log safety checker for the replicated service: the standalone
+// post-hoc verifier (in the style of check_register_atomicity) that every
+// service e2e path runs over the replicas' slot logs.
+//
+// Checks, per replica and across replicas:
+//  * no gaps or reordering — slots are exactly 0, 1, ..., k-1 in delivery
+//    order (the TOB deliver hook reports NOOP slots too, so a skipped slot
+//    is visible);
+//  * no duplicate sequencing — a (non-NOOP) batch id appears at most once
+//    per log, and at the same slot in every log that contains it;
+//  * agreement — any two logs decide the same batch id at every slot both
+//    have reached (prefix agreement).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/types.h"
+
+namespace hyco {
+
+struct ServiceCheckReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+ServiceCheckReport check_service_logs(
+    const std::vector<std::vector<SlotRecord>>& logs);
+
+}  // namespace hyco

@@ -1,0 +1,44 @@
+#include "service/replica.h"
+
+#include <utility>
+
+namespace hyco {
+
+ServiceReplica::ServiceReplica(ProcId self, const ClusterLayout& layout,
+                               INetwork& net, MemoryPool& pool,
+                               ICommonCoin& coin, Simulator& sim,
+                               const CrashTracker& tracker,
+                               BatchRegistry& registry,
+                               Round max_rounds_per_bit, int width,
+                               std::size_t batch_max, SimTime batch_delay)
+    : self_(self),
+      tracker_(tracker),
+      registry_(registry),
+      tob_(self, layout, net, pool, coin, max_rounds_per_bit, width),
+      batcher_(sim, batch_max, batch_delay,
+               [this](std::vector<std::uint64_t> ops) {
+                 // A deadline timer may fire after this replica crashed;
+                 // a dead replica must not originate proposals.
+                 if (tracker_.is_crashed(self_)) return;
+                 const std::uint64_t id =
+                     registry_.mint(self_, std::move(ops));
+                 tob_.submit(id);
+               }) {
+  tob_.set_deliver_hook([this](int slot, std::uint64_t payload) {
+    slots_.push_back(SlotRecord{slot, payload});
+    if (payload != TobProcess::kNoop && on_deliver_) {
+      on_deliver_(registry_.get(payload));
+    }
+  });
+}
+
+void ServiceReplica::submit_op(std::uint64_t op_id) {
+  if (tracker_.is_crashed(self_)) return;
+  batcher_.add(op_id);
+}
+
+void ServiceReplica::on_message(ProcId from, const Message& m) {
+  tob_.on_message(from, m);
+}
+
+}  // namespace hyco

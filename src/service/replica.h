@@ -1,0 +1,62 @@
+// One replica of the replicated state machine: a batcher feeding a
+// total-order broadcast process, plus the per-slot decided log.
+//
+// Client ops submitted here buffer in the batcher; each flush mints a batch
+// id from the run's registry and submits it to the TOB, whose per-slot
+// deliver hook appends to this replica's slot log (NOOPs included, so the
+// safety checker can verify gap-free sequencing) and surfaces delivered
+// batches to the runner for op completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/total_order.h"
+#include "service/batcher.h"
+#include "service/types.h"
+#include "sim/crash.h"
+#include "sim/simulator.h"
+
+namespace hyco {
+
+class ServiceReplica {
+ public:
+  /// Fired when this replica delivers a (non-NOOP) batch, in slot order.
+  using DeliverBatchFn = std::function<void(const Batch& batch)>;
+
+  ServiceReplica(ProcId self, const ClusterLayout& layout, INetwork& net,
+                 MemoryPool& pool, ICommonCoin& coin, Simulator& sim,
+                 const CrashTracker& tracker, BatchRegistry& registry,
+                 Round max_rounds_per_bit, int width, std::size_t batch_max,
+                 SimTime batch_delay);
+
+  ServiceReplica(const ServiceReplica&) = delete;
+  ServiceReplica& operator=(const ServiceReplica&) = delete;
+
+  /// Buffers one client op for batching (dropped if this replica crashed).
+  void submit_op(std::uint64_t op_id);
+
+  void on_message(ProcId from, const Message& m);
+
+  void set_on_deliver(DeliverBatchFn fn) { on_deliver_ = std::move(fn); }
+
+  /// Decided slots in order, NOOPs included.
+  [[nodiscard]] const std::vector<SlotRecord>& slot_log() const {
+    return slots_;
+  }
+  [[nodiscard]] std::uint64_t batches_proposed() const {
+    return batcher_.flushes();
+  }
+
+ private:
+  ProcId self_;
+  const CrashTracker& tracker_;
+  BatchRegistry& registry_;
+  TobProcess tob_;
+  Batcher batcher_;
+  std::vector<SlotRecord> slots_;
+  DeliverBatchFn on_deliver_;
+};
+
+}  // namespace hyco

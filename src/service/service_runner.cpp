@@ -1,0 +1,182 @@
+#include "service/service_runner.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "coin/coin.h"
+#include "core/multivalued.h"
+#include "scenario/engine.h"
+#include "service/replica.h"
+#include "service/traffic.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hyco {
+
+ServiceRunResult run_service(const ServiceRunConfig& cfg) {
+  const ProcId n = cfg.layout.n();
+  HYCO_CHECK_MSG(cfg.clients >= 1, "service runs need at least one client");
+
+  Simulator sim(cfg.seed);
+  sim.reserve_all_to_all(n);
+  CrashPlan plan = cfg.crashes;
+  if (plan.specs.empty()) plan = CrashPlan::none(static_cast<std::size_t>(n));
+  HYCO_CHECK_MSG(plan.specs.size() == static_cast<std::size_t>(n),
+                 "crash plan size mismatch");
+  CrashTracker tracker(static_cast<std::size_t>(n));
+
+  std::unique_ptr<DelayModel> delays =
+      cfg.delay_factory ? cfg.delay_factory() : make_delay_model(cfg.delays);
+  std::unique_ptr<ScenarioEngine> scenario;
+  DelayModel* channel = delays.get();
+  if (!cfg.scenario.empty()) {
+    scenario = std::make_unique<ScenarioEngine>(cfg.scenario, cfg.layout,
+                                                std::move(delays));
+    channel = &scenario->channel();
+  }
+  SimNetwork net(sim, *channel, tracker, n, &plan, nullptr);
+  if (scenario != nullptr) net.set_scenario(scenario.get());
+
+  MemoryPool pool(n, ConsensusImpl::Cas);
+
+  // The service always runs the Algorithm 3 common-coin core (the TOB's
+  // embedded instances need the shared coin); same seed stream and
+  // imperfect-coin ablation as run_consensus.
+  std::unique_ptr<ICommonCoin> coin;
+  const std::uint64_t coin_seed = mix64(cfg.seed, 0xC01C01);
+  if (cfg.coin_epsilon > 0.0) {
+    coin = std::make_unique<BiasedCommonCoin>(
+        coin_seed, cfg.coin_epsilon,
+        [bit = cfg.adversary_bit](Round) { return bit; });
+  } else {
+    coin = std::make_unique<CommonCoin>(coin_seed);
+  }
+
+  // Consensus orders compact batch ids, so the multivalued width only needs
+  // to cover the largest possible id (every batch holds >= 1 op). Narrow
+  // widths keep per-slot cost down: a slot runs width embedded binary
+  // instances.
+  const std::uint64_t total_ops = cfg.clients * cfg.ops_per_client;
+  const int width = std::clamp(
+      static_cast<int>(std::bit_width(total_ops)), 1, 64);
+
+  BatchRegistry registry;
+  std::vector<std::unique_ptr<ServiceReplica>> replicas;
+  replicas.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    replicas.push_back(std::make_unique<ServiceReplica>(
+        p, cfg.layout, net, pool, *coin, sim, tracker, registry,
+        cfg.max_rounds_per_bit, width, cfg.batch_max, cfg.batch_delay));
+  }
+  net.set_deliver([&](ProcId to, ProcId from, const Message& m) {
+    replicas[static_cast<std::size_t>(to)]->on_message(from, m);
+  });
+
+  TrafficConfig tcfg;
+  tcfg.clients = cfg.clients;
+  tcfg.ops_per_client = cfg.ops_per_client;
+  tcfg.load = cfg.load;
+  TrafficEngine traffic(sim, tracker, tcfg, cfg.seed, n,
+                        [&replicas](ProcId origin, std::uint64_t op_id) {
+                          replicas[static_cast<std::size_t>(origin)]
+                              ->submit_op(op_id);
+                        });
+
+  // An op completes for its client when the origin replica delivers the
+  // batch containing it (every replica delivers every batch; the client is
+  // attached to one).
+  for (ProcId p = 0; p < n; ++p) {
+    replicas[static_cast<std::size_t>(p)]->set_on_deliver(
+        [&traffic, &sim, p](const Batch& batch) {
+          for (const std::uint64_t op_id : batch.ops) {
+            // Ops batched by p originated at p; skip foreign ops fast.
+            (void)p;
+            traffic.on_op_completed(op_id, sim.now());
+          }
+        });
+  }
+
+  // Scripted AtTime crashes; `ever_crashed` feeds the termination verdict.
+  std::vector<char> ever_crashed(static_cast<std::size_t>(n), 0);
+  for (ProcId p = 0; p < n; ++p) {
+    const CrashSpec& spec = plan.specs[static_cast<std::size_t>(p)];
+    if (spec.kind == CrashSpec::Kind::AtTime) {
+      ever_crashed[static_cast<std::size_t>(p)] = 1;
+      if (spec.time <= 0) {
+        tracker.crash(p, 0);
+      } else {
+        sim.schedule_at(spec.time, [&tracker, p, t = spec.time] {
+          tracker.crash(p, t);
+        });
+      }
+    } else {
+      HYCO_CHECK_MSG(spec.kind == CrashSpec::Kind::None,
+                     "service runs support AtTime crash specs only");
+    }
+  }
+
+  // Scenario crash-recovery cycles: the replica's state survives (crash-
+  // recovery with stable storage); messages sent into the down window are
+  // lost, so a recovered replica may stall on in-flight slots — safety is
+  // the guarantee, termination returns when enough traffic flows again.
+  if (scenario != nullptr) {
+    for (const ScenarioEngine::Rejoin& rj : scenario->rejoins()) {
+      const ProcId p = rj.proc;
+      ever_crashed[static_cast<std::size_t>(p)] = 1;
+      if (rj.down_at <= 0) {
+        tracker.crash(p, 0);
+      } else {
+        sim.schedule_at(rj.down_at, [&tracker, p, t = rj.down_at] {
+          tracker.crash(p, t);
+        });
+      }
+      if (rj.up_at == kSimTimeNever) continue;
+      sim.schedule_at(rj.up_at, [&tracker, p, t = rj.up_at] {
+        tracker.recover(p, t);
+      });
+    }
+  }
+
+  traffic.start();
+
+  ServiceRunResult result;
+  result.stop = sim.run(cfg.max_events);
+  result.end_time = sim.now();
+  result.events = sim.events_executed();
+  result.crashed = tracker.crashed_count();
+  result.net = net.stats();
+  result.shm = pool.total();
+  result.consensus_objects = pool.objects_created();
+
+  result.ops_submitted = traffic.submitted();
+  result.ops_completed = traffic.completed();
+  result.batches = registry.count();
+  result.latency = traffic.latency();
+  result.latency_hist = traffic.latency_hist();
+
+  result.slot_logs.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    const auto& log = replicas[static_cast<std::size_t>(p)]->slot_log();
+    result.slots = std::max<std::uint64_t>(result.slots, log.size());
+    result.slot_logs.push_back(log);
+  }
+
+  ServiceCheckReport check = check_service_logs(result.slot_logs);
+  result.safe_ok = check.ok;
+  result.violations = std::move(check.violations);
+
+  // Terminated = the closed loop drained: every op submitted at a replica
+  // that never crashed completed at that replica.
+  result.terminated = true;
+  for (const ClientOp& op : traffic.ops()) {
+    if (ever_crashed[static_cast<std::size_t>(op.origin)]) continue;
+    if (!op.completed) {
+      result.terminated = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hyco

@@ -27,6 +27,13 @@ Options::Options(int argc, const char* const* argv) {
 
 bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
 
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
 std::string Options::get_string(const std::string& key,
                                 const std::string& fallback) const {
   const auto it = kv_.find(key);

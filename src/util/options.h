@@ -46,6 +46,10 @@ class Options {
     return positional_;
   }
 
+  /// Every --key seen on the command line, sorted (map order). Lets a
+  /// binary reject flags outside its documented registry.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
  private:
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
