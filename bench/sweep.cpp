@@ -13,6 +13,9 @@
 //   --m=1,4         cluster counts (cells with m > n skip) [1]
 //   --runs=N        seeds per cell                         [40]
 //   --threads=K     workers; 0 = hardware concurrency      [0]
+//   --lanes=K       independent runs interleaved per worker [1]
+//                   tick-by-tick (consensus cells only);
+//                   artifacts are byte-identical at any K
 //   --seed=S        base seed                              [1]
 //   --eps=0,0.25    common-coin corruption probabilities   [0]
 //   --inputs=KIND   split | all0 | all1                    [split]
@@ -47,7 +50,10 @@
 //                     compacted equivalent (temp file + rename), so
 //                     repeated crash/resume cycles never grow the file
 //                     without bound.
-//   --progress        1 Hz stderr line: runs & cells done, runs/s, ETA
+//   --progress        1 Hz stderr line: runs & cells done, runs/s, ETA.
+//                     With --service the rate and ETA count decided
+//                     service ops instead of runs (a single service run
+//                     can take minutes; runs/s would read 0 throughout)
 //
 // Distributed sweeps (src/dist/; see README "Distributed sweeps"):
 //   --serve=PORT      coordinate: listen on PORT, lease chunk-sized run
@@ -398,7 +404,7 @@ DistFlags parse_dist_flags(const Options& opts) {
                              " coordinator)");
     }
     for (const char* banned :
-         {"threads", "chunk", "stream", "max-records", "progress"}) {
+         {"threads", "chunk", "stream", "max-records", "progress", "lanes"}) {
       HYCO_CHECK_MSG(!opts.has(banned),
                      "--" << banned << " cannot combine with --connect"
                           << " (worker parallelism is --workers=N; the"
@@ -408,7 +414,8 @@ DistFlags parse_dist_flags(const Options& opts) {
   if (f.serve) {
     // These shape the *local* executor, which never runs in coordinator
     // mode — reject them so a silently dead knob can't mislead anyone.
-    for (const char* banned : {"threads", "chunk", "stream", "max-records"}) {
+    for (const char* banned :
+         {"threads", "chunk", "stream", "max-records", "lanes"}) {
       HYCO_CHECK_MSG(!opts.has(banned),
                      "--" << banned << " cannot combine with --serve"
                           << " (workers execute the runs; use --lease to"
@@ -474,6 +481,9 @@ int main(int argc, char** argv) {
     // load alongside every other axis. Off by default, so plain grids keep
     // their cell indices, labels, and fingerprints.
     const bool service = opts.get_bool("service");
+    // Ops every service run decides when it succeeds (clients x
+    // ops-per-client); --progress uses it for the ETA. Zero for plain grids.
+    std::uint64_t service_ops_per_run = 0;
     if (!service) {
       for (const char* orphan :
            {"clients", "ops-per-client", "batch", "batch-delay", "svc-load"}) {
@@ -494,6 +504,9 @@ int main(int argc, char** argv) {
       HYCO_CHECK_MSG(!opts.has("trace-out"),
                      "--trace-out cannot combine with --service (service runs"
                      " do not record event traces)");
+      HYCO_CHECK_MSG(!opts.has("lanes"),
+                     "--lanes cannot combine with --service (service runs"
+                     " always execute one at a time per worker)");
       for (const auto& c : opts.get_string_list("crash", {"none"})) {
         HYCO_CHECK_MSG(c != "mid-broadcast",
                        "--crash=mid-broadcast cannot combine with --service"
@@ -507,6 +520,8 @@ int main(int argc, char** argv) {
       const auto opc = opts.get_int("ops-per-client", 1);
       HYCO_CHECK_MSG(opc >= 1 && opc <= 1'000'000,
                      "--ops-per-client must be in [1, 1000000], got " << opc);
+      service_ops_per_run = static_cast<std::uint64_t>(clients) *
+                            static_cast<std::uint64_t>(opc);
       const auto batch_delay = opts.get_int("batch-delay", 50'000);
       HYCO_CHECK_MSG(batch_delay >= 0,
                      "--batch-delay must be >= 0 ns, got " << batch_delay);
@@ -572,6 +587,10 @@ int main(int argc, char** argv) {
     HYCO_CHECK_MSG(chunk_flag >= 1,
                    "--chunk must be >= 1, got " << chunk_flag);
     exec_opts.chunk_size = static_cast<std::uint64_t>(chunk_flag);
+    const auto lanes_flag = opts.get_int("lanes", 1);
+    HYCO_CHECK_MSG(lanes_flag >= 1,
+                   "--lanes must be >= 1, got " << lanes_flag);
+    exec_opts.lanes = static_cast<std::uint64_t>(lanes_flag);
 
     const auto cells = spec.expand();
     const std::uint64_t total = spec.total_runs();
@@ -804,6 +823,7 @@ int main(int argc, char** argv) {
     const bool stream = opts.get_bool("stream");
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::uint64_t> cells_done{resumed.size()};
+    std::atomic<std::uint64_t> ops_done{0};
     std::atomic<std::int64_t> last_print_ms{-1000};
     const bool want_progress = opts.get_bool("progress");
     // Throttled stderr heartbeat shared by the local executor and the
@@ -821,6 +841,32 @@ int main(int argc, char** argv) {
         return;
       }
       const double secs = static_cast<double>(elapsed_ms) / 1000.0 + 1e-9;
+      const std::uint64_t ops = ops_done.load(std::memory_order_relaxed);
+      if (service && ops > 0) {
+        // Service runs take minutes each, so runs/s reads 0 for most of a
+        // sweep. Rate and ETA on decided ops instead: the executor reports
+        // each chunk's decided-op count, and every successful run decides
+        // clients x ops-per-client ops, so the remaining-runs estimate is
+        // exact when nothing fails (and an upper bound otherwise).
+        const double ops_rate = static_cast<double>(ops) / secs;
+        const double remaining_ops =
+            static_cast<double>(total_runs - done_runs) *
+            static_cast<double>(service_ops_per_run);
+        const double eta = ops_rate > 0.0 ? remaining_ops / ops_rate : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %llu/%llu runs | %llu/%zu cells"
+                     " | %.0f ops/s | eta ~%.1fs",
+                     static_cast<unsigned long long>(done_runs),
+                     static_cast<unsigned long long>(total_runs),
+                     static_cast<unsigned long long>(
+                         cells_done.load(std::memory_order_relaxed)),
+                     cells.size(), ops_rate, eta);
+        if (workers > 0) {
+          std::fprintf(stderr, " | %zu worker(s)", workers);
+        }
+        std::fprintf(stderr, "\n");
+        return;
+      }
       const double rate =
           static_cast<double>(done_runs - resumed_runs) / secs;
       const double eta =
@@ -928,6 +974,13 @@ int main(int argc, char** argv) {
         exec_opts.progress = [&](std::uint64_t done, std::uint64_t) {
           print_progress(resumed_runs + done, total, 0);
         };
+        if (service) {
+          // Fed before `progress` for every chunk, so the heartbeat the
+          // progress callback prints already includes this chunk's ops.
+          exec_opts.ops_progress = [&](std::uint64_t ops) {
+            ops_done.fetch_add(ops, std::memory_order_relaxed);
+          };
+        }
       }
 
       const ParallelExecutor exec(exec_opts);

@@ -1,7 +1,9 @@
 // One-call simulation driver: builds the simulator, network, cluster
 // memories, coins and processes for a configuration, runs to quiescence (or
 // a limit), and returns decisions plus full instrumentation. Every test,
-// example, and experiment harness goes through run_consensus().
+// example, and experiment harness goes through run_consensus(), which is a
+// thin loop over the resumable ConsensusRun (construct → tick → finish) the
+// multi-lane executor interleaves.
 #pragma once
 
 #include <cstdint>
@@ -138,7 +140,66 @@ struct RunResult {
   }
 };
 
-/// Builds and runs one simulation.
+namespace obs {
+class PhaseTimings;
+}  // namespace obs
+
+class ClusterMemory;
+class ICommonCoin;
+class InvariantChecker;
+class ScenarioEngine;
+
+/// run_consensus() decomposed into resumable pieces: the constructor does
+/// every piece of setup (simulator, network, memories, coins, processes,
+/// scheduled crashes/rejoins/starts), tick() advances the simulation by at
+/// most one virtual-time tick, and finish() harvests the RunResult once
+/// tick() reports the run stopped.
+///
+/// The point of the split is the multi-lane executor: K independent runs
+/// per worker interleave tick-by-tick to hide the memory latency one deep
+/// event queue exposes. Each run's simulator is fully self-contained, so
+/// interleaving cannot change any run's behavior — run_consensus() and a
+/// lane cohort produce bit-identical results.
+///
+/// Not copyable or movable: scheduled closures capture `this`.
+class ConsensusRun {
+ public:
+  explicit ConsensusRun(RunConfig cfg);
+  ~ConsensusRun();
+  ConsensusRun(const ConsensusRun&) = delete;
+  ConsensusRun& operator=(const ConsensusRun&) = delete;
+
+  /// Runs at most one virtual-time tick. Returns true when the run has
+  /// stopped (quiescent or a limit) — do not call again after that.
+  bool tick();
+
+  /// Harvests and returns the result. Call exactly once, after tick()
+  /// returned true.
+  RunResult finish();
+
+ private:
+  RunConfig cfg_;
+  std::vector<Estimate> inputs_;
+  Simulator sim_;
+  CrashPlan plan_;
+  CrashTracker tracker_;
+  std::unique_ptr<DelayModel> delays_;
+  std::unique_ptr<ScenarioEngine> scenario_;
+  std::unique_ptr<Trace> local_trace_;
+  Trace* trace_ = nullptr;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<InvariantChecker> checker_;
+  std::vector<std::unique_ptr<ClusterMemory>> memories_;
+  std::unique_ptr<ICommonCoin> common_coin_;
+  std::vector<std::unique_ptr<IConsensusProcess>> procs_;
+  std::unique_ptr<obs::PhaseTimings> timings_;
+  std::vector<char> started_;
+  RunResult result_;
+  bool stopped_ = false;
+  bool finished_ = false;
+};
+
+/// Builds and runs one simulation (ConsensusRun ticked to completion).
 RunResult run_consensus(const RunConfig& cfg);
 
 /// Helper: split input vector (process i proposes i % 2).

@@ -44,9 +44,22 @@ class ParallelExecutor {
     /// Optional progress callback, invoked from worker threads after each
     /// completed *chunk* with (runs done, total runs). Must be thread-safe.
     std::function<void(std::uint64_t done, std::uint64_t total)> progress;
+    /// Optional throughput callback, invoked alongside `progress` with the
+    /// chunk's decided service ops (zero for consensus cells). Lets the
+    /// sweep CLI report ops/sec for service workloads whose per-run cost
+    /// dwarfs the run count. Must be thread-safe.
+    std::function<void(std::uint64_t ops)> ops_progress;
     /// Measure per-chunk wall/CPU time and feed RunSink::absorb_profile.
     /// Host-side timing only — simulation results are unaffected.
     bool profile = false;
+    /// Independent runs interleaved per worker thread (consensus cells
+    /// only; service cells always run one at a time). Lanes > 1 advance a
+    /// cohort of simulators round-robin, tick by tick, to overlap the
+    /// memory latency a single deep event queue exposes. Results are
+    /// byte-identical at any lane count: each run's simulator is
+    /// self-contained and cohort results fold in run-index order. Must be
+    /// >= 1.
+    std::uint64_t lanes = 1;
   };
 
   ParallelExecutor() = default;

@@ -89,6 +89,36 @@ void SimNetwork::deliver_event(ProcId from, ProcId to, const Message& m) {
   deliver_(to, from, m);
 }
 
+std::size_t SimNetwork::deliver_batch(const TickItem* items,
+                                      std::size_t count,
+                                      const bool& halted) {
+  if (trace_ != nullptr) {
+    // Tracing wants a record per message; the cold per-event path already
+    // does exactly that.
+    return DeliverSink::deliver_batch(items, count, halted);
+  }
+  HYCO_CHECK_MSG(static_cast<bool>(deliver_), "network deliver fn not set");
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::size_t i = 0;
+  for (; i < count; ++i) {
+    const TickItem& it = items[i];
+    if (crashes_.is_crashed(it.to)) {
+      ++dropped;
+    } else {
+      ++delivered;
+      deliver_(it.to, it.from, *it.msg);
+    }
+    if (halted) {
+      ++i;
+      break;
+    }
+  }
+  stats_.delivered += delivered;
+  stats_.dropped_receiver_crashed += dropped;
+  return i;
+}
+
 void SimNetwork::send(ProcId from, ProcId to, const Message& m) {
   HYCO_CHECK_MSG(from >= 0 && from < n_ && to >= 0 && to < n_,
                  "send with out-of-range process id");

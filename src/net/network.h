@@ -96,6 +96,14 @@ class SimNetwork final : public INetwork, private DeliverSink {
   /// hand the message to the wired-in deliver function.
   void deliver_event(ProcId from, ProcId to, const Message& m) override;
 
+  /// DeliverSink: a same-tick run of deliveries in one call. Semantically
+  /// identical to deliver_event per item — the crash check stays per item
+  /// (a mid-broadcast crash fired from a handler can down a receiver midway
+  /// through the run) — but hoists the trace branch and the deliver-fn load
+  /// out of the n² loop. Falls back to the per-event path when tracing.
+  std::size_t deliver_batch(const TickItem* items, std::size_t count,
+                            const bool& halted) override;
+
   Simulator& sim_;
   DelayModel& delays_;
   CrashTracker& crashes_;

@@ -3,39 +3,54 @@
 // Ordering is (time, insertion sequence): events at equal times run in the
 // order they were scheduled, which makes every simulation fully
 // deterministic for a given seed. The (at, seq) key is a total order (seq is
-// unique), so the pop sequence is independent of the heap's internal shape —
-// swapping the heap implementation can never change simulation behavior.
+// unique), so the pop sequence is independent of how events are stored —
+// swapping the internal structure can never change simulation behavior.
 //
 // The queue is the hot path of every experiment: one all-to-all consensus
-// round schedules O(n²) deliveries. Design rules for that path:
+// round schedules O(n²) deliveries. The structure is a two-level calendar
+// queue in front of a 4-ary heap:
 //
-//  * No per-event heap allocation. A popped Event is a tagged value node;
-//    the Deliver variant — the n² case — carries {from, to, Message} by
-//    value, no closure. Internally Deliver payloads wait in a free-list
-//    slab that recycles slots on pop, so steady-state churn re-uses the
-//    same storage instead of allocating.
+//  * Calendar front end. A ring of 2^bucket_bits day buckets, each covering
+//    a 2^shift-wide slice of virtual time, holds every event whose time
+//    falls inside the current window [base_day, base_day + buckets). Pushing
+//    is an O(1) append; popping walks a cursor over the ring. With the
+//    default shift of 0 a bucket holds exactly one timestamp, so appends are
+//    already in (at, seq) order (seq is monotonic) and no sorting ever
+//    happens; with a coarser shift a bucket is lazily sorted the first time
+//    the cursor consumes from it. The simulator's near-future, heavily tied
+//    time distributions make this O(1) per event where a heap pays an
+//    O(log n) sift against a 10^6-deep queue.
+//  * Overflow heap. Events beyond the window land in the 4-ary implicit
+//    min-heap (16-byte packed (at, seq) keys, parallel ref array, hole-sift
+//    pop). When the calendar drains, the window rebases onto the heap's
+//    minimum and near events migrate into buckets. Every heap time is
+//    strictly later than every calendar time, so the merged pop order is
+//    exactly the global (at, seq) order. If overflow pushes dominate between
+//    migrations the window widens (more buckets, then coarser buckets).
+//
+// Same-tick batching: pop_tick() returns the whole run of events sharing
+// the minimum time as one contiguous span, in seq order — bit-identical to
+// repeated pop() — so the simulator can dispatch a broadcast burst without
+// a virtual call per message. The span is two-phase: events stay queued
+// until commit_tick() declares how many were actually consumed, which keeps
+// halt()-mid-tick semantics exact.
+//
+// Payload rules for the n² path:
+//
+//  * No per-event heap allocation, and no per-pop Message copy. Deliver
+//    payloads live in a chunked slab whose chunks never move, so pop() and
+//    pop_tick() hand out stable `const Message*` references. A popped slot
+//    is recycled only at the NEXT pop/pop_tick (deferred free list), so the
+//    reference stays valid across any pushes the handler makes.
 //  * Generic timer/callback events (the ~10 cold call sites in runners,
-//    harnesses, and tests) park their std::function in a second free-list
-//    slab; pushing into a recycled slot performs no allocation as long as
-//    the callable fits std::function's small-buffer optimization.
-//  * The heap orders 16-byte packed (at, seq) keys — payload refs ride in
-//    a parallel array — not full events: a sift step on a 4-ary heap scans
-//    up to four children, and four keys share one cache line where four
-//    64-byte event nodes span four lines. The queue is memory-bound under
-//    broadcast bursts, so key size directly sets throughput.
-//
-// The heap itself is a 4-ary implicit min-heap in one contiguous vector:
-// shallower than a binary heap (fewer levels per sift) and reservable
-// up-front via reserve() so bursty broadcasts never reallocate. Pop uses
-// hole-sifting (walk the min-child chain down, then bubble the detached
-// back element up), which moves each touched node once in the common
-// bursty case of many events at one virtual time. The push/pop bodies live
-// in this header: they run once per message, and cross-TU call overhead at
-// that frequency is measurable.
+//    harnesses, and tests) park their std::function in a free-list slab;
+//    pushing into a recycled slot performs no allocation as long as the
+//    callable fits std::function's small-buffer optimization.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/types.h"
@@ -45,30 +60,69 @@
 namespace hyco {
 
 /// A scheduled occurrence, as handed out by EventQueue::pop(): either a
-/// message delivery (payload carried by value) or a generic callback
+/// message delivery (payload referenced in the slab) or a generic callback
 /// (closure parked in the pool, referenced by slot).
 struct Event {
   enum class Kind : std::uint8_t {
     Callback,  ///< run the pooled closure in `slot`
-    Deliver,   ///< hand `msg` from `from` to `to` via the deliver sink
+    Deliver,   ///< hand `*msg` from `from` to `to` via the deliver sink
   };
 
   SimTime at = 0;
   std::uint64_t seq = 0;  ///< insertion order; tie-breaker for equal times
   Kind kind = Kind::Callback;
-  ProcId from = -1;          ///< Deliver: sender
-  ProcId to = -1;            ///< Deliver: receiver
-  std::uint32_t slot = 0;    ///< Callback: index into the closure pool
-  Message msg;               ///< Deliver: the payload, by value
+  ProcId from = -1;        ///< Deliver: sender
+  ProcId to = -1;          ///< Deliver: receiver
+  std::uint32_t slot = 0;  ///< Callback: index into the closure pool
+  /// Deliver: the payload, in the slab. Valid until the next pop()/
+  /// pop_tick() — pushes never invalidate it (deferred slot recycling,
+  /// chunked slab storage).
+  const Message* msg = nullptr;
 };
 
-/// Min-heap of events ordered by (at, seq), with free-list slabs for both
-/// payload kinds. Not thread-safe (the simulator is single-threaded).
+/// One event inside a same-tick span (see EventQueue::pop_tick).
+struct TickItem {
+  /// Deliver: payload in the slab, stable for the whole tick. Callback:
+  /// nullptr.
+  const Message* msg = nullptr;
+  ProcId from = -1;        ///< Deliver: sender
+  ProcId to = -1;          ///< Deliver: receiver
+  std::uint32_t slot = 0;  ///< Callback: closure slot; Deliver: slab index
+  Event::Kind kind = Event::Kind::Callback;
+};
+
+/// All events sharing the minimum virtual time, in seq order. The items
+/// pointer is owned by the queue and valid until commit_tick(); handler
+/// pushes during the tick never invalidate it.
+struct TickSpan {
+  SimTime at = 0;
+  const TickItem* items = nullptr;
+  std::size_t count = 0;
+};
+
+/// Calendar-fronted priority queue of events ordered by (at, seq), with
+/// free-list slabs for both payload kinds. Not thread-safe (the simulator
+/// is single-threaded).
 class EventQueue {
  public:
-  /// Pre-sizes the heap + deliver slab for `events` concurrent events and
-  /// the closure pool for `callbacks` concurrent callback events. Never
-  /// shrinks.
+  /// Calendar geometry. The defaults suit the simulator's workloads (dense
+  /// near-future times); tests pin tiny windows to force the overflow heap,
+  /// migration, and widening paths.
+  struct Tuning {
+    unsigned bucket_bits = 11;      ///< initial ring size = 2^bucket_bits
+    unsigned max_bucket_bits = 14;  ///< widen by doubling up to this
+    unsigned shift = 0;             ///< log2 bucket width in time units
+    unsigned max_shift = 20;        ///< then widen by coarsening up to this
+    /// Widen when overflow pushes since the last migration exceed
+    /// `widen_threshold_mult * bucket_count`.
+    std::size_t widen_threshold_mult = 2;
+  };
+
+  EventQueue() : EventQueue(Tuning{}) {}
+  explicit EventQueue(const Tuning& t);
+
+  /// Pre-sizes the deliver slab index space and the closure pool for
+  /// `events` / `callbacks` concurrent events. Never shrinks.
   void reserve(std::size_t events, std::size_t callbacks = 0);
 
   /// Schedules a generic callback.
@@ -83,7 +137,7 @@ class EventQueue {
       slot = static_cast<std::uint32_t>(pool_.size());
       pool_.push_back(std::move(fn));
     }
-    push_key(make_key(at, next_seq_++), slot);
+    route_new(at, slot);
   }
 
   /// Schedules a message delivery. Allocation-free in steady state: the
@@ -94,90 +148,76 @@ class EventQueue {
     if (!free_deliveries_.empty()) {
       idx = free_deliveries_.back();
       free_deliveries_.pop_back();
-      deliveries_[idx] = DeliverPayload{from, to, m};
     } else {
-      idx = static_cast<std::uint32_t>(deliveries_.size());
-      deliveries_.push_back(DeliverPayload{from, to, m});
-    }
-    push_key(make_key(at, next_seq_++), idx | kDeliverBit);
-  }
-
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
-
-  /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const {
-    HYCO_CHECK(!heap_.empty());
-    return key_at(heap_.front());
-  }
-
-  /// Removes and returns the earliest event. Precondition: !empty().
-  /// For a Kind::Callback event the caller MUST follow up with
-  /// take_callback(ev.slot) to obtain the closure and recycle the slot.
-  Event pop() {
-    HYCO_CHECK(!heap_.empty());
-    const Key top = heap_.front();
-    const std::uint32_t top_ref = refs_.front();
-    const std::size_t n = heap_.size() - 1;
-    if (n > 0) {
-      // Hole-sifting: walk the min-child chain down from the root, then
-      // drop the detached back() element into the hole and bubble it up.
-      // In the common bursty case (many events at one virtual time) the
-      // back element belongs near the bottom, so each touched node moves
-      // exactly once.
-      std::size_t hole = 0;
-      std::size_t child = 1;
-      while (child < n) {
-        std::size_t best;
-        if (child + kArity <= n) {
-          // Full fan of four children: tournament of independent compares
-          // (two pairs, then the winners) instead of a serial scan, so the
-          // selects can retire as conditional moves off a short dep chain.
-          const std::size_t b0 =
-              child + (heap_[child + 1] < heap_[child] ? 1 : 0);
-          const std::size_t b1 =
-              child + 2 + (heap_[child + 3] < heap_[child + 2] ? 1 : 0);
-          best = heap_[b1] < heap_[b0] ? b1 : b0;
-        } else {
-          best = child;
-          for (std::size_t c = child + 1; c < n; ++c) {
-            best = heap_[c] < heap_[best] ? c : best;
-          }
-        }
-        heap_[hole] = heap_[best];
-        refs_[hole] = refs_[best];
-        hole = best;
-        child = kArity * hole + 1;
+      idx = slab_used_++;
+      if ((idx >> kChunkBits) >= slab_.size()) {
+        slab_.emplace_back(new DeliverPayload[kChunkSize]);
       }
-      heap_[hole] = heap_[n];  // hole < n always: best is < n at every step
-      refs_[hole] = refs_[n];
-      sift_up(hole);
     }
-    heap_.pop_back();
-    refs_.pop_back();
+    payload(idx) = DeliverPayload{from, to, m};
+    route_new(at, idx | kDeliverBit);
+  }
 
+  [[nodiscard]] bool empty() const { return cal_count_ == 0 && heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cal_count_ + heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty() and no open
+  /// tick. May advance the calendar cursor / migrate from the heap.
+  [[nodiscard]] SimTime next_time() {
+    HYCO_CHECK(!tick_open_);
+    HYCO_CHECK(!empty());
+    Bucket& b = activate();
+    return b.items[b.head].at;
+  }
+
+  /// Removes and returns the earliest event. Precondition: !empty() and no
+  /// open tick. For a Kind::Callback event the caller MUST follow up with
+  /// take_callback(ev.slot) to obtain the closure and recycle the slot. For
+  /// a Kind::Deliver event `ev.msg` stays valid until the next
+  /// pop()/pop_tick().
+  Event pop() {
+    HYCO_CHECK(!tick_open_);
+    HYCO_CHECK(!empty());
+    flush_pending_frees();
+    Bucket& b = activate();
+    const Entry en = b.items[b.head];
+    ++b.head;
+    --cal_count_;
     Event ev;
-    ev.at = key_at(top);
-    ev.seq = key_seq(top);
-    if (top_ref & kDeliverBit) {
-      const std::uint32_t idx = top_ref & ~kDeliverBit;
-      const DeliverPayload& p = deliveries_[idx];
+    ev.at = en.at;
+    ev.seq = en.seq;
+    if (en.ref & kDeliverBit) {
+      const std::uint32_t idx = en.ref & ~kDeliverBit;
+      const DeliverPayload& p = payload(idx);
       ev.kind = Event::Kind::Deliver;
       ev.from = p.from;
       ev.to = p.to;
-      ev.msg = p.msg;
-      free_deliveries_.push_back(idx);  // recycle; ev holds its own copy
+      ev.msg = &p.msg;
+      pending_frees_.push_back(idx);  // recycled at the NEXT pop
     } else {
       ev.kind = Event::Kind::Callback;
-      ev.slot = top_ref;
+      ev.slot = en.ref;
     }
     return ev;
   }
 
+  /// Opens a tick: returns every pending event at the minimum virtual time
+  /// (at most `cap` of them), in seq order — the exact events `cap` repeated
+  /// pop() calls would return. The events STAY QUEUED until commit_tick().
+  /// During the open tick the caller may push new events (at times >= the
+  /// tick time) and must call take_callback for each consumed Callback
+  /// item; it must not call pop()/next_time() until the commit.
+  TickSpan pop_tick(std::uint64_t cap);
+
+  /// Closes the tick opened by pop_tick: the first `consumed` items of the
+  /// span leave the queue (their deliver slots recycle at the next
+  /// pop/pop_tick); the rest remain pending. 0 <= consumed <= span.count.
+  void commit_tick(std::size_t consumed);
+
   /// Moves the pooled closure out of `slot` and returns the slot to the
-  /// free list. Call exactly once per popped Kind::Callback event, before
-  /// running the closure (the closure may push new events, which can grow
-  /// the pool).
+  /// free list. Call exactly once per popped/consumed Kind::Callback event,
+  /// before running the closure (the closure may push new events, which can
+  /// recycle or grow the pool slot it came from).
   std::function<void()> take_callback(std::uint32_t slot) {
     HYCO_CHECK_MSG(slot < pool_.size(), "bad callback slot " << slot);
     std::function<void()> fn = std::move(pool_[slot]);
@@ -196,17 +236,25 @@ class EventQueue {
   [[nodiscard]] std::size_t peak_size() const { return peak_; }
 
   // Pool introspection for tests and benchmarks: total slots ever
-  // materialized, and how many of them are currently in use.
+  // materialized, and how many of them are currently in use. A deliver slot
+  // awaiting its deferred recycle counts as free (its event is gone).
   [[nodiscard]] std::size_t pool_capacity() const { return pool_.size(); }
   [[nodiscard]] std::size_t pool_in_use() const {
     return pool_.size() - free_slots_.size();
   }
   [[nodiscard]] std::size_t deliver_pool_capacity() const {
-    return deliveries_.size();
+    return slab_used_;
   }
   [[nodiscard]] std::size_t deliver_pool_in_use() const {
-    return deliveries_.size() - free_deliveries_.size();
+    return slab_used_ - free_deliveries_.size() - pending_frees_.size();
   }
+
+  // Calendar introspection for tests: current ring size / bucket-width
+  // shift (they change when the window widens) and how many events sit in
+  // the overflow heap right now.
+  [[nodiscard]] std::size_t bucket_count() const { return nb_; }
+  [[nodiscard]] unsigned bucket_shift() const { return shift_; }
+  [[nodiscard]] std::size_t overflow_size() const { return heap_.size(); }
 
  private:
   // 4-ary implicit heap: children of i are 4i+1 … 4i+4, parent (i-1)/4.
@@ -216,13 +264,22 @@ class EventQueue {
   /// bits index into the corresponding one.
   static constexpr std::uint32_t kDeliverBit = 0x8000'0000u;
 
-  /// What the heap orders: (at, seq) packed into one 128-bit integer, high
-  /// half `at` (non-negative by contract, so unsigned compare is exact),
-  /// low half `seq`. One register-pair compare replaces the two-field
-  /// lexicographic compare, and four 16-byte keys share a cache line — the
-  /// sift loops are bound by exactly these two costs. Payload refs ride in
-  /// a parallel array (refs_[i] belongs to heap_[i]) so the sift only drags
-  /// 4 extra bytes per moved node.
+  /// Deliver slab chunking: fixed-size chunks that never move once
+  /// allocated, so `const Message*` references survive slab growth.
+  static constexpr std::uint32_t kChunkBits = 12;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  /// A consumed bucket keeps its capacity for ring reuse (steady-state
+  /// pushes never reallocate) unless it grew past this — big-burst buckets
+  /// release their memory instead of pinning it on every ring slot.
+  static constexpr std::size_t kMaxRetainedBucketEntries = 4096;
+
+  /// What the overflow heap orders: (at, seq) packed into one 128-bit
+  /// integer, high half `at` (non-negative by contract, so unsigned compare
+  /// is exact), low half `seq`. One register-pair compare replaces the
+  /// two-field lexicographic compare, and four 16-byte keys share a cache
+  /// line. Payload refs ride in a parallel array (refs_[i] belongs to
+  /// heap_[i]) so the sift only drags 4 extra bytes per moved node.
   using Key = unsigned __int128;
 
   static Key make_key(SimTime at, std::uint64_t seq) {
@@ -235,19 +292,106 @@ class EventQueue {
     return static_cast<std::uint64_t>(k);
   }
 
-  /// A parked Deliver payload, by value, in a recycled slab slot.
+  /// A calendar entry: explicit (at, seq) plus the payload ref. 24 bytes —
+  /// packing into a 16-byte Key would pad the struct to 32.
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t ref;
+  };
+
+  /// One day of the calendar ring. `head` is the consumed prefix; entries
+  /// in [head, items.size()) are pending, kept in (at, seq) order (lazily
+  /// sorted when `dirty`, which only a shift > 0 geometry can set).
+  struct Bucket {
+    std::vector<Entry> items;
+    std::uint32_t head = 0;
+    bool dirty = false;
+  };
+
+  /// A parked Deliver payload, in a stable slab chunk.
   struct DeliverPayload {
     ProcId from;
     ProcId to;
     Message msg;
   };
 
-  void push_key(Key k, std::uint32_t ref) {
+  [[nodiscard]] std::uint64_t day(SimTime at) const {
+    return static_cast<std::uint64_t>(at) >> shift_;
+  }
+
+  DeliverPayload& payload(std::uint32_t idx) {
+    return slab_[idx >> kChunkBits][idx & (kChunkSize - 1)];
+  }
+
+  /// Files a freshly pushed event into the calendar window, the overflow
+  /// heap, or (cold, raw-queue tests only) a full rebuild when it lands
+  /// before the current window.
+  void route_new(SimTime at, std::uint32_t ref) {
+    const std::uint64_t seq = next_seq_++;
+    const std::uint64_t d = day(at);
+    if (d - base_day_ < nb_) {  // unsigned: d < base_day_ wraps, fails
+      append_to_bucket(buckets_[d & mask_], at, seq, ref);
+      if (d < cursor_day_) cursor_day_ = d;
+    } else if (cal_count_ == 0 && heap_.empty()) {
+      base_day_ = cursor_day_ = d;  // empty queue: rebase the window here
+      append_to_bucket(buckets_[d & mask_], at, seq, ref);
+    } else if (d >= base_day_ + nb_) {
+      heap_push(make_key(at, seq), ref);
+      ++overflow_pushes_;
+    } else {
+      rebuild_with(Entry{at, seq, ref});
+    }
+    const std::size_t sz = cal_count_ + heap_.size();
+    if (sz > peak_) peak_ = sz;
+  }
+
+  void append_to_bucket(Bucket& b, SimTime at, std::uint64_t seq,
+                        std::uint32_t ref) {
+    if (b.head != 0 && b.head == b.items.size()) {
+      // Fully consumed leftovers (possibly from an earlier window sharing
+      // this ring slot): reset before reuse.
+      b.items.clear();
+      b.head = 0;
+      b.dirty = false;
+    }
+    if (shift_ != 0 && !b.dirty && b.items.size() > b.head &&
+        at < b.items.back().at) {
+      b.dirty = true;  // same-at appends keep order (seq is monotonic)
+    }
+    b.items.push_back(Entry{at, seq, ref});
+    ++cal_count_;
+  }
+
+  /// The bucket the cursor should consume from, sorted and non-empty.
+  /// Precondition: !empty(). Advances the cursor / migrates as needed.
+  Bucket& activate() {
+    Bucket& b = buckets_[cursor_day_ & mask_];
+    if (b.head < b.items.size() && !b.dirty) return b;
+    return activate_slow();
+  }
+
+  Bucket& activate_slow();
+  void migrate_from_heap();
+  void maybe_widen();
+  void rebuild_with(const Entry& extra);
+  void release_bucket(Bucket& b);
+
+  void flush_pending_frees() {
+    if (pending_frees_.empty()) return;
+    free_deliveries_.insert(free_deliveries_.end(), pending_frees_.begin(),
+                            pending_frees_.end());
+    pending_frees_.clear();
+  }
+
+  void heap_push(Key k, std::uint32_t ref) {
     heap_.push_back(k);
     refs_.push_back(ref);
     sift_up(heap_.size() - 1);
-    if (heap_.size() > peak_) peak_ = heap_.size();
   }
+
+  /// Removes the heap minimum (caller has already read front()).
+  void heap_pop_top();
 
   void sift_up(std::size_t i) {
     const Key k = heap_[i];
@@ -263,12 +407,39 @@ class EventQueue {
     refs_[i] = r;
   }
 
-  std::vector<Key> heap_;                      ///< (at, seq) sort keys
-  std::vector<std::uint32_t> refs_;            ///< parallel payload refs
-  std::vector<DeliverPayload> deliveries_;     ///< deliver payload slab
+  // Calendar window.
+  std::vector<Bucket> buckets_;
+  std::uint64_t nb_;             ///< ring size, power of two
+  std::uint64_t mask_;           ///< nb_ - 1
+  std::uint64_t base_day_ = 0;   ///< first day of the window
+  std::uint64_t cursor_day_ = 0; ///< next day to consume; >= base_day_
+  std::size_t cal_count_ = 0;    ///< pending entries in the calendar
+  unsigned bucket_bits_;
+  unsigned max_bucket_bits_;
+  unsigned shift_;
+  unsigned max_shift_;
+  std::size_t widen_threshold_mult_;
+  std::uint64_t overflow_pushes_ = 0;  ///< heap pushes since last migration
+
+  // Overflow heap (times strictly beyond the window).
+  std::vector<Key> heap_;            ///< (at, seq) sort keys
+  std::vector<std::uint32_t> refs_;  ///< parallel payload refs
+
+  // Deliver payload slab: chunks never move, so popped refs stay valid.
+  std::vector<std::unique_ptr<DeliverPayload[]>> slab_;
+  std::uint32_t slab_used_ = 0;  ///< high-water of materialized slots
   std::vector<std::uint32_t> free_deliveries_;
-  std::vector<std::function<void()>> pool_;    ///< closure slab
+  std::vector<std::uint32_t> pending_frees_;  ///< recycle at next pop
+
+  // Callback closure pool.
+  std::vector<std::function<void()>> pool_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Open-tick state (pop_tick .. commit_tick).
+  std::vector<TickItem> tick_items_;
+  std::uint64_t tick_day_ = 0;
+  bool tick_open_ = false;
+
   std::uint64_t next_seq_ = 0;
   std::size_t peak_ = 0;
 };

@@ -8,7 +8,11 @@
 //
 // Message deliveries — the O(n²)-per-round hot path — travel as typed
 // Deliver events dispatched straight to the registered DeliverSink (the
-// network), so no closure is allocated per message. schedule_in/schedule_at
+// network), so no closure is allocated per message. The run loop consumes
+// whole ticks: every event sharing the minimum virtual time is popped as
+// one span (EventQueue::pop_tick) and contiguous runs of Deliver events go
+// to the sink as a single deliver_batch() call, so a broadcast burst of n²
+// messages pays one virtual dispatch instead of n². schedule_in/schedule_at
 // keep their std::function signature for the sparse timer/bookkeeping call
 // sites; those closures are pool-backed inside the EventQueue.
 #pragma once
@@ -16,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <optional>
 
 #include "core/types.h"
 #include "net/message.h"
@@ -33,10 +38,19 @@ enum class StopReason {
 };
 
 /// Receiver of typed Deliver events (implemented by the network). The
-/// simulator calls deliver_event() when a Deliver node fires.
+/// simulator calls deliver_batch() with same-tick runs of Deliver events;
+/// the default implementation forwards to deliver_event() one at a time.
 class DeliverSink {
  public:
   virtual void deliver_event(ProcId from, ProcId to, const Message& m) = 0;
+
+  /// Delivers a contiguous same-tick run in span order. `halted` aliases
+  /// the simulator's halt flag: implementations must stop after the event
+  /// that sets it and return how many events they consumed (== count
+  /// otherwise). Overrides must preserve per-event semantics exactly —
+  /// receiver crash state may change mid-run.
+  virtual std::size_t deliver_batch(const TickItem* items, std::size_t count,
+                                    const bool& halted);
 
  protected:
   ~DeliverSink() = default;  // never deleted through this interface
@@ -89,6 +103,15 @@ class Simulator {
   /// Runs until quiescence or a limit is hit.
   StopReason run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max(),
                  SimTime time_limit = std::numeric_limits<SimTime>::max());
+
+  /// Executes at most one virtual-time tick (all events at the minimum
+  /// time, bounded by max_events) and returns the stop reason if the run
+  /// is over, std::nullopt if there is more to do. run() is exactly this
+  /// in a loop; multi-lane executors interleave several simulators by
+  /// calling it round-robin.
+  std::optional<StopReason> run_tick(
+      std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max(),
+      SimTime time_limit = std::numeric_limits<SimTime>::max());
 
   /// Executes exactly one event if one is pending; returns false otherwise.
   bool step();

@@ -1,8 +1,10 @@
-// Property/fuzz tests for the zero-allocation event core: the 4-ary heap is
-// checked against a stable-sort reference model under random interleavings
-// of pushes and pops (including heavy equal-time contention), and both
-// free-list slabs are checked for steady-state reuse (no growth under
-// churn).
+// Property/fuzz tests for the zero-allocation event core: the calendar
+// queue (and its overflow heap) is checked against a stable-sort reference
+// model under random interleavings of pushes and pops (including heavy
+// equal-time contention), and both free-list slabs are checked for
+// steady-state reuse (no growth under churn). The calendar-specific
+// geometries (tiny windows, forced migration/widening, pop_tick spans)
+// live in calendar_queue_test.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -41,7 +43,7 @@ void drain_and_check(EventQueue& q, std::vector<Expected> pending) {
     const Event ev = q.pop();
     EXPECT_EQ(ev.at, want.at);
     ASSERT_EQ(ev.kind, Event::Kind::Deliver);
-    EXPECT_EQ(ev.msg.value, want.tag);
+    EXPECT_EQ(ev.msg->value, want.tag);
   }
   EXPECT_TRUE(q.empty());
 }
@@ -72,7 +74,7 @@ TEST(EventQueueProperty, RandomInterleavingMatchesStableSortModel) {
             });
         const Event ev = q.pop();
         EXPECT_EQ(ev.at, front->at);
-        EXPECT_EQ(ev.msg.value, front->tag);
+        EXPECT_EQ(ev.msg->value, front->tag);
         pending.erase(front);
       }
     }
@@ -101,7 +103,7 @@ TEST(EventQueueProperty, MixedCallbackAndDeliverOrdering) {
     if (ev.kind == Event::Kind::Callback) {
       q.take_callback(ev.slot)();
     } else {
-      order.push_back(static_cast<int>(ev.msg.value));
+      order.push_back(static_cast<int>(ev.msg->value));
     }
   }
   EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
@@ -134,10 +136,35 @@ TEST(EventQueuePool, DeliverSlotsAreReusedUnderChurn) {
     const Event ev = q.pop();
     q.push_deliver(ev.at + 16, 0, 1, m);
   }
-  EXPECT_EQ(q.deliver_pool_capacity(), warm) << "deliver slab grew under churn";
+  // A popped slot recycles at the NEXT pop (the deferred free keeps the
+  // popped Message reference valid across pushes), so steady-state churn
+  // holds exactly one slot beyond the warm population — and no more.
+  EXPECT_LE(q.deliver_pool_capacity(), warm + 1)
+      << "deliver slab grew under churn";
   EXPECT_EQ(q.deliver_pool_in_use(), 16u);
   while (!q.empty()) q.pop();
   EXPECT_EQ(q.deliver_pool_in_use(), 0u);
+}
+
+TEST(EventQueuePool, PoppedMessageReferenceSurvivesPushes) {
+  // Satellite regression for the slab-reference pop: the Message a popped
+  // Deliver event points at must stay intact across arbitrary pushes
+  // (which recycle slots and grow the slab) until the next pop.
+  EventQueue q;
+  q.push_deliver(1, 0, 1, tagged(0xFEED));
+  const Event ev = q.pop();
+  ASSERT_EQ(ev.kind, Event::Kind::Deliver);
+  const Message* held = ev.msg;
+  EXPECT_EQ(held->value, 0xFEEDu);
+  // Slot-reuse pressure: these pushes must NOT claim the just-popped slot.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    q.push_deliver(2, 0, 1, tagged(i));
+  }
+  EXPECT_EQ(held->value, 0xFEEDu)
+      << "popped slab reference clobbered by a push";
+  // The next pop may recycle the held slot; its own reference is distinct.
+  const Event ev2 = q.pop();
+  EXPECT_EQ(ev2.msg->value, 0u);
 }
 
 TEST(EventQueuePool, TakeCallbackTwiceThrows) {

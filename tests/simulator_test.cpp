@@ -123,6 +123,66 @@ TEST(Simulator, StepExecutesExactlyOne) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, RunTickExecutesOneTickAtATime) {
+  Simulator sim(1);
+  std::vector<int> fired;
+  sim.schedule_in(5, [&] { fired.push_back(0); });
+  sim.schedule_in(5, [&] { fired.push_back(1); });
+  sim.schedule_in(9, [&] { fired.push_back(2); });
+  // First tick: both time-5 events, nothing else.
+  EXPECT_EQ(sim.run_tick(), std::nullopt);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.now(), 5);
+  EXPECT_EQ(sim.run_tick(), std::nullopt);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.run_tick(), std::optional<StopReason>(StopReason::Quiescent));
+}
+
+TEST(Simulator, HaltMidTickLeavesRestQueued) {
+  // Three same-time events; the first halts. The other two must survive
+  // the tick (two-phase commit) and run on a fresh run().
+  Simulator sim(1);
+  int executed = 0;
+  sim.schedule_in(1, [&] {
+    ++executed;
+    sim.halt();
+  });
+  sim.schedule_in(1, [&] { ++executed; });
+  sim.schedule_in(1, [&] { ++executed; });
+  EXPECT_EQ(sim.run(), StopReason::Halted);
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.run(), StopReason::Quiescent);
+  EXPECT_EQ(executed, 3);
+}
+
+namespace {
+/// Counts batch calls so tests can see the batched dispatch shape.
+struct CountingSink : DeliverSink {
+  int batches = 0;
+  int messages = 0;
+  void deliver_event(ProcId, ProcId, const Message&) override { ++messages; }
+  std::size_t deliver_batch(const TickItem* items, std::size_t count,
+                            const bool& halted) override {
+    ++batches;
+    return DeliverSink::deliver_batch(items, count, halted);
+  }
+};
+}  // namespace
+
+TEST(Simulator, SameTickDeliveriesDispatchAsOneBatch) {
+  Simulator sim(1);
+  CountingSink sink;
+  sim.set_deliver_sink(&sink);
+  const Message m = Message::value_msg(0, 7);
+  for (int i = 0; i < 32; ++i) sim.schedule_deliver(4, 0, 1, m);
+  sim.schedule_deliver(9, 0, 1, m);
+  EXPECT_EQ(sim.run(), StopReason::Quiescent);
+  EXPECT_EQ(sink.messages, 33);
+  EXPECT_EQ(sink.batches, 2);  // one burst at t=4, one singleton at t=9
+  sim.clear_deliver_sink(&sink);
+}
+
 TEST(Simulator, RngIsSeedDeterministic) {
   Simulator a(42), b(42), c(43);
   EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
