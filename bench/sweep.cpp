@@ -122,6 +122,9 @@
 //   --trace-cell=I    cell index to trace                       [0]
 //   --trace-run=K     run index within the cell to trace        [0]
 //   --trace-format=F  jsonl | binary                            [jsonl]
+//   --trace-cap=N     trace ring capacity in records; a run that records
+//                     more keeps the trailing window and the export is
+//                     marked truncated                          [65536]
 //   --health=PORT     with --serve: read-only HTTP progress endpoint
 //                     (0 = kernel-assigned; printed on stderr). Serves one
 //                     "hyco-health/2" JSON document per request, including
@@ -133,10 +136,13 @@
 //   --service         run the replicated-state-machine workload: closed-
 //                     loop clients submit ops, replicas batch them into
 //                     sequenced consensus slots, and cells report decided-
-//                     ops/sec plus client-latency p50/p99/p999. Forces the
-//                     hybrid common-coin algorithm; rejects --alg,
-//                     --inputs, --phase-metrics, --trace-out, and
-//                     --crash=mid-broadcast.
+//                     ops/sec plus client-latency p50/p99/p999 decomposed
+//                     into batching-wait / slot-queueing / consensus
+//                     components. Forces the hybrid common-coin algorithm;
+//                     rejects --alg, --inputs, --phase-metrics, and
+//                     --crash=mid-broadcast. Combines with --trace-out:
+//                     the traced re-run records service milestones (op /
+//                     flush / slot / deliver) alongside network events.
 //   --clients=N       simulated closed-loop clients            [100000]
 //   --ops-per-client=K  ops each client submits (bounds a run) [1]
 //   --batch=B,...     max ops per proposed batch (axis)        [64]
@@ -169,6 +175,7 @@
 #include "obs/trace_export.h"
 #include "scenario/engine.h"
 #include "scenario/scenario.h"
+#include "service/service_runner.h"
 #include "sim/trace.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -397,7 +404,7 @@ DistFlags parse_dist_flags(const Options& opts) {
     for (const char* banned :
          {"json", "csv", "csv-shard", "checkpoint", "resume", "replay",
           "net-stats", "trace-out", "trace-cell", "trace-run",
-          "trace-format"}) {
+          "trace-format", "trace-cap"}) {
       HYCO_CHECK_MSG(!opts.has(banned),
                      "--" << banned << " cannot combine with --connect"
                           << " (artifacts are emitted by the --serve"
@@ -501,9 +508,6 @@ int main(int argc, char** argv) {
       HYCO_CHECK_MSG(!opts.has("phase-metrics"),
                      "--phase-metrics cannot combine with --service (service"
                      " runs do not instrument consensus phases)");
-      HYCO_CHECK_MSG(!opts.has("trace-out"),
-                     "--trace-out cannot combine with --service (service runs"
-                     " do not record event traces)");
       HYCO_CHECK_MSG(!opts.has("lanes"),
                      "--lanes cannot combine with --service (service runs"
                      " always execute one at a time per worker)");
@@ -604,6 +608,7 @@ int main(int argc, char** argv) {
     std::uint64_t trace_cell = 0;
     std::uint64_t trace_run = 0;
     bool trace_binary = false;
+    std::size_t trace_cap = 1 << 16;
     if (want_trace) {
       trace_path = opts.get_string("trace-out");
       HYCO_CHECK_MSG(!trace_path.empty(), "--trace-out needs a path (or -)");
@@ -625,8 +630,14 @@ int main(int argc, char** argv) {
                      "--trace-format: unknown format \"" << fmt
                          << "\" (want jsonl | binary)");
       trace_binary = fmt == "binary";
+      const auto cap_flag = opts.get_int("trace-cap", 1 << 16);
+      HYCO_CHECK_MSG(cap_flag >= 1 && cap_flag <= 100'000'000,
+                     "--trace-cap must be in [1, 100000000] records, got "
+                         << cap_flag);
+      trace_cap = static_cast<std::size_t>(cap_flag);
     } else {
-      for (const char* orphan : {"trace-cell", "trace-run", "trace-format"}) {
+      for (const char* orphan :
+           {"trace-cell", "trace-run", "trace-format", "trace-cap"}) {
         HYCO_CHECK_MSG(!opts.has(orphan), "--" << orphan
                            << " needs --trace-out=PATH to apply to");
       }
@@ -1044,11 +1055,23 @@ int main(int argc, char** argv) {
     // owned ring, then export the structured records.
     if (want_trace) {
       const ExperimentCell& cell = cells[trace_cell];
-      RunConfig cfg = cell.run_config(trace_run);
-      Trace trace(1 << 16);
-      cfg.enable_trace = true;
-      cfg.trace_sink = &trace;
-      (void)run_consensus(cfg);
+      Trace trace(trace_cap);
+      if (cell.service.enabled) {
+        ServiceRunConfig cfg = cell.service_run_config(trace_run);
+        cfg.enable_trace = true;
+        cfg.trace_sink = &trace;
+        (void)run_service(cfg);
+      } else {
+        RunConfig cfg = cell.run_config(trace_run);
+        cfg.enable_trace = true;
+        cfg.trace_sink = &trace;
+        (void)run_consensus(cfg);
+      }
+      if (trace.recorded() > trace.size()) {
+        HYCO_WARN("trace ring wrapped: recorded "
+                  << trace.recorded() << " events, kept the trailing "
+                  << trace.size() << " (raise --trace-cap for the full run)");
+      }
       obs::TraceMeta meta;
       meta.cell = trace_cell;
       meta.run = trace_run;

@@ -60,7 +60,11 @@ void ProcessBase::on_message(ProcId from, const Message& m) {
   if (!parked_ && started_ && exch_.active() && m.round == exch_.round() &&
       m.phase == exch_.phase()) {
     ++stats_.phase_msgs_handled;
+    const bool was_satisfied = obs_ != nullptr && exch_.satisfied();
     exch_.credit(from, m.est);
+    if (obs_ != nullptr && !was_satisfied && exch_.satisfied()) {
+      obs_->on_quorum_satisfied(self_, exch_.round(), exch_.phase());
+    }
     on_exchange_progress();
   }
 }
@@ -114,6 +118,11 @@ void ProcessBase::begin_exchange(Round r, Phase ph, Estimate est) {
     for (const auto& [from, v] : it->second) {
       ++stats_.phase_msgs_handled;
       exch_.credit(from, v);
+    }
+    // Backlogged credits may satisfy the quorum before any live message
+    // arrives; report the milestone exactly once, here.
+    if (obs_ != nullptr && exch_.satisfied()) {
+      obs_->on_quorum_satisfied(self_, r, ph);
     }
   }
 }

@@ -9,7 +9,9 @@
 #include "core/common_coin_process.h"
 #include "core/invariant_checker.h"
 #include "core/local_coin_process.h"
+#include "obs/observer.h"
 #include "obs/phase_timings.h"
+#include "obs/trace_observer.h"
 #include "scenario/engine.h"
 #include "shm/cluster_memory.h"
 #include "sim/trace.h"
@@ -132,12 +134,30 @@ ConsensusRun::ConsensusRun(RunConfig cfg)
     }
   }
 
-  // Per-phase latency observer (opt-in). Reads sim.now() but never mutates
-  // simulation state, so instrumented runs are byte-identical.
+  // Per-phase latency observer (opt-in) and/or trace mirror. Both read
+  // sim.now() but never mutate simulation state, so instrumented runs are
+  // byte-identical. When both are requested they share the processes'
+  // single observer slot through a fanout.
   if (cfg_.collect_obs) {
     timings_ = std::make_unique<obs::PhaseTimings>(
         n, [this] { return sim_.now(); });
-    for (auto& proc : procs_) proc->set_observer(timings_.get());
+  }
+  if (cfg_.enable_trace) {
+    trace_obs_ = std::make_unique<obs::TraceObserver>(
+        *trace_, [this] { return sim_.now(); });
+  }
+  obs::IRunObserver* observer = nullptr;
+  if (timings_ != nullptr && trace_obs_ != nullptr) {
+    obs_fanout_ = std::make_unique<obs::ObserverFanout>(timings_.get(),
+                                                        trace_obs_.get());
+    observer = obs_fanout_.get();
+  } else if (timings_ != nullptr) {
+    observer = timings_.get();
+  } else if (trace_obs_ != nullptr) {
+    observer = trace_obs_.get();
+  }
+  if (observer != nullptr) {
+    for (auto& proc : procs_) proc->set_observer(observer);
   }
 
   result_.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
@@ -311,6 +331,8 @@ RunResult ConsensusRun::finish() {
     coin_flips += ps.coin_flips;
   }
   result_.obs[obs::ObsId::kCoinFlips] = coin_flips;
+  result_.obs[obs::ObsId::kRounds] =
+      static_cast<std::uint64_t>(result_.max_decision_round);
   if (timings_ != nullptr) timings_->fill(result_.obs);
 
   if (cfg_.enable_trace) {

@@ -141,7 +141,9 @@ struct RunResult {
 };
 
 namespace obs {
+class ObserverFanout;
 class PhaseTimings;
+class TraceObserver;
 }  // namespace obs
 
 class ClusterMemory;
@@ -193,6 +195,8 @@ class ConsensusRun {
   std::unique_ptr<ICommonCoin> common_coin_;
   std::vector<std::unique_ptr<IConsensusProcess>> procs_;
   std::unique_ptr<obs::PhaseTimings> timings_;
+  std::unique_ptr<obs::TraceObserver> trace_obs_;
+  std::unique_ptr<obs::ObserverFanout> obs_fanout_;
   std::vector<char> started_;
   RunResult result_;
   bool stopped_ = false;

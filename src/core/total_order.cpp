@@ -46,6 +46,7 @@ void TobProcess::maybe_start_slot(bool saw_traffic) {
   current_ = std::make_unique<MultiValuedProcess>(
       self_, layout_, net_, pool_, coin_, width_, max_rounds_per_bit_,
       slot_base(slot_));
+  if (slot_start_hook_) slot_start_hook_(slot_);
   const std::uint64_t proposal =
       pending_.empty() ? kNoop : *pending_.begin();
   current_->start(proposal);

@@ -69,6 +69,15 @@ class TobProcess {
   /// Installs the per-slot delivery hook (see DeliverHook).
   void set_deliver_hook(DeliverHook hook) { deliver_hook_ = std::move(hook); }
 
+  /// Called when this process starts participating in a slot's consensus
+  /// (its multivalued instance is created). Strictly observational — the
+  /// service layer uses it to attribute client latency to queueing vs
+  /// consensus, and the trace records a SvcSlot milestone.
+  using SlotStartHook = std::function<void(int slot)>;
+  void set_slot_start_hook(SlotStartHook hook) {
+    slot_start_hook_ = std::move(hook);
+  }
+
   /// The totally ordered log delivered so far (NOOPs skipped).
   [[nodiscard]] const std::vector<std::uint64_t>& delivered() const {
     return log_;
@@ -102,6 +111,7 @@ class TobProcess {
   Round max_rounds_per_bit_;
   int width_;
   DeliverHook deliver_hook_;
+  SlotStartHook slot_start_hook_;
 
   std::set<std::uint64_t> known_;      ///< every payload ever gossiped
   std::set<std::uint64_t> pending_;    ///< known but not delivered

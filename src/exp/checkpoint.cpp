@@ -202,6 +202,29 @@ void write_accumulator_state(std::ostream& out, const CellAccumulator& acc) {
       out << ' ' << acc.svc.latency_hist.bucket(b);
     }
     out << '\n';
+    // Latency-attribution components, name-keyed moments ("s c") plus
+    // histogram ("s ch") lines. Newer-writer lines a reader does not know
+    // are skipped, so the pairs are append-only like the "o" block.
+    const struct {
+      const char* name;
+      const ExactMoments* mo;
+      const obs::LogHistogram* hist;
+    } comps[3] = {
+        {"bwait", &acc.svc.batch_wait, &acc.svc.batch_wait_hist},
+        {"qwait", &acc.svc.seq_wait, &acc.svc.seq_wait_hist},
+        {"cons", &acc.svc.consensus, &acc.svc.consensus_hist},
+    };
+    for (const auto& c : comps) {
+      out << "s c " << c.name << ' ' << c.mo->count() << ' '
+          << u128_to_string(c.mo->raw_sum()) << ' '
+          << u128_to_string(c.mo->raw_sumsq()) << ' ' << c.mo->raw_min()
+          << ' ' << c.mo->raw_max() << '\n';
+      out << "s ch " << c.name;
+      for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+        out << ' ' << c.hist->bucket(b);
+      }
+      out << '\n';
+    }
   }
 }
 
@@ -361,6 +384,8 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
                                MetricStats(1)};
   ExactMoments svc_latency;
   std::array<std::uint64_t, obs::LogHistogram::kBuckets> svc_hist{};
+  ExactMoments svc_comp[3];
+  std::array<std::uint64_t, obs::LogHistogram::kBuckets> svc_comp_hist[3] = {};
   if (in.peek() == 's') {
     const auto next_svc = [&](const char* want, std::istringstream& out_ls,
                               std::string* tag = nullptr) {
@@ -404,6 +429,44 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
     for (auto& c : svc_hist) {
       if (!(shls >> c)) return bail();
     }
+    // Optional latency-attribution components ("s c <name> ..." moments,
+    // "s ch <name> ..." histograms) — absent in older checkpoints; unknown
+    // names (a newer writer's) are skipped.
+    while (in.peek() == 's') {
+      if (!std::getline(in, line)) {
+        line.clear();
+        break;
+      }
+      std::istringstream cls(line);
+      std::string s0, ckw, cname;
+      if (!(cls >> s0 >> ckw >> cname) || s0 != "s") return bail();
+      const int ci = cname == "bwait" ? 0
+                     : cname == "qwait" ? 1
+                     : cname == "cons" ? 2
+                                       : -1;
+      if (ckw == "c") {
+        std::uint64_t ccount = 0, cmin = 0, cmax = 0;
+        std::string csum_s, csumsq_s;
+        if (!(cls >> ccount >> csum_s >> csumsq_s >> cmin >> cmax)) {
+          return bail();
+        }
+        U128 csum = 0, csumsq = 0;
+        if (!parse_u128(csum_s, csum) || !parse_u128(csumsq_s, csumsq)) {
+          return bail();
+        }
+        if (ci >= 0) {
+          svc_comp[ci] =
+              ExactMoments::from_raw(ccount, csum, csumsq, cmin, cmax);
+        }
+      } else if (ckw == "ch") {
+        std::array<std::uint64_t, obs::LogHistogram::kBuckets> tmp{};
+        for (auto& c : tmp) {
+          if (!(cls >> c)) return bail();
+        }
+        if (ci >= 0) svc_comp_hist[ci] = tmp;
+      }
+      // Other "s <kw>" lines: skipped (forward compatibility).
+    }
   }
 
   CellAccumulator built(rcap, fcap);
@@ -423,6 +486,12 @@ bool read_accumulator_state(std::istream& in, CellAccumulator& out,
     built.svc.slots = svc_parsed[3];
     built.svc.latency = svc_latency;
     built.svc.latency_hist = obs::LogHistogram::from_counts(svc_hist);
+    built.svc.batch_wait = svc_comp[0];
+    built.svc.batch_wait_hist = obs::LogHistogram::from_counts(svc_comp_hist[0]);
+    built.svc.seq_wait = svc_comp[1];
+    built.svc.seq_wait_hist = obs::LogHistogram::from_counts(svc_comp_hist[1]);
+    built.svc.consensus = svc_comp[2];
+    built.svc.consensus_hist = obs::LogHistogram::from_counts(svc_comp_hist[2]);
   }
   out = std::move(built);
   return true;

@@ -65,10 +65,13 @@ void write_summary_json(std::ostream& out, const char* key,
       << ",\"max\":" << format_number(s.max()) << '}';
 }
 
-// The trailing latency ids, in emission order.
-constexpr obs::ObsId kLatencyIds[3] = {obs::ObsId::kPhase1Ns,
-                                       obs::ObsId::kPhase2Ns,
-                                       obs::ObsId::kDecideSpreadNs};
+// The trailing latency ids, in emission order. kRounds is named
+// "decision_rounds" precisely so these columns cannot collide with the
+// base "rounds_*" summary columns.
+constexpr obs::ObsId kLatencyIds[5] = {
+    obs::ObsId::kPhase1Ns, obs::ObsId::kPhase2Ns,
+    obs::ObsId::kDecideSpreadNs, obs::ObsId::kRounds,
+    obs::ObsId::kQuorumWaitNs};
 
 // The scenario message-class counters surfaced by --net-stats.
 constexpr obs::ObsId kNetCounterIds[5] = {
@@ -119,6 +122,14 @@ std::vector<std::string> csv_header(const ReportOptions& opts) {
     header.emplace_back("svc_lat_p99_ns");
     header.emplace_back("svc_lat_p999_ns");
     header.emplace_back("svc_lat_max_ns");
+    // Latency attribution: per-op means/p99s of the three components that
+    // sum to the client latency (batching wait, slot queueing, consensus).
+    header.emplace_back("svc_batch_wait_mean_ns");
+    header.emplace_back("svc_batch_wait_p99_ns");
+    header.emplace_back("svc_seq_wait_mean_ns");
+    header.emplace_back("svc_seq_wait_p99_ns");
+    header.emplace_back("svc_consensus_mean_ns");
+    header.emplace_back("svc_consensus_p99_ns");
   }
   if (opts.profile) {
     header.emplace_back("wall_ms");
@@ -176,6 +187,12 @@ void write_csv_row(CsvWriter& w, const CellResult& r,
     fields.push_back(format_number(svc.latency_hist.percentile(99)));
     fields.push_back(format_number(svc.latency_hist.percentile(99.9)));
     fields.push_back(format_number(svc.latency.max()));
+    fields.push_back(format_number(svc.batch_wait.mean()));
+    fields.push_back(format_number(svc.batch_wait_hist.percentile(99)));
+    fields.push_back(format_number(svc.seq_wait.mean()));
+    fields.push_back(format_number(svc.seq_wait_hist.percentile(99)));
+    fields.push_back(format_number(svc.consensus.mean()));
+    fields.push_back(format_number(svc.consensus_hist.percentile(99)));
   }
   if (opts.profile) {
     fields.push_back(
@@ -300,7 +317,25 @@ void write_cell_json(std::ostream& out, const std::string& experiment_name,
           << ",\"p50\":" << format_number(svc.latency_hist.percentile(50))
           << ",\"p99\":" << format_number(svc.latency_hist.percentile(99))
           << ",\"p999\":" << format_number(svc.latency_hist.percentile(99.9))
-          << ",\"max\":" << format_number(svc.latency.max()) << "}}";
+          << ",\"max\":" << format_number(svc.latency.max()) << '}';
+      const struct {
+        const char* name;
+        const ExactMoments* mo;
+        const obs::LogHistogram* hist;
+      } comps[3] = {
+          {"batch_wait_ns", &svc.batch_wait, &svc.batch_wait_hist},
+          {"seq_wait_ns", &svc.seq_wait, &svc.seq_wait_hist},
+          {"consensus_ns", &svc.consensus, &svc.consensus_hist},
+      };
+      for (const auto& c : comps) {
+        out << ",\"" << c.name << "\":{\"count\":" << c.mo->count()
+            << ",\"mean\":" << format_number(c.mo->mean())
+            << ",\"p50\":" << format_number(c.hist->percentile(50))
+            << ",\"p99\":" << format_number(c.hist->percentile(99))
+            << ",\"p999\":" << format_number(c.hist->percentile(99.9))
+            << ",\"max\":" << format_number(c.mo->max()) << '}';
+      }
+      out << '}';
     }
     if (opts.profile) {
       out << ",\"profile\":{\"wall_ms\":"

@@ -93,6 +93,12 @@ RunRecord extract_service_record(std::uint64_t run, std::uint64_t seed,
   rec.service.ops_per_sec = r.ops_per_sec();
   rec.service.latency = r.latency;
   rec.service.latency_hist = r.latency_hist;
+  rec.service.batch_wait = r.batch_wait;
+  rec.service.batch_wait_hist = r.batch_wait_hist;
+  rec.service.seq_wait = r.seq_wait;
+  rec.service.seq_wait_hist = r.seq_wait_hist;
+  rec.service.consensus = r.consensus;
+  rec.service.consensus_hist = r.consensus_hist;
   return rec;
 }
 
@@ -128,6 +134,12 @@ void ServiceAgg::add(const RunRecord& r) {
   slots.add(r.service.slots, mix64(r.seed, kSaltSvcSlots));
   latency.merge(r.service.latency);
   latency_hist.merge(r.service.latency_hist);
+  batch_wait.merge(r.service.batch_wait);
+  batch_wait_hist.merge(r.service.batch_wait_hist);
+  seq_wait.merge(r.service.seq_wait);
+  seq_wait_hist.merge(r.service.seq_wait_hist);
+  consensus.merge(r.service.consensus);
+  consensus_hist.merge(r.service.consensus_hist);
 }
 
 void ServiceAgg::merge(const ServiceAgg& other) {
@@ -138,6 +150,12 @@ void ServiceAgg::merge(const ServiceAgg& other) {
   slots.merge(other.slots);
   latency.merge(other.latency);
   latency_hist.merge(other.latency_hist);
+  batch_wait.merge(other.batch_wait);
+  batch_wait_hist.merge(other.batch_wait_hist);
+  seq_wait.merge(other.seq_wait);
+  seq_wait_hist.merge(other.seq_wait_hist);
+  consensus.merge(other.consensus);
+  consensus_hist.merge(other.consensus_hist);
 }
 
 CellAccumulator::CellAccumulator(std::size_t reservoir_capacity,

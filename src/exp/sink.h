@@ -45,6 +45,14 @@ struct ServiceRunStats {
   std::uint64_t ops_per_sec = 0;  ///< exact integer ops * 1e9 / end_time
   ExactMoments latency;           ///< per-op client latency, sim ns
   obs::LogHistogram latency_hist;
+  /// Latency attribution components (batching wait / slot queueing /
+  /// consensus+delivery); per-op samples that sum to `latency` exactly.
+  ExactMoments batch_wait;
+  obs::LogHistogram batch_wait_hist;
+  ExactMoments seq_wait;
+  obs::LogHistogram seq_wait_hist;
+  ExactMoments consensus;
+  obs::LogHistogram consensus_hist;
 };
 
 /// Compact per-run metrics extracted from a RunResult (a full RunResult per
@@ -130,6 +138,13 @@ struct ServiceAgg {
   MetricStats slots;    ///< slots decided per run
   ExactMoments latency;            ///< pooled per-op latency moments
   obs::LogHistogram latency_hist;  ///< pooled per-op latency histogram
+  /// Pooled latency attribution components (see ServiceRunStats).
+  ExactMoments batch_wait;
+  obs::LogHistogram batch_wait_hist;
+  ExactMoments seq_wait;
+  obs::LogHistogram seq_wait_hist;
+  ExactMoments consensus;
+  obs::LogHistogram consensus_hist;
 
   void add(const RunRecord& r);
   void merge(const ServiceAgg& other);

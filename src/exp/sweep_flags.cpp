@@ -58,6 +58,7 @@ const std::vector<SweepFlag>& sweep_flag_registry() {
       {"trace-cell", "cell index to trace"},
       {"trace-run", "run index within the cell to trace"},
       {"trace-format", "trace export format: jsonl | binary"},
+      {"trace-cap", "trace ring capacity in records (default 65536)"},
       // Replicated service workload.
       {"service", "run the replicated-state-machine workload over the"
                   " sequenced consensus core"},

@@ -63,30 +63,39 @@ void SimNetwork::schedule_delivery(ProcId from, ProcId to, const Message& m) {
   for (int c = 0; c < copies; ++c) {
     const SimTime d = delays_.delay(from, to, m, sim_.now(), sim_.rng());
     ++stats_.unicasts_sent;
+    // The scheduled event's seq is the message identity: the Send record
+    // here and the Deliver/Drop record when it fires share mid = seq + 1,
+    // giving the offline DAG its send->deliver edges. seq assignment is
+    // unconditional in the queue, so reading it never perturbs the run.
+    const std::uint64_t seq = sim_.schedule_deliver(hold + d, from, to, m);
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), TraceKind::Send, from,
-                     m.to_string() + " -> p" + std::to_string(to));
+                     m.to_string() + " -> p" + std::to_string(to), seq + 1);
     }
-    sim_.schedule_deliver(hold + d, from, to, m);
   }
 }
 
-void SimNetwork::deliver_event(ProcId from, ProcId to, const Message& m) {
+void SimNetwork::deliver_event(ProcId from, ProcId to, const Message& m,
+                               std::uint64_t seq) {
   if (crashes_.is_crashed(to)) {
     ++stats_.dropped_receiver_crashed;
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), TraceKind::Drop, to,
-                     "receiver crashed; " + m.to_string());
+                     "receiver crashed; " + m.to_string(), seq + 1);
     }
     return;
   }
   ++stats_.delivered;
   if (trace_ != nullptr) {
     trace_->record(sim_.now(), TraceKind::Deliver, to,
-                   m.to_string() + " from p" + std::to_string(from));
+                   m.to_string() + " from p" + std::to_string(from), seq + 1);
+    // Causal context window: everything the handler records — the Sends it
+    // emits, phase starts, decides — is a consequence of this delivery.
+    trace_->set_context(seq + 1);
   }
   HYCO_CHECK_MSG(static_cast<bool>(deliver_), "network deliver fn not set");
   deliver_(to, from, m);
+  if (trace_ != nullptr) trace_->clear_context();
 }
 
 std::size_t SimNetwork::deliver_batch(const TickItem* items,

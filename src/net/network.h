@@ -93,8 +93,12 @@ class SimNetwork final : public INetwork, private DeliverSink {
   void schedule_delivery(ProcId from, ProcId to, const Message& m);
 
   /// DeliverSink: a Deliver event fired — apply receiver-crash semantics and
-  /// hand the message to the wired-in deliver function.
-  void deliver_event(ProcId from, ProcId to, const Message& m) override;
+  /// hand the message to the wired-in deliver function. When tracing, the
+  /// message id (seq + 1) is recorded and set as the trace's causal context
+  /// for the duration of the handler, so records the handler makes (Sends,
+  /// phase starts, decides) chain back to this delivery.
+  void deliver_event(ProcId from, ProcId to, const Message& m,
+                     std::uint64_t seq) override;
 
   /// DeliverSink: a same-tick run of deliveries in one call. Semantically
   /// identical to deliver_event per item — the crash check stays per item

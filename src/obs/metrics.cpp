@@ -17,6 +17,8 @@ const char* obs_id_name(ObsId id) {
     case ObsId::kPhase1Ns: return "phase1_ns";
     case ObsId::kPhase2Ns: return "phase2_ns";
     case ObsId::kDecideSpreadNs: return "decide_spread_ns";
+    case ObsId::kRounds: return "decision_rounds";
+    case ObsId::kQuorumWaitNs: return "quorum_wait_ns";
   }
   return "?";
 }

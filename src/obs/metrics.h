@@ -36,10 +36,15 @@ enum class ObsId : std::uint8_t {
   kPhase1Ns,
   kPhase2Ns,
   kDecideSpreadNs,
+  // Appended per the serialization contract (old checkpoints still load —
+  // the "o" reader is name-keyed and skips unknown ids):
+  kRounds,        ///< max decision round of the run (always filled)
+  kQuorumWaitNs,  ///< sim-time from phase begin to quorum satisfaction,
+                  ///< summed over processes and rounds (collect_obs only)
 };
 
-inline constexpr std::size_t kObsIdCount = 9;
-inline constexpr std::size_t kObsLatencyCount = 3;  ///< trailing latency ids
+inline constexpr std::size_t kObsIdCount = 11;
+inline constexpr std::size_t kObsLatencyCount = 5;  ///< trailing latency ids
 
 /// Stable string id ("delivered", "phase1_ns", ...) — the registry key used
 /// in checkpoint lines, report columns, and JSON.

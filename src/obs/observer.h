@@ -21,6 +21,40 @@ class IRunObserver {
 
   /// Process `p` decides in round `r`.
   virtual void on_decide(ProcId p, Round r) = 0;
+
+  /// Process `p`'s message exchange for (round `r`, phase `ph`) just
+  /// crossed its quorum threshold (credited clusters cover a majority).
+  /// Default no-op so existing observers keep compiling unchanged.
+  virtual void on_quorum_satisfied(ProcId p, Round r, Phase ph) {
+    (void)p;
+    (void)r;
+    (void)ph;
+  }
+};
+
+/// Fans observer events out to up to two downstream observers, so phase
+/// timing and trace recording can both be installed on one process (each
+/// process holds a single observer pointer).
+class ObserverFanout final : public IRunObserver {
+ public:
+  ObserverFanout(IRunObserver* a, IRunObserver* b) : a_(a), b_(b) {}
+
+  void on_phase_begin(ProcId p, Round r, Phase ph) override {
+    if (a_ != nullptr) a_->on_phase_begin(p, r, ph);
+    if (b_ != nullptr) b_->on_phase_begin(p, r, ph);
+  }
+  void on_decide(ProcId p, Round r) override {
+    if (a_ != nullptr) a_->on_decide(p, r);
+    if (b_ != nullptr) b_->on_decide(p, r);
+  }
+  void on_quorum_satisfied(ProcId p, Round r, Phase ph) override {
+    if (a_ != nullptr) a_->on_quorum_satisfied(p, r, ph);
+    if (b_ != nullptr) b_->on_quorum_satisfied(p, r, ph);
+  }
+
+ private:
+  IRunObserver* a_;
+  IRunObserver* b_;
 };
 
 }  // namespace hyco::obs

@@ -31,6 +31,15 @@ void PhaseTimings::on_phase_begin(ProcId p, Round /*r*/, Phase ph) {
   o.active = true;
 }
 
+void PhaseTimings::on_quorum_satisfied(ProcId p, Round /*r*/, Phase /*ph*/) {
+  // Credit the wait from the open phase's begin to now. The phase stays
+  // open — quorum satisfaction is a milestone inside the span, not its end.
+  const Open& o = open_[static_cast<std::size_t>(p)];
+  if (!o.active) return;
+  const SimTime t = now_();
+  if (t > o.since) quorum_wait_ns_ += static_cast<std::uint64_t>(t - o.since);
+}
+
 void PhaseTimings::on_decide(ProcId p, Round /*r*/) {
   close_open(p);
   const SimTime t = now_();
@@ -45,6 +54,7 @@ void PhaseTimings::fill(ObsSample& s) const {
   s[ObsId::kDecideSpreadNs] =
       decided_ > 0 ? static_cast<std::uint64_t>(last_decide_ - first_decide_)
                    : 0;
+  s[ObsId::kQuorumWaitNs] = quorum_wait_ns_;
 }
 
 }  // namespace hyco::obs

@@ -22,16 +22,20 @@ class PhaseTimings final : public IRunObserver {
 
   void on_phase_begin(ProcId p, Round r, Phase ph) override;
   void on_decide(ProcId p, Round r) override;
+  void on_quorum_satisfied(ProcId p, Round r, Phase ph) override;
 
   /// Writes the latency metrics into `s`: total closed phase-1/phase-2
-  /// span ns (summed over processes and rounds) and the spread between the
-  /// first and last decision. A phase still open at the end of the run
-  /// (crashed or parked process) is discarded — only completed phases carry
-  /// a defined duration.
+  /// span ns (summed over processes and rounds), the spread between the
+  /// first and last decision, and the total phase-begin-to-quorum wait. A
+  /// phase still open at the end of the run (crashed or parked process) is
+  /// discarded — only completed phases carry a defined duration.
   void fill(ObsSample& s) const;
 
   [[nodiscard]] std::uint64_t phase1_ns() const { return phase_ns_[0]; }
   [[nodiscard]] std::uint64_t phase2_ns() const { return phase_ns_[1]; }
+  [[nodiscard]] std::uint64_t quorum_wait_ns() const {
+    return quorum_wait_ns_;
+  }
   [[nodiscard]] std::uint64_t decided_count() const { return decided_; }
 
  private:
@@ -46,6 +50,7 @@ class PhaseTimings final : public IRunObserver {
   std::function<SimTime()> now_;
   std::vector<Open> open_;
   std::uint64_t phase_ns_[2] = {0, 0};  ///< [Phase::One, Phase::Two]
+  std::uint64_t quorum_wait_ns_ = 0;    ///< phase begin -> quorum, summed
   SimTime first_decide_ = kSimTimeNever;
   SimTime last_decide_ = kSimTimeNever;
   std::uint64_t decided_ = 0;

@@ -1,5 +1,6 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -7,8 +8,8 @@ namespace hyco::obs {
 
 namespace {
 
-constexpr const char* kSchema = "hyco-trace/1";
-constexpr char kBinaryMagic[8] = {'H', 'Y', 'T', 'R', 'C', 'B', '1', '\n'};
+constexpr const char* kSchema = "hyco-trace/2";
+constexpr char kBinaryMagic[8] = {'H', 'Y', 'T', 'R', 'C', 'B', '2', '\n'};
 
 // Local JSON string escape/unescape: the exporter must not depend on the
 // report layer, and the reader only needs to invert this exact writer.
@@ -143,7 +144,7 @@ bool get_string(std::istream& in, std::string& s) {
 }  // namespace
 
 bool trace_kind_from_name(const std::string& name, TraceKind& out) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::Note); ++k) {
+  for (int k = 0; k <= static_cast<int>(kTraceKindLast); ++k) {
     const auto kind = static_cast<TraceKind>(k);
     if (name == to_cstring(kind)) {
       out = kind;
@@ -155,13 +156,19 @@ bool trace_kind_from_name(const std::string& name, TraceKind& out) {
 
 void write_trace_jsonl(std::ostream& out, const TraceMeta& meta,
                        const Trace& trace) {
+  // Ring accounting is stamped from the trace itself, so the header is
+  // honest regardless of what the caller left in `meta`.
+  const std::uint64_t recorded = trace.recorded();
+  const bool truncated = recorded > trace.size();
   out << "{\"schema\":\"" << kSchema << "\",\"cell\":" << meta.cell
       << ",\"run\":" << meta.run << ",\"seed\":" << meta.seed
       << ",\"label\":\"" << escape(meta.label)
-      << "\",\"records\":" << trace.size() << "}\n";
+      << "\",\"records\":" << trace.size() << ",\"recorded\":" << recorded
+      << ",\"truncated\":" << (truncated ? "true" : "false") << "}\n";
   trace.for_each([&](const TraceRecord& r) {
     out << "{\"at\":" << r.at << ",\"kind\":\"" << to_cstring(r.kind)
-        << "\",\"proc\":" << r.proc << ",\"detail\":\"" << escape(r.detail)
+        << "\",\"proc\":" << r.proc << ",\"mid\":" << r.mid
+        << ",\"parent\":" << r.parent << ",\"detail\":\"" << escape(r.detail)
         << "\"}\n";
   });
 }
@@ -180,10 +187,21 @@ bool read_trace_jsonl(std::istream& in, TraceMeta& meta,
   if (!(find_raw_value(line, "run", v) && parse_u64(v, meta.run))) return false;
   if (!(find_raw_value(line, "seed", v) && parse_u64(v, meta.seed))) return false;
   if (!(find_raw_value(line, "records", v) && parse_u64(v, count))) return false;
+  if (!(find_raw_value(line, "recorded", v) && parse_u64(v, meta.recorded))) {
+    return false;
+  }
+  if (!find_raw_value(line, "truncated", v) ||
+      (v != "true" && v != "false")) {
+    return false;
+  }
+  meta.truncated = v == "true";
   if (!find_raw_value(line, "label", v) || !unescape(v, meta.label)) {
     return false;
   }
-  records.reserve(static_cast<std::size_t>(count));
+  // Cap the pre-reservation: `count` is attacker-controlled input in the
+  // fuzzing sense, and the vector grows on demand anyway.
+  records.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      count, kMaxStringBytes)));
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     TraceRecord r;
@@ -196,6 +214,10 @@ bool read_trace_jsonl(std::istream& in, TraceMeta& meta,
     std::int64_t proc = 0;
     if (!(find_raw_value(line, "proc", v) && parse_i64(v, proc))) return false;
     r.proc = static_cast<ProcId>(proc);
+    if (!(find_raw_value(line, "mid", v) && parse_u64(v, r.mid))) return false;
+    if (!(find_raw_value(line, "parent", v) && parse_u64(v, r.parent))) {
+      return false;
+    }
     if (!find_raw_value(line, "detail", v) || !unescape(v, r.detail)) {
       return false;
     }
@@ -213,11 +235,16 @@ void write_trace_binary(std::ostream& out, const TraceMeta& meta,
   put_raw(out, static_cast<std::uint32_t>(meta.label.size()));
   out.write(meta.label.data(),
             static_cast<std::streamsize>(meta.label.size()));
+  const std::uint64_t recorded = trace.recorded();
+  put_raw(out, recorded);
+  put_raw(out, static_cast<std::uint8_t>(recorded > trace.size() ? 1 : 0));
   put_raw(out, static_cast<std::uint64_t>(trace.size()));
   trace.for_each([&](const TraceRecord& r) {
     put_raw(out, static_cast<std::int64_t>(r.at));
     put_raw(out, static_cast<std::uint8_t>(r.kind));
     put_raw(out, static_cast<std::int32_t>(r.proc));
+    put_raw(out, r.mid);
+    put_raw(out, r.parent);
     put_raw(out, static_cast<std::uint32_t>(r.detail.size()));
     out.write(r.detail.data(),
               static_cast<std::streamsize>(r.detail.size()));
@@ -237,16 +264,24 @@ bool read_trace_binary(std::istream& in, TraceMeta& meta,
       !get_raw(in, meta.seed) || !get_string(in, meta.label)) {
     return false;
   }
+  std::uint8_t truncated = 0;
+  if (!get_raw(in, meta.recorded) || !get_raw(in, truncated) ||
+      truncated > 1) {
+    return false;
+  }
+  meta.truncated = truncated != 0;
   std::uint64_t count = 0;
   if (!get_raw(in, count)) return false;
-  records.reserve(static_cast<std::size_t>(count));
+  records.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      count, kMaxStringBytes)));
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceRecord r;
     std::int64_t at = 0;
     std::uint8_t kind = 0;
     std::int32_t proc = 0;
     if (!get_raw(in, at) || !get_raw(in, kind) || !get_raw(in, proc) ||
-        kind > static_cast<std::uint8_t>(TraceKind::Note) ||
+        kind > static_cast<std::uint8_t>(kTraceKindLast) ||
+        !get_raw(in, r.mid) || !get_raw(in, r.parent) ||
         !get_string(in, r.detail)) {
       return false;
     }

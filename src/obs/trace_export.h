@@ -2,15 +2,19 @@
 // schema'd, machine-parseable artifact so a failing seed's full event
 // timeline feeds replay tooling instead of grep.
 //
-// Two formats, same logical schema ("hyco-trace/1"):
-//  * JSONL — a header line {"schema":"hyco-trace/1","cell":..,"run":..,
-//    "seed":..,"label":".."} followed by one record object per line
-//    {"at":..,"kind":"send","proc":..,"detail":".."};
+// Two formats, same logical schema ("hyco-trace/2"):
+//  * JSONL — a header line {"schema":"hyco-trace/2","cell":..,"run":..,
+//    "seed":..,"label":"..","recorded":..,"truncated":..} followed by one
+//    record object per line {"at":..,"kind":"send","proc":..,"mid":..,
+//    "parent":..,"detail":".."};
 //  * compact binary — a magic tag, the same header fields, then
 //    length-prefixed records (host-endian; a local replay format, not a
 //    portable archive).
-// Both round-trip exactly through the readers below, which only accept what
-// the writers emit.
+// v2 adds the causal ids (mid/parent, see sim/trace.h) and honest ring
+// accounting: `recorded` is the total number of records the run produced and
+// `truncated` flags that the ring wrapped, so the file holds only the
+// trailing window. Both formats round-trip exactly through the readers
+// below, which only accept what the writers emit.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,11 @@ struct TraceMeta {
   std::uint64_t run = 0;
   std::uint64_t seed = 0;
   std::string label;
+  /// Total records the run produced (Trace::recorded()); the writers stamp
+  /// it so a wrapped ring is detectable from the file alone.
+  std::uint64_t recorded = 0;
+  /// True when the ring dropped its oldest records (recorded > held).
+  bool truncated = false;
 };
 
 void write_trace_jsonl(std::ostream& out, const TraceMeta& meta,

@@ -1,0 +1,46 @@
+// IRunObserver that mirrors consensus phase structure into the trace ring:
+// phase begins, quorum satisfactions, and decides become PhaseStart/Quorum/
+// Decide records with structured "r=<round> ph=<phase>" details. Records
+// inherit the trace's causal context (the delivery being dispatched), so a
+// Decide chains back to the message whose arrival triggered it. Strictly
+// passive — reads the clock, writes the trace, touches nothing else.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/types.h"
+#include "obs/observer.h"
+#include "sim/trace.h"
+
+namespace hyco::obs {
+
+class TraceObserver final : public IRunObserver {
+ public:
+  TraceObserver(Trace& trace, std::function<SimTime()> now)
+      : trace_(trace), now_(std::move(now)) {}
+
+  void on_phase_begin(ProcId p, Round r, Phase ph) override {
+    trace_.record(now_(), TraceKind::PhaseStart, p, detail(r, ph));
+  }
+
+  void on_decide(ProcId p, Round r) override {
+    trace_.record(now_(), TraceKind::Decide, p, "r=" + std::to_string(r));
+  }
+
+  void on_quorum_satisfied(ProcId p, Round r, Phase ph) override {
+    trace_.record(now_(), TraceKind::Quorum, p, detail(r, ph));
+  }
+
+ private:
+  static std::string detail(Round r, Phase ph) {
+    return "r=" + std::to_string(r) +
+           " ph=" + (ph == Phase::One ? "1" : "2");
+  }
+
+  Trace& trace_;
+  std::function<SimTime()> now_;
+};
+
+}  // namespace hyco::obs

@@ -12,6 +12,7 @@ ServiceReplica::ServiceReplica(ProcId self, const ClusterLayout& layout,
                                Round max_rounds_per_bit, int width,
                                std::size_t batch_max, SimTime batch_delay)
     : self_(self),
+      sim_(sim),
       tracker_(tracker),
       registry_(registry),
       tob_(self, layout, net, pool, coin, max_rounds_per_bit, width),
@@ -21,14 +22,24 @@ ServiceReplica::ServiceReplica(ProcId self, const ClusterLayout& layout,
                  // a dead replica must not originate proposals.
                  if (tracker_.is_crashed(self_)) return;
                  const std::uint64_t id =
-                     registry_.mint(self_, std::move(ops));
+                     registry_.mint(self_, std::move(ops), sim_.now());
                  tob_.submit(id);
+                 if (on_flush_) on_flush_(registry_.get(id));
                }) {
   tob_.set_deliver_hook([this](int slot, std::uint64_t payload) {
     slots_.push_back(SlotRecord{slot, payload});
     if (payload != TobProcess::kNoop && on_deliver_) {
-      on_deliver_(registry_.get(payload));
+      on_deliver_(registry_.get(payload), slot);
     }
+  });
+  // Slot-start times feed the latency attribution (batching wait vs slot
+  // queueing vs consensus); recorded unconditionally, they are cheap and
+  // strictly observational.
+  tob_.set_slot_start_hook([this](int slot) {
+    const auto i = static_cast<std::size_t>(slot);
+    if (slot_started_.size() <= i) slot_started_.resize(i + 1, -1);
+    slot_started_[i] = sim_.now();
+    if (on_slot_start_) on_slot_start_(slot);
   });
 }
 

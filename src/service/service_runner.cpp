@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <string>
 
 #include "coin/coin.h"
 #include "core/multivalued.h"
 #include "scenario/engine.h"
 #include "service/replica.h"
 #include "service/traffic.h"
+#include "sim/trace.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -35,7 +37,11 @@ ServiceRunResult run_service(const ServiceRunConfig& cfg) {
                                                 std::move(delays));
     channel = &scenario->channel();
   }
-  SimNetwork net(sim, *channel, tracker, n, &plan, nullptr);
+  Trace* trace =
+      (cfg.enable_trace && cfg.trace_sink != nullptr) ? cfg.trace_sink
+                                                      : nullptr;
+  if (trace != nullptr) trace->enable(true);
+  SimNetwork net(sim, *channel, tracker, n, &plan, trace);
   if (scenario != nullptr) net.set_scenario(scenario.get());
 
   MemoryPool pool(n, ConsensusImpl::Cas);
@@ -77,24 +83,67 @@ ServiceRunResult run_service(const ServiceRunConfig& cfg) {
   tcfg.clients = cfg.clients;
   tcfg.ops_per_client = cfg.ops_per_client;
   tcfg.load = cfg.load;
-  TrafficEngine traffic(sim, tracker, tcfg, cfg.seed, n,
-                        [&replicas](ProcId origin, std::uint64_t op_id) {
-                          replicas[static_cast<std::size_t>(origin)]
-                              ->submit_op(op_id);
-                        });
+  TrafficEngine traffic(
+      sim, tracker, tcfg, cfg.seed, n,
+      [&replicas, &sim, trace](ProcId origin, std::uint64_t op_id) {
+        if (trace != nullptr) {
+          trace->record(sim.now(), TraceKind::SvcOp, origin,
+                        "op=" + std::to_string(op_id));
+        }
+        replicas[static_cast<std::size_t>(origin)]->submit_op(op_id);
+      });
 
   // An op completes for its client when the origin replica delivers the
   // batch containing it (every replica delivers every batch; the client is
-  // attached to one).
+  // attached to one). Delivery also closes the attribution chain: the op's
+  // latency splits exactly into batching wait (submit -> flush), slot
+  // queueing (flush -> the deciding slot's consensus start at the
+  // completing replica), and consensus/delivery (slot start -> now).
+  ExactMoments batch_wait;
+  obs::LogHistogram batch_wait_hist;
+  ExactMoments seq_wait;
+  obs::LogHistogram seq_wait_hist;
+  ExactMoments consensus;
+  obs::LogHistogram consensus_hist;
   for (ProcId p = 0; p < n; ++p) {
-    replicas[static_cast<std::size_t>(p)]->set_on_deliver(
-        [&traffic, &sim, p](const Batch& batch) {
-          for (const std::uint64_t op_id : batch.ops) {
-            // Ops batched by p originated at p; skip foreign ops fast.
-            (void)p;
-            traffic.on_op_completed(op_id, sim.now());
-          }
-        });
+    ServiceReplica& rep = *replicas[static_cast<std::size_t>(p)];
+    rep.set_on_deliver([&, p](const Batch& batch, int slot) {
+      if (trace != nullptr) {
+        trace->record(sim.now(), TraceKind::SvcDeliver, p,
+                      "slot=" + std::to_string(slot) +
+                          " batch=" + std::to_string(batch.id) +
+                          " ops=" + std::to_string(batch.ops.size()));
+      }
+      for (const std::uint64_t op_id : batch.ops) {
+        if (!traffic.on_op_completed(op_id, sim.now())) continue;
+        const ClientOp& op = traffic.ops()[op_id - 1];
+        // slot_started_at is -1 when this replica never ran the slot
+        // (e.g. it learned the decision from peers); the max() clamps the
+        // span to start no earlier than the batch existed.
+        const SimTime started =
+            replicas[static_cast<std::size_t>(p)]->slot_started_at(slot);
+        const SimTime s = std::max(started, batch.flushed_at);
+        batch_wait.add(
+            static_cast<std::uint64_t>(batch.flushed_at - op.submit_time));
+        batch_wait_hist.add(
+            static_cast<std::uint64_t>(batch.flushed_at - op.submit_time));
+        seq_wait.add(static_cast<std::uint64_t>(s - batch.flushed_at));
+        seq_wait_hist.add(static_cast<std::uint64_t>(s - batch.flushed_at));
+        consensus.add(static_cast<std::uint64_t>(sim.now() - s));
+        consensus_hist.add(static_cast<std::uint64_t>(sim.now() - s));
+      }
+    });
+    if (trace != nullptr) {
+      rep.set_on_flush([trace, &sim, p](const Batch& batch) {
+        trace->record(sim.now(), TraceKind::SvcFlush, p,
+                      "batch=" + std::to_string(batch.id) +
+                          " ops=" + std::to_string(batch.ops.size()));
+      });
+      rep.set_on_slot_start([trace, &sim, p](int slot) {
+        trace->record(sim.now(), TraceKind::SvcSlot, p,
+                      "slot=" + std::to_string(slot));
+      });
+    }
   }
 
   // Scripted AtTime crashes; `ever_crashed` feeds the termination verdict.
@@ -154,6 +203,12 @@ ServiceRunResult run_service(const ServiceRunConfig& cfg) {
   result.batches = registry.count();
   result.latency = traffic.latency();
   result.latency_hist = traffic.latency_hist();
+  result.batch_wait = batch_wait;
+  result.batch_wait_hist = batch_wait_hist;
+  result.seq_wait = seq_wait;
+  result.seq_wait_hist = seq_wait_hist;
+  result.consensus = consensus;
+  result.consensus_hist = consensus_hist;
 
   result.slot_logs.reserve(static_cast<std::size_t>(n));
   for (ProcId p = 0; p < n; ++p) {

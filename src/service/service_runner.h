@@ -26,6 +26,8 @@
 
 namespace hyco {
 
+class Trace;
+
 /// Plain-data description of one replicated-service run.
 struct ServiceRunConfig {
   explicit ServiceRunConfig(ClusterLayout l) : layout(std::move(l)) {}
@@ -53,6 +55,13 @@ struct ServiceRunConfig {
   std::size_t batch_max = 64;
   SimTime batch_delay = 50'000;  ///< ns; 0 = flush every op (batching off)
   double load = 0.0;  ///< offered load, ops/sec; 0 = no think time
+
+  /// Event tracing, as in RunConfig: with enable_trace and a caller-owned
+  /// sink, the network records Send/Deliver/Drop with causal ids and the
+  /// service layer records SvcOp/SvcFlush/SvcSlot/SvcDeliver milestones.
+  /// Strictly out of band — traced runs are byte-identical to untraced.
+  bool enable_trace = false;
+  Trace* trace_sink = nullptr;
 };
 
 /// Everything observable about a finished service run.
@@ -68,6 +77,16 @@ struct ServiceRunResult {
   std::vector<std::string> violations;
   ExactMoments latency;            ///< per-op client latency, sim ns
   obs::LogHistogram latency_hist;  ///< same samples, log-bucketed
+  /// Latency attribution, one sample set per completed op, decomposing the
+  /// client-visible latency exactly: batching wait (submit -> batch flush)
+  /// + slot queueing (flush -> deciding slot's consensus start at the
+  /// completing replica) + consensus/delivery (slot start -> delivery).
+  ExactMoments batch_wait;
+  obs::LogHistogram batch_wait_hist;
+  ExactMoments seq_wait;
+  obs::LogHistogram seq_wait_hist;
+  ExactMoments consensus;
+  obs::LogHistogram consensus_hist;
   NetStats net;
   ShmOpCounts shm;
   std::uint64_t consensus_objects = 0;

@@ -62,9 +62,9 @@ void TrafficEngine::schedule_submit(std::uint64_t client, SimTime at) {
   });
 }
 
-void TrafficEngine::on_op_completed(std::uint64_t op_id, SimTime now) {
+bool TrafficEngine::on_op_completed(std::uint64_t op_id, SimTime now) {
   ClientOp& op = ops_.at(op_id - 1);
-  if (op.completed) return;
+  if (op.completed) return false;
   op.completed = true;
   op.complete_time = now;
   ++completed_;
@@ -75,6 +75,7 @@ void TrafficEngine::on_op_completed(std::uint64_t op_id, SimTime now) {
   HYCO_CHECK(left > 0);
   --left;
   if (left > 0) schedule_submit(op.client, now + think_time());
+  return true;
 }
 
 }  // namespace hyco

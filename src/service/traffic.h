@@ -52,8 +52,9 @@ class TrafficEngine {
   void start();
 
   /// Marks an op completed at time `now` (idempotent), records its latency,
-  /// and schedules the client's next op if it has any left.
-  void on_op_completed(std::uint64_t op_id, SimTime now);
+  /// and schedules the client's next op if it has any left. Returns true
+  /// when this call is the one that completed the op (first delivery).
+  bool on_op_completed(std::uint64_t op_id, SimTime now);
 
   [[nodiscard]] const std::vector<ClientOp>& ops() const { return ops_; }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }

@@ -33,6 +33,7 @@ struct ClientOp {
 struct Batch {
   std::uint64_t id = 0;  ///< 1-based, globally sequential; 0 is the TOB NOOP
   ProcId origin = 0;     ///< replica whose batcher flushed it
+  SimTime flushed_at = 0;  ///< when the origin's batcher flushed it
   std::vector<std::uint64_t> ops;  ///< ClientOp ids, submission order
 };
 
@@ -40,10 +41,12 @@ struct Batch {
 /// in event order, which the single-threaded simulator makes deterministic.
 class BatchRegistry {
  public:
-  std::uint64_t mint(ProcId origin, std::vector<std::uint64_t> ops) {
+  std::uint64_t mint(ProcId origin, std::vector<std::uint64_t> ops,
+                     SimTime flushed_at = 0) {
     Batch b;
     b.id = batches_.size() + 1;
     b.origin = origin;
+    b.flushed_at = flushed_at;
     b.ops = std::move(ops);
     batches_.push_back(std::move(b));
     return batches_.back().id;
@@ -63,6 +66,8 @@ class BatchRegistry {
 struct SlotRecord {
   int slot = 0;
   std::uint64_t batch = 0;  ///< 0 = NOOP
+
+  bool operator==(const SlotRecord&) const = default;
 };
 
 }  // namespace hyco

@@ -65,9 +65,11 @@ TickSpan EventQueue::pop_tick(std::uint64_t cap) {
     if (ref & kDeliverBit) {
       const std::uint32_t idx = ref & ~kDeliverBit;
       const DeliverPayload& p = payload(idx);
-      out[i] = TickItem{&p.msg, p.from, p.to, idx, Event::Kind::Deliver};
+      out[i] =
+          TickItem{&p.msg, e[i].seq, p.from, p.to, idx, Event::Kind::Deliver};
     } else {
-      out[i] = TickItem{nullptr, -1, -1, ref, Event::Kind::Callback};
+      out[i] = TickItem{nullptr, e[i].seq, -1, -1, ref,
+                        Event::Kind::Callback};
     }
   }
   tick_open_ = true;

@@ -85,6 +85,7 @@ struct TickItem {
   /// Deliver: payload in the slab, stable for the whole tick. Callback:
   /// nullptr.
   const Message* msg = nullptr;
+  std::uint64_t seq = 0;   ///< insertion sequence (the event's identity)
   ProcId from = -1;        ///< Deliver: sender
   ProcId to = -1;          ///< Deliver: receiver
   std::uint32_t slot = 0;  ///< Callback: closure slot; Deliver: slab index
@@ -125,8 +126,8 @@ class EventQueue {
   /// `events` / `callbacks` concurrent events. Never shrinks.
   void reserve(std::size_t events, std::size_t callbacks = 0);
 
-  /// Schedules a generic callback.
-  void push(SimTime at, std::function<void()> fn) {
+  /// Schedules a generic callback. Returns the event's insertion sequence.
+  std::uint64_t push(SimTime at, std::function<void()> fn) {
     HYCO_CHECK_MSG(at >= 0, "cannot schedule event at negative time " << at);
     std::uint32_t slot;
     if (!free_slots_.empty()) {
@@ -137,12 +138,15 @@ class EventQueue {
       slot = static_cast<std::uint32_t>(pool_.size());
       pool_.push_back(std::move(fn));
     }
-    route_new(at, slot);
+    return route_new(at, slot);
   }
 
   /// Schedules a message delivery. Allocation-free in steady state: the
   /// message is copied into a recycled slab slot, never onto the heap.
-  void push_deliver(SimTime at, ProcId from, ProcId to, const Message& m) {
+  /// Returns the event's insertion sequence — a stable identity for the
+  /// scheduled delivery that the trace layer uses as its message id.
+  std::uint64_t push_deliver(SimTime at, ProcId from, ProcId to,
+                             const Message& m) {
     HYCO_CHECK_MSG(at >= 0, "cannot schedule event at negative time " << at);
     std::uint32_t idx;
     if (!free_deliveries_.empty()) {
@@ -155,7 +159,7 @@ class EventQueue {
       }
     }
     payload(idx) = DeliverPayload{from, to, m};
-    route_new(at, idx | kDeliverBit);
+    return route_new(at, idx | kDeliverBit);
   }
 
   [[nodiscard]] bool empty() const { return cal_count_ == 0 && heap_.empty(); }
@@ -326,8 +330,8 @@ class EventQueue {
 
   /// Files a freshly pushed event into the calendar window, the overflow
   /// heap, or (cold, raw-queue tests only) a full rebuild when it lands
-  /// before the current window.
-  void route_new(SimTime at, std::uint32_t ref) {
+  /// before the current window. Returns the assigned insertion sequence.
+  std::uint64_t route_new(SimTime at, std::uint32_t ref) {
     const std::uint64_t seq = next_seq_++;
     const std::uint64_t d = day(at);
     if (d - base_day_ < nb_) {  // unsigned: d < base_day_ wraps, fails
@@ -344,6 +348,7 @@ class EventQueue {
     }
     const std::size_t sz = cal_count_ + heap_.size();
     if (sz > peak_) peak_ = sz;
+    return seq;
   }
 
   void append_to_bucket(Bucket& b, SimTime at, std::uint64_t seq,

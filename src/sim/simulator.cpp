@@ -19,10 +19,10 @@ void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   queue_.push(at, std::move(fn));
 }
 
-void Simulator::schedule_deliver(SimTime delay, ProcId from, ProcId to,
-                                 const Message& m) {
+std::uint64_t Simulator::schedule_deliver(SimTime delay, ProcId from,
+                                          ProcId to, const Message& m) {
   HYCO_CHECK_MSG(delay >= 0, "negative delay " << delay);
-  queue_.push_deliver(now_ + delay, from, to, m);
+  return queue_.push_deliver(now_ + delay, from, to, m);
 }
 
 void Simulator::set_deliver_sink(DeliverSink* sink) {
@@ -40,7 +40,7 @@ std::size_t DeliverSink::deliver_batch(const TickItem* items,
                                        std::size_t count,
                                        const bool& halted) {
   for (std::size_t i = 0; i < count; ++i) {
-    deliver_event(items[i].from, items[i].to, *items[i].msg);
+    deliver_event(items[i].from, items[i].to, *items[i].msg, items[i].seq);
     if (halted) return i + 1;
   }
   return count;
@@ -54,7 +54,7 @@ bool Simulator::step() {
   if (ev.kind == Event::Kind::Deliver) {
     HYCO_CHECK_MSG(sink_ != nullptr,
                    "Deliver event fired with no deliver sink registered");
-    sink_->deliver_event(ev.from, ev.to, *ev.msg);
+    sink_->deliver_event(ev.from, ev.to, *ev.msg, ev.seq);
   } else {
     // Move the closure out before running it: the callback may schedule new
     // callbacks, which can recycle or grow the pool slot it came from.

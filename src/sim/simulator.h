@@ -42,7 +42,11 @@ enum class StopReason {
 /// the default implementation forwards to deliver_event() one at a time.
 class DeliverSink {
  public:
-  virtual void deliver_event(ProcId from, ProcId to, const Message& m) = 0;
+  /// `seq` is the delivery event's insertion sequence — the stable identity
+  /// assigned at schedule time (the trace layer derives message ids from it;
+  /// non-tracing sinks may ignore it).
+  virtual void deliver_event(ProcId from, ProcId to, const Message& m,
+                             std::uint64_t seq) = 0;
 
   /// Delivers a contiguous same-tick run in span order. `halted` aliases
   /// the simulator's halt flag: implementations must stop after the event
@@ -88,8 +92,10 @@ class Simulator {
   /// Schedules a message delivery `delay` nanoseconds from now. The message
   /// is stored inline in the event node — no allocation — and dispatched to
   /// the deliver sink when it fires. Requires a sink by dispatch time.
-  void schedule_deliver(SimTime delay, ProcId from, ProcId to,
-                        const Message& m);
+  /// Returns the event's insertion sequence (assigned unconditionally, so
+  /// observing it is free of side effects on the run).
+  std::uint64_t schedule_deliver(SimTime delay, ProcId from, ProcId to,
+                                 const Message& m);
 
   /// Registers the deliver sink (one per simulator; the network installs
   /// itself). Re-registering the same sink is a no-op; a different live sink

@@ -12,12 +12,17 @@ const char* to_cstring(TraceKind k) {
     case TraceKind::PhaseStart: return "phase";
     case TraceKind::Decide: return "decide";
     case TraceKind::Note: return "note";
+    case TraceKind::Quorum: return "quorum";
+    case TraceKind::SvcOp: return "svc_op";
+    case TraceKind::SvcFlush: return "svc_flush";
+    case TraceKind::SvcSlot: return "svc_slot";
+    case TraceKind::SvcDeliver: return "svc_deliver";
   }
   return "?";
 }
 
 void Trace::record(SimTime at, TraceKind kind, ProcId proc,
-                   std::string_view detail) {
+                   std::string_view detail, std::uint64_t mid) {
   if (!enabled_) return;
   std::size_t idx;
   if (size_ < slots_.size()) {
@@ -31,6 +36,8 @@ void Trace::record(SimTime at, TraceKind kind, ProcId proc,
   slot.at = at;
   slot.kind = kind;
   slot.proc = proc;
+  slot.mid = mid;
+  slot.parent = context_;
   slot.detail.assign(detail.data(), detail.size());
   ++recorded_;
 }
@@ -38,7 +45,10 @@ void Trace::record(SimTime at, TraceKind kind, ProcId proc,
 void Trace::dump(std::ostream& os) const {
   for_each([&](const TraceRecord& r) {
     os << r.at << "ns\t" << to_cstring(r.kind) << "\tp" << r.proc << '\t'
-       << r.detail << '\n';
+       << r.detail;
+    if (r.mid != 0) os << "\t[m" << r.mid << ']';
+    if (r.parent != 0) os << "\t[<m" << r.parent << ']';
+    os << '\n';
   });
 }
 
@@ -46,6 +56,7 @@ void Trace::clear() {
   head_ = 0;
   size_ = 0;
   recorded_ = 0;
+  context_ = 0;
 }
 
 }  // namespace hyco

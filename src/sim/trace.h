@@ -1,6 +1,18 @@
 // Optional execution tracing: a bounded ring of timestamped records that the
 // runner can dump when a run misbehaves (safety violation, unexpected
 // timeout). Tracing costs nothing when disabled.
+//
+// Causal identity: every record carries a message id (`mid`) and a parent
+// event id (`parent`). A mid is derived from the event queue's insertion
+// sequence of the scheduled Deliver event (seq + 1; 0 = no message), so the
+// Send that schedules a delivery and the Deliver/Drop that consumes it share
+// one id — a happens-before edge recoverable offline. The parent id is the
+// mid of the delivery inside whose handler the record was made (the network
+// opens a context window around each dispatch), so records caused by a
+// delivery — the Sends the handler emits, phase starts, decides — chain back
+// to it. Sequence numbers are assigned unconditionally by the event queue,
+// tracing on or off, so recording them is strictly out of band: metrics-on
+// and metrics-off runs stay byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -13,7 +25,8 @@
 
 namespace hyco {
 
-/// Categories of traced happenings.
+/// Categories of traced happenings. The enum order is the binary trace
+/// serialization — append new kinds at the end, never reorder.
 enum class TraceKind : std::uint8_t {
   Send,
   Deliver,
@@ -23,7 +36,15 @@ enum class TraceKind : std::uint8_t {
   PhaseStart,
   Decide,
   Note,
+  Quorum,      ///< a phase exchange crossed its quorum threshold
+  SvcOp,       ///< service: client op submitted to its origin replica
+  SvcFlush,    ///< service: a batch flushed into the consensus pipeline
+  SvcSlot,     ///< service: a consensus slot started
+  SvcDeliver,  ///< service: a decided batch delivered at a replica
 };
+
+/// Highest valid TraceKind — the serialization bound for readers/writers.
+inline constexpr TraceKind kTraceKindLast = TraceKind::SvcDeliver;
 
 const char* to_cstring(TraceKind k);
 
@@ -32,6 +53,8 @@ struct TraceRecord {
   SimTime at = 0;
   TraceKind kind = TraceKind::Note;
   ProcId proc = -1;
+  std::uint64_t mid = 0;     ///< message id (event seq + 1); 0 = none
+  std::uint64_t parent = 0;  ///< mid of the delivery this record ran under
   std::string detail;
 };
 
@@ -52,7 +75,14 @@ class Trace {
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   void record(SimTime at, TraceKind kind, ProcId proc,
-              std::string_view detail);
+              std::string_view detail, std::uint64_t mid = 0);
+
+  /// Causal context window: records made while a context is set inherit it
+  /// as their parent id. The network sets the delivered message's mid around
+  /// each handler dispatch; timer-originated records keep parent 0.
+  void set_context(std::uint64_t mid) { context_ = mid; }
+  void clear_context() { context_ = 0; }
+  [[nodiscard]] std::uint64_t context() const { return context_; }
 
   /// Records currently held (<= capacity).
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -79,6 +109,7 @@ class Trace {
   std::size_t head_ = 0;            ///< index of the oldest record
   std::size_t size_ = 0;
   std::uint64_t recorded_ = 0;
+  std::uint64_t context_ = 0;  ///< mid of the delivery being dispatched
   bool enabled_ = false;
 };
 

@@ -1,0 +1,379 @@
+// Tests for the causal forensics layer (src/obs/causal.{h,cpp}) and the
+// robustness of the trace readers it feeds: detail parsing, happens-before
+// reconstruction, quorum-wait windows, critical paths, decision provenance,
+// reader fuzz (truncated / garbage / hostile inputs must fail cleanly, never
+// crash or over-allocate), and the JSONL-vs-binary identity of everything
+// the graph derives. Also pins the service-run latency attribution:
+// components sum exactly to the client latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "obs/causal.h"
+#include "obs/trace_export.h"
+#include "service/service_runner.h"
+#include "sim/trace.h"
+
+namespace hyco {
+namespace {
+
+// ---- detail parsing ---------------------------------------------------------
+
+TraceRecord rec(TraceKind kind, std::string detail, ProcId proc = 0,
+                SimTime at = 0, std::uint64_t mid = 0,
+                std::uint64_t parent = 0) {
+  TraceRecord r;
+  r.at = at;
+  r.kind = kind;
+  r.proc = proc;
+  r.mid = mid;
+  r.parent = parent;
+  r.detail = std::move(detail);
+  return r;
+}
+
+TEST(RecordInfo, ParsesPhaseMessageSends) {
+  const obs::RecordInfo i = obs::parse_record_detail(
+      rec(TraceKind::Send, "PHASE(r=2,ph1,est=1) -> p5"));
+  EXPECT_TRUE(i.is_phase_msg);
+  EXPECT_FALSE(i.is_decide_msg);
+  EXPECT_EQ(i.round, 2);
+  EXPECT_EQ(i.phase, 1);
+  EXPECT_EQ(i.est, 1);
+  EXPECT_EQ(i.peer, 5);
+}
+
+TEST(RecordInfo, ParsesPhaseDeliveriesAndBotEstimates) {
+  const obs::RecordInfo i = obs::parse_record_detail(
+      rec(TraceKind::Deliver, "PHASE(r=7,ph2,est=bot) from p3"));
+  EXPECT_TRUE(i.is_phase_msg);
+  EXPECT_EQ(i.round, 7);
+  EXPECT_EQ(i.phase, 2);
+  EXPECT_EQ(i.est, -1);
+  EXPECT_EQ(i.peer, 3);
+}
+
+TEST(RecordInfo, ParsesDecideMessagesAndMilestones) {
+  const obs::RecordInfo d = obs::parse_record_detail(
+      rec(TraceKind::Send, "DECIDE(1) -> p3"));
+  EXPECT_TRUE(d.is_decide_msg);
+  EXPECT_EQ(d.est, 1);
+  EXPECT_EQ(d.peer, 3);
+
+  const obs::RecordInfo m = obs::parse_record_detail(
+      rec(TraceKind::PhaseStart, "r=4 ph=2"));
+  EXPECT_EQ(m.round, 4);
+  EXPECT_EQ(m.phase, 2);
+
+  const obs::RecordInfo n =
+      obs::parse_record_detail(rec(TraceKind::Note, "free text"));
+  EXPECT_FALSE(n.is_phase_msg);
+  EXPECT_EQ(n.round, -1);
+  EXPECT_EQ(n.peer, -1);
+}
+
+// ---- hand-built graph edges -------------------------------------------------
+
+TEST(CausalGraph, LinksSendsToConsumersAndParents) {
+  // p0 sends (mid 5) -> p1 delivers it and, under that context, sends
+  // (mid 9) -> p0 delivers that and decides.
+  std::vector<TraceRecord> rs;
+  rs.push_back(rec(TraceKind::Send, "PHASE(r=1,ph1,est=0) -> p1", 0, 10, 5));
+  rs.push_back(
+      rec(TraceKind::Deliver, "PHASE(r=1,ph1,est=0) from p0", 1, 20, 5));
+  rs.push_back(
+      rec(TraceKind::Send, "PHASE(r=1,ph2,est=0) -> p0", 1, 20, 9, 5));
+  rs.push_back(
+      rec(TraceKind::Deliver, "PHASE(r=1,ph2,est=0) from p1", 0, 30, 9));
+  rs.push_back(rec(TraceKind::Decide, "r=1", 0, 30, 0, 9));
+
+  const obs::CausalGraph g = obs::CausalGraph::build({}, rs);
+  EXPECT_EQ(g.send_of(5), 0u);
+  EXPECT_EQ(g.consume_of(5), 1u);
+  EXPECT_EQ(g.send_of(9), 2u);
+  EXPECT_EQ(g.consume_of(9), 3u);
+  EXPECT_EQ(g.send_of(1234), obs::CausalGraph::npos);
+
+  // The Send under p1's delivery context chains to that delivery.
+  const std::vector<std::size_t> c2 = g.causes(2);
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0], 1u);
+  // The decide's slice reaches all the way back to the first send.
+  const std::vector<std::size_t> slice = g.backward_slice(4);
+  EXPECT_EQ(slice, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  // Critical path alternates Decide <- Deliver <- Send <- Deliver <- Send.
+  const std::vector<std::size_t> path = g.critical_path(4);
+  EXPECT_EQ(path, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+
+  const std::vector<std::size_t> dec = g.decides();
+  ASSERT_EQ(dec.size(), 1u);
+  const obs::CausalGraph::Provenance prov = g.provenance(dec[0]);
+  EXPECT_EQ(prov.proc, 0);
+  EXPECT_EQ(prov.support, (std::vector<std::size_t>{1, 3}));
+  ASSERT_EQ(prov.phase1_senders.size(), 1u);
+  EXPECT_EQ(prov.phase1_senders[0], 0);
+  EXPECT_TRUE(prov.est_consistent);
+}
+
+// ---- reader fuzz ------------------------------------------------------------
+
+TEST(TraceReaderFuzz, JsonlRejectsHostileInputsWithoutCrashing) {
+  obs::TraceMeta meta;
+  std::vector<TraceRecord> records;
+  const char* bad[] = {
+      "",
+      "\n",
+      "not json at all",
+      "{\"schema\":\"hyco-trace/1\",\"cell\":0}",   // old schema version
+      "{\"schema\":\"hyco-trace/2\"}",              // missing fields
+      "{\"schema\":\"hyco-trace/2\",\"cell\":0,\"run\":0,\"seed\":0,"
+      "\"label\":\"x\",\"recorded\":1,\"truncated\":maybe}",
+      "{\"schema\":\"hyco-trace/2\",\"cell\":0,\"run\":0,\"seed\":0,"
+      "\"label\":\"x\",\"recorded\":1,\"truncated\":false}\n"
+      "{\"at\":5,\"kind\":\"frobnicate\",\"proc\":0,\"mid\":0,"
+      "\"parent\":0,\"detail\":\"\"}",              // unknown kind
+      "{\"schema\":\"hyco-trace/2\",\"cell\":0,\"run\":0,\"seed\":0,"
+      "\"label\":\"x\",\"recorded\":1,\"truncated\":false}\n"
+      "{\"at\":5,\"kind\":\"send\"",                // cut mid-record
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_FALSE(obs::read_trace_jsonl(in, meta, records))
+        << "accepted: " << text;
+  }
+}
+
+TEST(TraceReaderFuzz, BinaryRejectsHostileInputsWithoutCrashing) {
+  obs::TraceMeta meta;
+  std::vector<TraceRecord> records;
+
+  const auto reject = [&](std::string bytes, const char* why) {
+    std::istringstream in(std::move(bytes));
+    EXPECT_FALSE(obs::read_trace_binary(in, meta, records)) << why;
+  };
+
+  reject("", "empty stream");
+  reject("HYT", "cut magic");
+  reject("HYTRCB1\n", "old magic version");
+  reject("HYTRCB2\n", "magic only, no header");
+  reject(std::string("HYTRCB2\n") + std::string(20, '\xff'),
+         "garbage header");
+
+  // A valid stream, then every truncation of it must fail cleanly.
+  Trace t(8);
+  t.enable(true);
+  t.record(5, TraceKind::Send, 1, "PHASE(r=1,ph1,est=0) -> p2", 3);
+  t.record(9, TraceKind::Deliver, 2, "PHASE(r=1,ph1,est=0) from p1", 3);
+  std::ostringstream full(std::ios::out | std::ios::binary);
+  obs::write_trace_binary(full, {}, t);
+  const std::string good = full.str();
+  {
+    std::istringstream in(good);
+    ASSERT_TRUE(obs::read_trace_binary(in, meta, records));
+    ASSERT_EQ(records.size(), 2u);
+  }
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    reject(good.substr(0, cut), "truncated stream");
+  }
+
+  // Corrupt interior bytes: a hostile kind byte or truncated flag must be
+  // rejected, and a hostile record count must not over-allocate.
+  for (std::size_t i = 8; i < good.size(); ++i) {
+    std::string mutated = good;
+    mutated[i] = '\xee';
+    std::istringstream in(mutated);
+    obs::TraceMeta m2;
+    std::vector<TraceRecord> r2;
+    (void)obs::read_trace_binary(in, m2, r2);  // must not crash
+  }
+}
+
+// ---- real-run forensics: jsonl and binary feed the graph identically --------
+
+RunConfig traced_config(Trace* sink) {
+  RunConfig cfg(ClusterLayout::even(5, 2));
+  cfg.seed = 77;
+  cfg.enable_trace = true;
+  cfg.trace_sink = sink;
+  return cfg;
+}
+
+std::string provenance_digest(const obs::CausalGraph& g) {
+  std::ostringstream os;
+  for (const std::size_t d : g.decides()) {
+    const obs::CausalGraph::Provenance p = g.provenance(d);
+    os << 'p' << p.proc << " r" << p.round << " at" << p.at << " slice"
+       << p.slice.size() << " support" << p.support.size() << " senders";
+    for (const ProcId s : p.phase1_senders) os << ' ' << s;
+    os << " est" << (p.decided_est ? *p.decided_est : -9) << " ok"
+       << p.est_consistent << '\n';
+    for (const std::size_t i : g.critical_path(d)) os << i << ',';
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(CausalGraph, RealRunProvenanceIdenticalAcrossFormats) {
+  Trace trace(1 << 16);
+  const RunResult r = run_consensus(traced_config(&trace));
+  ASSERT_TRUE(r.success());
+  ASSERT_GT(trace.size(), 0u);
+
+  std::stringstream js;
+  obs::write_trace_jsonl(js, {}, trace);
+  std::stringstream bs(std::ios::in | std::ios::out | std::ios::binary);
+  obs::write_trace_binary(bs, {}, trace);
+
+  obs::TraceMeta jm, bm;
+  std::vector<TraceRecord> jr, br;
+  ASSERT_TRUE(obs::read_trace_jsonl(js, jm, jr));
+  ASSERT_TRUE(obs::read_trace_binary(bs, bm, br));
+  ASSERT_EQ(jr.size(), br.size());
+
+  const obs::CausalGraph jg = obs::CausalGraph::build(jm, jr);
+  const obs::CausalGraph bg = obs::CausalGraph::build(bm, br);
+  ASSERT_FALSE(jg.decides().empty());
+  EXPECT_EQ(provenance_digest(jg), provenance_digest(bg));
+}
+
+TEST(CausalGraph, RealRunDecidesHaveConsistentSupportedProvenance) {
+  Trace trace(1 << 16);
+  const RunResult r = run_consensus(traced_config(&trace));
+  ASSERT_TRUE(r.success());
+
+  std::stringstream ss;
+  obs::write_trace_jsonl(ss, {}, trace);
+  obs::TraceMeta meta;
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(obs::read_trace_jsonl(ss, meta, records));
+  const obs::CausalGraph g = obs::CausalGraph::build(meta, records);
+
+  const std::vector<std::size_t> decides = g.decides();
+  ASSERT_EQ(decides.size(), 5u);  // every process decides
+  std::set<int> values;
+  // The earliest decide rests on its own quorum, so its slice must carry
+  // the phase-1 support of the deciding round. (Later decides may be
+  // DECIDE-assisted at an earlier local round, where the slice holds the
+  // assister's history instead.)
+  EXPECT_FALSE(g.provenance(decides.front()).phase1_senders.empty());
+  for (const std::size_t d : decides) {
+    const obs::CausalGraph::Provenance p = g.provenance(d);
+    EXPECT_EQ(p.decide_index, d);
+    EXPECT_GE(p.proc, 0);
+    // A decision rests on messages it actually consumed.
+    EXPECT_FALSE(p.slice.empty());
+    EXPECT_FALSE(p.support.empty());
+    ASSERT_TRUE(p.decided_est.has_value());
+    EXPECT_TRUE(p.est_consistent);
+    values.insert(*p.decided_est);
+    // The critical path ends at the decide and is causally ordered.
+    const std::vector<std::size_t> path = g.critical_path(d);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), d);
+    for (std::size_t k = 1; k < path.size(); ++k) {
+      EXPECT_LE(records[path[k - 1]].at, records[path[k]].at);
+    }
+  }
+  // Agreement, recovered purely from the trace.
+  EXPECT_EQ(values.size(), 1u);
+}
+
+TEST(CausalGraph, RealRunQuorumWaitsAreSatisfiedAndOrdered) {
+  Trace trace(1 << 16);
+  const RunResult r = run_consensus(traced_config(&trace));
+  ASSERT_TRUE(r.success());
+
+  std::stringstream ss;
+  obs::write_trace_jsonl(ss, {}, trace);
+  obs::TraceMeta meta;
+  std::vector<TraceRecord> records;
+  ASSERT_TRUE(obs::read_trace_jsonl(ss, meta, records));
+  const obs::CausalGraph g = obs::CausalGraph::build(meta, records);
+
+  const std::vector<obs::CausalGraph::QuorumWait> waits = g.quorum_waits();
+  ASSERT_FALSE(waits.empty());
+  std::uint64_t satisfied = 0;
+  for (const auto& w : waits) {
+    if (!w.satisfied) continue;
+    ++satisfied;
+    EXPECT_GE(w.quorum, w.begin);
+    EXPECT_GE(w.last_arrival, 0);
+    // The quorum never waits past the last arrival it counted.
+    EXPECT_LE(w.arrivals_at_quorum, w.arrivals_total);
+    EXPECT_GT(w.arrivals_at_quorum, 0u);
+  }
+  EXPECT_GT(satisfied, 0u);
+}
+
+// ---- service attribution ----------------------------------------------------
+
+TEST(ServiceTrace, RecordsMilestonesAndDecomposesLatencyExactly) {
+  ServiceRunConfig cfg(ClusterLayout::even(4, 2));
+  cfg.seed = 11;
+  cfg.clients = 50;
+  cfg.ops_per_client = 2;
+  cfg.batch_max = 16;
+  Trace trace(1 << 16);
+  cfg.enable_trace = true;
+  cfg.trace_sink = &trace;
+  const ServiceRunResult r = run_service(cfg);
+  ASSERT_TRUE(r.success());
+
+  // The three components cover every completed op and sum exactly to the
+  // total client latency (integer arithmetic, no estimation).
+  EXPECT_EQ(r.batch_wait.count(), r.ops_completed);
+  EXPECT_EQ(r.seq_wait.count(), r.ops_completed);
+  EXPECT_EQ(r.consensus.count(), r.ops_completed);
+  EXPECT_EQ(r.batch_wait.raw_sum() + r.seq_wait.raw_sum() +
+                r.consensus.raw_sum(),
+            r.latency.raw_sum());
+  EXPECT_EQ(r.batch_wait_hist.total(), r.ops_completed);
+
+  std::uint64_t ops = 0, flushes = 0, slots = 0, delivers = 0;
+  trace.for_each([&](const TraceRecord& rec) {
+    switch (rec.kind) {
+      case TraceKind::SvcOp: ++ops; break;
+      case TraceKind::SvcFlush: ++flushes; break;
+      case TraceKind::SvcSlot: ++slots; break;
+      case TraceKind::SvcDeliver: ++delivers; break;
+      default: break;
+    }
+  });
+  EXPECT_EQ(ops, r.ops_submitted);
+  EXPECT_EQ(flushes, r.batches);
+  EXPECT_GT(slots, 0u);
+  EXPECT_GT(delivers, 0u);
+}
+
+TEST(ServiceTrace, TracedServiceRunMatchesUntracedResults) {
+  ServiceRunConfig base(ClusterLayout::even(4, 2));
+  base.seed = 21;
+  base.clients = 40;
+  base.batch_max = 8;
+  const ServiceRunResult plain = run_service(base);
+
+  ServiceRunConfig traced = base;
+  Trace trace(1 << 16);
+  traced.enable_trace = true;
+  traced.trace_sink = &trace;
+  const ServiceRunResult t = run_service(traced);
+
+  // Tracing is strictly out of band: identical outcomes, byte for byte.
+  EXPECT_EQ(plain.ops_completed, t.ops_completed);
+  EXPECT_EQ(plain.batches, t.batches);
+  EXPECT_EQ(plain.slots, t.slots);
+  EXPECT_EQ(plain.end_time, t.end_time);
+  EXPECT_EQ(plain.events, t.events);
+  EXPECT_EQ(plain.latency.raw_sum(), t.latency.raw_sum());
+  EXPECT_EQ(plain.slot_logs, t.slot_logs);
+  EXPECT_GT(trace.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace hyco

@@ -196,9 +196,11 @@ TEST(PhaseTimings, OpenPhaseAtEndOfRunIsDiscarded) {
 Trace sample_trace() {
   Trace t(16);
   t.enable(true);
-  t.record(5, TraceKind::Send, 1, "PHASE(r=1,ph1,est=0) -> p2");
-  t.record(17, TraceKind::Deliver, 2, "with \"quotes\", a \\ and a\ttab");
+  t.record(5, TraceKind::Send, 1, "PHASE(r=1,ph1,est=0) -> p2", 7);
+  t.set_context(7);
+  t.record(17, TraceKind::Deliver, 2, "with \"quotes\", a \\ and a\ttab", 7);
   t.record(230, TraceKind::Decide, 0, "");
+  t.clear_context();
   return t;
 }
 
@@ -218,20 +220,30 @@ void expect_roundtrip(const obs::TraceMeta& meta,
   EXPECT_EQ(meta.run, 12u);
   EXPECT_EQ(meta.seed, 0xDEADBEEFCAFEULL);
   EXPECT_EQ(meta.label, "hybrid-CC n=8 \"quoted\" label");
+  EXPECT_EQ(meta.recorded, 3u);
+  EXPECT_FALSE(meta.truncated);
   EXPECT_EQ(records[0].at, 5);
   EXPECT_EQ(records[0].kind, TraceKind::Send);
   EXPECT_EQ(records[0].proc, 1);
   EXPECT_EQ(records[0].detail, "PHASE(r=1,ph1,est=0) -> p2");
+  EXPECT_EQ(records[0].mid, 7u);
+  EXPECT_EQ(records[0].parent, 0u);
   EXPECT_EQ(records[1].detail, "with \"quotes\", a \\ and a\ttab");
+  EXPECT_EQ(records[1].mid, 7u);
+  EXPECT_EQ(records[1].parent, 7u);
   EXPECT_EQ(records[2].kind, TraceKind::Decide);
   EXPECT_TRUE(records[2].detail.empty());
+  EXPECT_EQ(records[2].mid, 0u);
+  EXPECT_EQ(records[2].parent, 7u);
 }
 
 TEST(TraceExport, JsonlRoundTripsExactly) {
   std::stringstream ss;
   obs::write_trace_jsonl(ss, sample_meta(), sample_trace());
   const std::string text = ss.str();
-  EXPECT_NE(text.find("\"schema\":\"hyco-trace/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"hyco-trace/2\""), std::string::npos);
+  EXPECT_NE(text.find("\"recorded\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"truncated\":false"), std::string::npos);
 
   obs::TraceMeta meta;
   std::vector<TraceRecord> records;
@@ -267,10 +279,12 @@ TEST(TraceExport, RingWrapExportsTrailingWindowOldestFirst) {
   ASSERT_EQ(records.size(), 4u);
   EXPECT_EQ(records.front().at, 6);
   EXPECT_EQ(records.back().at, 9);
+  EXPECT_EQ(meta.recorded, 10u);
+  EXPECT_TRUE(meta.truncated);
 }
 
 TEST(TraceExport, KindNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::Note); ++k) {
+  for (int k = 0; k <= static_cast<int>(kTraceKindLast); ++k) {
     const auto kind = static_cast<TraceKind>(k);
     TraceKind back = TraceKind::Send;
     ASSERT_TRUE(obs::trace_kind_from_name(to_cstring(kind), back));

@@ -161,7 +161,10 @@ namespace {
 struct CountingSink : DeliverSink {
   int batches = 0;
   int messages = 0;
-  void deliver_event(ProcId, ProcId, const Message&) override { ++messages; }
+  void deliver_event(ProcId, ProcId, const Message&,
+                     std::uint64_t) override {
+    ++messages;
+  }
   std::size_t deliver_batch(const TickItem* items, std::size_t count,
                             const bool& halted) override {
     ++batches;
